@@ -1,0 +1,95 @@
+// Shared plumbing for the experiment benches.
+//
+// Every bench binary reproduces one table or figure from the paper: it
+// runs the corresponding campaigns under google-benchmark (one iteration
+// per row — the "benchmark" timing is the campaign's wall cost) and then
+// prints the paper-style table for EXPERIMENTS.md.
+//
+// TOCTTOU_ROUNDS=<n> scales every campaign's round count (default: the
+// per-bench value, usually the paper's 500).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tocttou/common/stats.h"
+#include "tocttou/core/harness.h"
+
+namespace tocttou::bench {
+
+/// Round count: the bench's default, overridable via TOCTTOU_ROUNDS.
+inline int rounds_or(int dflt) {
+  if (const char* env = std::getenv("TOCTTOU_ROUNDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return dflt;
+}
+
+/// Collects the paper-style rows for end-of-run printing.
+class RowSink {
+ public:
+  static RowSink& get() {
+    static RowSink sink;
+    return sink;
+  }
+
+  void set_table(std::vector<std::string> headers) {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_ = std::make_unique<TextTable>(std::move(headers));
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (table_) table_->add_row(std::move(cells));
+  }
+
+  void print(const std::string& title, const std::string& paper_claim) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!paper_claim.empty()) {
+      std::printf("paper: %s\n\n", paper_claim.c_str());
+    }
+    if (table_) std::printf("%s", table_->render().c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<TextTable> table_;
+};
+
+/// Standard scenario builders for the three testbeds.
+inline core::ScenarioConfig scenario(programs::TestbedProfile profile,
+                                     core::VictimKind victim,
+                                     core::AttackerKind attacker,
+                                     std::uint64_t file_bytes,
+                                     std::uint64_t seed) {
+  core::ScenarioConfig c;
+  c.profile = std::move(profile);
+  c.victim = victim;
+  c.attacker = attacker;
+  c.file_bytes = file_bytes;
+  c.seed = seed;
+  return c;
+}
+
+/// Boilerplate main: run benchmarks, then print the collected table.
+#define TOCTTOU_BENCH_MAIN(title, paper_claim)                      \
+  int main(int argc, char** argv) {                                 \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    ::tocttou::bench::RowSink::get().print(title, paper_claim);     \
+    return 0;                                                       \
+  }
+
+}  // namespace tocttou::bench

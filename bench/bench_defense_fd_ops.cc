@@ -1,0 +1,73 @@
+// Defense evaluation (paper Section 8 remedies): replacing the path-based
+// attribute calls with fd-based ones (fchown/fchmod) removes the
+// TOCTTOU pair entirely — the attribute change binds to the inode the
+// victim itself created, so redirecting the NAME gains the attacker
+// nothing. We rerun the paper's strongest scenarios against defended
+// victims.
+#include "bench_common.h"
+
+namespace tocttou::bench {
+namespace {
+
+struct Case {
+  const char* label;
+  programs::TestbedProfile (*profile)();
+  core::VictimKind victim;
+  core::AttackerKind attacker;
+  bool defended;
+};
+
+const Case kCases[] = {
+    {"vi SMP, vulnerable <open,chown>", &programs::testbed_smp_dual_xeon,
+     core::VictimKind::vi, core::AttackerKind::naive, false},
+    {"vi SMP, defended (fchown before close)",
+     &programs::testbed_smp_dual_xeon, core::VictimKind::vi,
+     core::AttackerKind::naive, true},
+    {"gedit SMP, vulnerable <rename,chown>",
+     &programs::testbed_smp_dual_xeon, core::VictimKind::gedit,
+     core::AttackerKind::naive, false},
+    {"gedit SMP, defended (fchmod/fchown before rename)",
+     &programs::testbed_smp_dual_xeon, core::VictimKind::gedit,
+     core::AttackerKind::naive, true},
+    {"gedit multicore, defended, v2 attacker",
+     &programs::testbed_multicore_pentium_d, core::VictimKind::gedit,
+     core::AttackerKind::prefaulted, true},
+};
+
+void BM_Defense(benchmark::State& state) {
+  const auto& c = kCases[state.range(0)];
+  auto cfg = scenario(c.profile(), c.victim, c.attacker, 64 * 1024,
+                      /*seed=*/7000 + static_cast<std::uint64_t>(state.range(0)));
+  cfg.defended_victim = c.defended;
+  const int rounds = rounds_or(200);
+  core::CampaignStats stats;
+  for (auto _ : state) {
+    stats = core::run_campaign(cfg, rounds);
+  }
+  state.counters["success_rate"] = stats.success.rate();
+  state.SetLabel(c.label);
+  RowSink::get().add_row({c.label,
+                          std::to_string(stats.success.successes()) + "/" +
+                              std::to_string(stats.success.trials()),
+                          TextTable::pct(stats.success.rate())});
+}
+
+BENCHMARK(BM_Defense)
+    ->DenseRange(0, 4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+const bool kInit = [] {
+  RowSink::get().set_table(
+      {"victim configuration", "passwd takeovers", "rate"});
+  return true;
+}();
+
+}  // namespace
+}  // namespace tocttou::bench
+
+TOCTTOU_BENCH_MAIN(
+    "Defense - fd-based attribute calls kill the pair",
+    "Section 8 lists replacing path-based calls among the remedies; with "
+    "fchown(fd) the privilege escalation rate drops to 0 on every "
+    "machine (a file-clobbering DoS can remain, but /etc/passwd is safe)")

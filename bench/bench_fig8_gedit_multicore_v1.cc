@@ -1,0 +1,93 @@
+// Figure 8: event analysis of a FAILED gedit attack (program v1) on the
+// multi-core. The victim's rename->chmod gap is ~3us; the attacker needs
+// ~17us (11us computation + 6us libc page-fault trap) between its stat
+// and unlink, so chmod wins the semaphore and the attack fails.
+// D ~ 22us, L ~ -19us, so formula (1) says the success rate is ~0.
+#include "bench_common.h"
+
+#include "tocttou/trace/trace.h"
+
+namespace tocttou::bench {
+namespace {
+
+core::RoundResult representative_failure() {
+  for (std::uint64_t seed = 1; seed < 64; ++seed) {
+    auto cfg = scenario(programs::testbed_multicore_pentium_d(),
+                        core::VictimKind::gedit, core::AttackerKind::naive,
+                        16 * 1024, seed);
+    cfg.record_journal = true;
+    cfg.record_events = true;
+    auto r = core::run_round(cfg);
+    if (!r.success && r.window && r.window->detected && r.window->laxity) {
+      return r;
+    }
+  }
+  return {};
+}
+
+void BM_Fig8(benchmark::State& state) {
+  const int rounds = rounds_or(300);
+  core::CampaignStats stats;
+  core::RoundResult rep;
+  for (auto _ : state) {
+    stats = core::run_campaign(
+        scenario(programs::testbed_multicore_pentium_d(),
+                 core::VictimKind::gedit, core::AttackerKind::naive,
+                 16 * 1024, /*seed=*/808),
+        rounds, /*measure_ld=*/true);
+    rep = representative_failure();
+  }
+  state.counters["success_rate"] = stats.success.rate();
+  state.counters["L_us"] = stats.laxity_us.mean();
+  state.counters["D_us"] = stats.detection_us.mean();
+
+  RowSink::get().add_row({"success rate", TextTable::pct(stats.success.rate()),
+                          "~0%"});
+  RowSink::get().add_row(
+      {"D (stat start -> unlink start)",
+       TextTable::fmt(stats.detection_us.mean(), 1) + "us", "~22us"});
+  RowSink::get().add_row({"L (laxity)",
+                          TextTable::fmt(stats.laxity_us.mean(), 1) + "us",
+                          "~-19us"});
+
+  if (rep.window) {
+    // Victim-side and attacker-side gaps of the representative round.
+    const auto& j = rep.trace.journal;
+    const auto renames = j.for_pid(rep.victim_pid, "rename");
+    const auto chmods = j.for_pid(rep.victim_pid, "chmod");
+    const auto unlinks = j.for_pid(rep.attacker_pid, "unlink");
+    if (renames.size() == 2 && chmods.size() == 1) {
+      RowSink::get().add_row(
+          {"victim gap rename -> chmod",
+           TextTable::fmt((chmods[0].enter - renames[1].exit).us(), 1) + "us",
+           "3us"});
+    }
+    if (!unlinks.empty() && rep.window->detected) {
+      RowSink::get().add_row(
+          {"attacker gap stat -> unlink (incl. 6us trap)",
+           TextTable::fmt((unlinks[0].enter - rep.window->t1).us(), 1) + "us",
+           "17us"});
+    }
+    std::printf("\n--- Figure 8 style timeline (failed v1 attack) ---\n");
+    trace::GanttOptions opts;
+    opts.width = 110;
+    opts.from = rep.window->window_open - Duration::micros(40);
+    opts.to = rep.window->t3 + Duration::micros(60);
+    std::printf("%s", trace::render_gantt(rep.trace.log, opts).c_str());
+  }
+}
+
+BENCHMARK(BM_Fig8)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+const bool kInit = [] {
+  RowSink::get().set_table({"quantity", "measured", "paper"});
+  return true;
+}();
+
+}  // namespace
+}  // namespace tocttou::bench
+
+TOCTTOU_BENCH_MAIN(
+    "Figure 8 - failed gedit attack (program v1) on the multi-core",
+    "victim gap rename->chmod ~3us; attacker gap stat->unlink ~17us "
+    "(11us comp + 6us trap); D~22, L~-19 -> success ~0")

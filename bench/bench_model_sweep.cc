@@ -1,0 +1,102 @@
+// The Section 3 model itself: Equation 1 and formula (1) parameter
+// sweeps, and a head-to-head of the model against the simulator across
+// the L/D spectrum (sweeping the victim's window via the file size).
+#include "bench_common.h"
+
+#include "tocttou/core/model.h"
+
+namespace tocttou::bench {
+namespace {
+
+void BM_LaxitySweep(benchmark::State& state) {
+  const double l_over_d = static_cast<double>(state.range(0)) / 10.0;
+  double rate = 0.0;
+  for (auto _ : state) {
+    rate = core::laxity_success_rate(l_over_d);
+    benchmark::DoNotOptimize(rate);
+  }
+  state.counters["rate"] = rate;
+  const double noisy = core::noisy_laxity_success_rate(
+      Duration::micros_f(l_over_d * 30.0), Duration::micros(4),
+      Duration::micros(30), Duration::micros(3), 20000);
+  RowSink::get().add_row({"L/D = " + TextTable::fmt(l_over_d, 1),
+                          TextTable::fmt(l_over_d, 2), TextTable::pct(noisy),
+                          TextTable::pct(rate)});
+}
+
+BENCHMARK(BM_LaxitySweep)
+    ->DenseRange(-5, 15, 2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// Equation 1's two regimes: how P(victim suspended) dominates on a
+// uniprocessor while the laxity term dominates on a multiprocessor.
+void BM_Equation1Regimes(benchmark::State& state) {
+  const double p_susp = static_cast<double>(state.range(0)) / 100.0;
+  double up = 0, mp = 0;
+  for (auto _ : state) {
+    up = core::Equation1::uniprocessor(p_susp).success();
+    mp = core::Equation1::multiprocessor(p_susp, Duration::micros(20),
+                                         Duration::micros(30))
+             .success();
+    benchmark::DoNotOptimize(up + mp);
+  }
+  state.counters["uniprocessor"] = up;
+  state.counters["multiprocessor"] = mp;
+}
+
+BENCHMARK(BM_Equation1Regimes)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// Model vs simulator: vi on the SMP with file sizes chosen so L/D spans
+// the interesting range around 1.
+void BM_ModelVsSim(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  const int rounds = rounds_or(100);
+  core::CampaignStats stats;
+  for (auto _ : state) {
+    stats = core::run_campaign(
+        scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::vi,
+                 core::AttackerKind::naive, bytes, /*seed=*/3300 + bytes),
+        rounds, /*measure_ld=*/true);
+  }
+  const double from_measured_ld = core::noisy_laxity_success_rate(
+      Duration::micros_f(stats.laxity_us.mean()),
+      Duration::micros_f(std::max(0.5, stats.laxity_us.stdev())),
+      Duration::micros_f(stats.detection_us.mean()),
+      Duration::micros_f(std::max(0.5, stats.detection_us.stdev())));
+  state.counters["simulated"] = stats.success.rate();
+  state.counters["model"] = from_measured_ld;
+  RowSink::get().add_row(
+      {"vi SMP " + std::to_string(bytes) + "B",
+       TextTable::fmt(stats.laxity_us.mean() / stats.detection_us.mean(), 2),
+       TextTable::pct(from_measured_ld), TextTable::pct(stats.success.rate())});
+}
+
+BENCHMARK(BM_ModelVsSim)
+    ->Arg(1)
+    ->Arg(512)
+    ->Arg(4 * 1024)
+    ->Arg(64 * 1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+const bool kInit = [] {
+  RowSink::get().set_table(
+      {"case / L-over-D", "L/D or rate", "model prediction", "simulated"});
+  return true;
+}();
+
+}  // namespace
+}  // namespace tocttou::bench
+
+TOCTTOU_BENCH_MAIN(
+    "Model sweep - Equation 1 and formula (1)",
+    "rate = clamp(L/D, 0, 1); noise smooths the kinks at L=0 and L=D; on "
+    "a uniprocessor success is bounded by P(victim suspended)")

@@ -1,0 +1,55 @@
+// Section 5: vi attacks on the dual-Xeon SMP — 100% success for every
+// file size from 20KB to 1MB, and ~96% even for 1-byte files (the
+// residual failures are other processes keeping the attacker off its
+// CPU during the tiny window).
+#include "bench_common.h"
+
+namespace tocttou::bench {
+namespace {
+
+void BM_ViSmp(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  const int rounds = rounds_or(bytes <= 1 ? 300 : 60);
+  core::CampaignStats stats;
+  for (auto _ : state) {
+    stats = core::run_campaign(
+        scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::vi,
+                 core::AttackerKind::naive, bytes, /*seed=*/500 + bytes),
+        rounds);
+  }
+  state.counters["success_rate"] = stats.success.rate();
+  const std::string label =
+      bytes == 1 ? "1 byte" : std::to_string(bytes / 1024) + "KB";
+  RowSink::get().add_row(
+      {label,
+       std::to_string(stats.success.successes()) + "/" +
+           std::to_string(stats.success.trials()),
+       TextTable::pct(stats.success.rate())});
+}
+
+// The paper swept 20KB..1MB in 20KB steps; we sample that range (every
+// point is ~100% — run with TOCTTOU_ROUNDS for denser confidence) plus
+// the 1-byte worst case.
+BENCHMARK(BM_ViSmp)
+    ->Arg(1)  // 1 byte: the ~96% case
+    ->Arg(20 * 1024)
+    ->Arg(100 * 1024)
+    ->Arg(200 * 1024)
+    ->Arg(400 * 1024)
+    ->Arg(600 * 1024)
+    ->Arg(800 * 1024)
+    ->Arg(1024 * 1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+const bool kInit = [] {
+  RowSink::get().set_table({"file size", "successes", "rate"});
+  return true;
+}();
+
+}  // namespace
+}  // namespace tocttou::bench
+
+TOCTTOU_BENCH_MAIN(
+    "Section 5 - vi attack on the SMP (2x Xeon)",
+    "100% success for all sizes 20KB-1MB; ~96% for 1-byte files")

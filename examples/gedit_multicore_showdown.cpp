@@ -1,0 +1,82 @@
+// gedit on the multi-core: why the attacker's *implementation* decides
+// the race when the window is microseconds wide (paper Section 6.2).
+// Runs attack program v1 (Figure 4) and v2 (Figure 9) against the same
+// victim and shows a Figure-8/Figure-10 style timeline for each.
+//
+//   ./build/examples/gedit_multicore_showdown [rounds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "tocttou/core/harness.h"
+#include "tocttou/trace/trace.h"
+
+namespace {
+
+using namespace tocttou;
+
+core::ScenarioConfig make_cfg(core::AttackerKind attacker,
+                              std::uint64_t seed) {
+  core::ScenarioConfig cfg;
+  cfg.profile = programs::testbed_multicore_pentium_d();
+  cfg.victim = core::VictimKind::gedit;
+  cfg.attacker = attacker;
+  cfg.file_bytes = 16 * 1024;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void show_timeline(const char* title, core::AttackerKind attacker,
+                   bool want_success) {
+  for (std::uint64_t seed = 1; seed < 256; ++seed) {
+    auto cfg = make_cfg(attacker, seed);
+    cfg.record_journal = true;
+    cfg.record_events = true;
+    const auto r = core::run_round(cfg);
+    if (r.success != want_success || !r.window || !r.window->detected) {
+      continue;
+    }
+    std::printf("\n--- %s (seed %llu) ---\n", title,
+                static_cast<unsigned long long>(seed));
+    if (r.window->laxity && r.window->d) {
+      std::printf("L = %.1fus, D = %.1fus -> formula (1) rate %.0f%%\n",
+                  r.window->laxity->us(), r.window->d->us(),
+                  *r.window->predicted_rate() * 100.0);
+    }
+    trace::GanttOptions opts;
+    opts.width = 110;
+    opts.from = r.window->window_open - Duration::micros(30);
+    opts.to = r.window->t3 + Duration::micros(40);
+    std::printf("%s", trace::render_gantt(r.trace.log, opts).c_str());
+    return;
+  }
+  std::printf("\n--- %s: no representative round found ---\n", title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  const auto v1 =
+      core::run_campaign(make_cfg(core::AttackerKind::naive, 7), rounds);
+  const auto v2 =
+      core::run_campaign(make_cfg(core::AttackerKind::prefaulted, 7), rounds);
+
+  std::printf("gedit <rename, chown> attack on the multi-core, %d rounds:\n",
+              rounds);
+  std::printf("  attack program v1 (Figure 4):  %s\n",
+              v1.summary().c_str());
+  std::printf("  attack program v2 (Figure 9):  %s\n",
+              v2.summary().c_str());
+  std::printf(
+      "\nv1 loses because its first unlink page-faults (6us) on top of "
+      "11us of\ncomputation, while gedit's rename->chmod gap is only 3us. "
+      "v2 pre-faults\nthe libc page by calling unlink/symlink on a dummy "
+      "file every iteration.\n");
+
+  show_timeline("FAILED v1 attack (Figure 8)", core::AttackerKind::naive,
+                /*want_success=*/false);
+  show_timeline("SUCCESSFUL v2 attack (Figure 10)",
+                core::AttackerKind::prefaulted, /*want_success=*/true);
+  return 0;
+}

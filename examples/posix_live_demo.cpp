@@ -1,0 +1,47 @@
+// Live demonstration on the host: stages the gedit-style race with real
+// syscalls in a scratch directory (no privileges needed — success is the
+// victim's chmod landing on a decoy through the attacker's symlink).
+//
+//   ./build/examples/posix_live_demo [rounds [gap_spins]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "tocttou/posix/live_race.h"
+#include "tocttou/posix/scratch.h"
+
+int main(int argc, char** argv) {
+  using namespace tocttou;
+
+  posix::LiveRaceConfig cfg;
+  cfg.rounds = argc > 1 ? std::atoi(argv[1]) : 100;
+  cfg.victim_gap_spins =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
+
+  std::printf("host: %d online CPU(s)\n", posix::online_cpus());
+  const auto costs = posix::measure_host_syscall_costs();
+  std::printf(
+      "host syscall costs: stat %.2fus, unlink %.2fus, symlink %.2fus, "
+      "rename %.2fus\n\n",
+      costs.stat_us, costs.unlink_us, costs.symlink_us, costs.rename_us);
+
+  std::printf("running %d live race rounds (victim gap ~%llu spins)...\n",
+              cfg.rounds,
+              static_cast<unsigned long long>(cfg.victim_gap_spins));
+  const auto res = posix::run_live_race(cfg);
+
+  std::printf("\nresults (%s):\n",
+              res.cpus > 1 && res.threads_pinned
+                  ? "threads pinned to separate CPUs - the paper's "
+                    "multiprocessor setting"
+                  : "single CPU - the paper's uniprocessor setting");
+  std::printf("  detections: %d/%d\n", res.detections, res.rounds);
+  std::printf("  successes:  %d/%d = %.1f%%\n", res.successes, res.rounds,
+              res.success_rate() * 100.0);
+  std::printf("  victim window: mean %.1fus (sd %.1f)\n",
+              res.window_us.mean(), res.window_us.stdev());
+  std::printf(
+      "\nOn a multi-core host the attacker polls from its own CPU and the "
+      "rate\nis high; on a single CPU it only wins when the victim is "
+      "preempted\ninside the window — exactly the paper's claim.\n");
+  return 0;
+}

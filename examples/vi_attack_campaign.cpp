@@ -1,0 +1,53 @@
+// vi attack campaign: the paper's headline contrast in one run — the
+// same attack against the same victim is a coin-flip-with-bad-odds on a
+// uniprocessor and near-certain on an SMP.
+//
+//   ./build/examples/vi_attack_campaign [rounds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "tocttou/common/stats.h"
+#include "tocttou/core/harness.h"
+#include "tocttou/core/model.h"
+
+int main(int argc, char** argv) {
+  using namespace tocttou;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 100;
+
+  TextTable table({"file size", "uniprocessor", "SMP (2 CPUs)",
+                   "Eq.1 UP prediction"});
+  core::ViModelParams model;
+
+  for (std::uint64_t kb : {1, 100, 300, 600, 1000}) {
+    const std::uint64_t bytes = kb == 1 ? 1 : kb * 1024;
+
+    core::ScenarioConfig cfg;
+    cfg.victim = core::VictimKind::vi;
+    cfg.attacker = core::AttackerKind::naive;
+    cfg.file_bytes = bytes;
+    cfg.seed = 90 + kb;
+
+    cfg.profile = programs::testbed_uniprocessor_xeon();
+    const auto up = core::run_campaign(cfg, rounds);
+    cfg.profile = programs::testbed_smp_dual_xeon();
+    const auto mp = core::run_campaign(cfg, rounds);
+
+    table.add_row({kb == 1 ? "1 byte" : std::to_string(kb) + "KB",
+                   TextTable::pct(up.success.rate()),
+                   TextTable::pct(mp.success.rate()),
+                   TextTable::pct(core::vi_uniprocessor_prediction(model,
+                                                                   bytes))});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\n\nvi <open, chown> attack, %d rounds per cell "
+      "(root saves a file owned by the attacker):\n\n%s\n",
+      rounds, table.render().c_str());
+  std::printf(
+      "The second processor turns a 'low risk' race into a reliable "
+      "exploit:\nthe attacker polls from its own CPU instead of waiting "
+      "for the victim\nto be suspended (DSN'07, Sections 4-5).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Error codes and the lightweight Result<T> used across the simulated
+// kernel. Mirrors the POSIX errno values the modeled syscalls can return.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tocttou {
+
+/// Subset of POSIX errno relevant to the modeled file-system calls.
+enum class Errno {
+  ok = 0,
+  enoent,        // No such file or directory
+  eexist,        // File exists
+  eacces,        // Permission denied
+  eperm,         // Operation not permitted
+  enotdir,       // Not a directory
+  eisdir,        // Is a directory
+  eloop,         // Too many levels of symbolic links
+  ebadf,         // Bad file descriptor
+  einval,        // Invalid argument
+  enotempty,     // Directory not empty
+  emfile,        // Too many open files
+  enametoolong,  // File name too long
+  exdev,         // Cross-device link (unused single-volume, kept for API parity)
+};
+
+const char* to_string(Errno e);
+
+/// Thrown on internal invariant violations (never for modeled syscall
+/// errors, which travel through Result<T>).
+class SimError : public std::logic_error {
+ public:
+  explicit SimError(const std::string& what) : std::logic_error(what) {}
+};
+
+#define TOCTTOU_CHECK(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      throw ::tocttou::SimError(std::string("check failed: ") + (msg) + \
+                                " [" #cond "]");                       \
+    }                                                                  \
+  } while (0)
+
+/// Minimal expected-like result: either a value or an Errno.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errno e) : v_(e) {}                 // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const {
+    if (!ok()) {
+      throw SimError(std::string("Result::value() on error: ") +
+                     to_string(std::get<Errno>(v_)));
+    }
+    return std::get<T>(v_);
+  }
+  T& value() {
+    if (!ok()) {
+      throw SimError(std::string("Result::value() on error: ") +
+                     to_string(std::get<Errno>(v_)));
+    }
+    return std::get<T>(v_);
+  }
+
+  Errno error() const { return ok() ? Errno::ok : std::get<Errno>(v_); }
+
+ private:
+  std::variant<T, Errno> v_;
+};
+
+}  // namespace tocttou

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (kernel-noise jitter,
+// background daemon arrivals, victim think time) draws from a single
+// `Rng` seeded per experiment round, so campaigns are reproducible
+// bit-for-bit: round i of a campaign with base seed S always uses seed
+// mix(S, i).
+//
+// The generator is xoshiro256** (public domain, Blackman & Vigna) seeded
+// through SplitMix64, which is the recommended seeding procedure.
+#pragma once
+
+#include <cstdint>
+
+#include "tocttou/common/time.h"
+
+namespace tocttou {
+
+/// SplitMix64 step; also usable standalone for hashing/seed mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mixes a base seed with a stream index into an independent seed.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stdev);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Uniform Duration in [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi);
+
+  /// Normal Duration clamped to be >= floor (default: non-negative).
+  Duration normal_duration(Duration mean, Duration stdev,
+                           Duration floor = Duration::zero());
+
+  /// Derives an independent child generator (for sub-streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tocttou

@@ -1,0 +1,91 @@
+// Small statistics toolkit used by the experiment harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tocttou {
+
+/// Streaming mean / variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stdev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-combinable).
+  void merge(const RunningStats& other);
+
+  std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample container with quantiles (stores all values).
+class Samples {
+ public:
+  void add(double x);
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double stdev() const;
+  double min() const;
+  double max() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Bernoulli success counter with a Wilson confidence interval — used to
+/// report attack success rates with sensible error bars.
+class SuccessCounter {
+ public:
+  void record(bool success);
+  std::size_t trials() const { return trials_; }
+  std::size_t successes() const { return successes_; }
+  double rate() const;
+  /// Wilson score interval at ~95% confidence. Returns {lo, hi}.
+  std::pair<double, double> wilson95() const;
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Fixed-width text table builder for paper-style output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tocttou

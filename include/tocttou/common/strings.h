@@ -1,0 +1,28 @@
+// String and path helpers shared by the VFS and reporting code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tocttou {
+
+/// Splits a slash-separated path into components. Leading '/' marks the
+/// path absolute (reflected by the caller checking is_absolute_path);
+/// empty components and "." are dropped, ".." is preserved (resolved by
+/// the VFS walk).
+std::vector<std::string> split_path(std::string_view path);
+
+bool is_absolute_path(std::string_view path);
+
+/// Joins components into an absolute path string.
+std::string join_path(const std::vector<std::string>& components);
+
+/// printf-style formatting into std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Left/right padding for table rendering.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace tocttou

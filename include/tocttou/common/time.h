@@ -1,0 +1,155 @@
+// Virtual-time primitives for the simulator.
+//
+// All simulated time is kept in integer nanoseconds. The paper reports
+// everything in microseconds; nanosecond granularity lets the calibrated
+// jitter model perturb events by fractions of a microsecond without
+// rounding artifacts.
+//
+// `Duration` is a signed span; `SimTime` is a point on the simulation
+// clock (nanoseconds since simulation start). Arithmetic is restricted to
+// the combinations that make dimensional sense (point - point = span,
+// point + span = point, span +/- span = span).
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace tocttou {
+
+/// A signed time span with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors. Prefer these over the raw-nanosecond one.
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t us) {
+    return Duration(us * 1000);
+  }
+  static constexpr Duration micros_f(double us) {
+    return Duration(static_cast<std::int64_t>(us * 1000.0));
+  }
+  static constexpr Duration millis(std::int64_t ms) {
+    return Duration(ms * 1'000'000);
+  }
+  static constexpr Duration seconds(std::int64_t s) {
+    return Duration(s * 1'000'000'000);
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  /// A span longer than any simulated experiment; used as "no deadline".
+  static constexpr Duration infinite() {
+    return Duration(INT64_MAX / 4);
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1000.0; }
+  constexpr double ms() const {
+    return static_cast<double>(ns_) / 1'000'000.0;
+  }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(ns_ + o.ns_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(ns_ - o.ns_);
+  }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  template <std::integral T>
+  constexpr Duration operator*(T k) const {
+    return Duration(ns_ * static_cast<std::int64_t>(k));
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+  }
+  template <std::integral T>
+  constexpr Duration operator/(T k) const {
+    return Duration(ns_ / static_cast<std::int64_t>(k));
+  }
+  /// Ratio of two spans (e.g. the model's L/D).
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Human-readable rendering, e.g. "43.0us" or "1.500ms".
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+/// A point on the simulation clock.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime origin() { return SimTime(0); }
+  static constexpr SimTime from_ns(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime never() { return SimTime(INT64_MAX / 2); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1000.0; }
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(ns_ + d.ns());
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime(ns_ - d.ns());
+  }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration::nanos(ns_ - o.ns_);
+  }
+  SimTime& operator+=(Duration d) {
+    ns_ += d.ns();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+template <std::integral T>
+constexpr Duration operator*(T k, Duration d) {
+  return d * k;
+}
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+inline Duration min(Duration a, Duration b) { return a < b ? a : b; }
+inline Duration max(Duration a, Duration b) { return a < b ? b : a; }
+inline SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
+inline SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+
+namespace literals {
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(long double v) {
+  return Duration::micros_f(static_cast<double>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::nanos(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace tocttou

@@ -1,0 +1,106 @@
+// Experiment harness: stages one attack round (file-system tree, victim,
+// attacker, background load) on a testbed profile, runs it, and judges
+// success exactly as the paper does — did the victim's chown land on
+// /etc/passwd? Campaigns run many seeded rounds and aggregate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tocttou/common/stats.h"
+#include "tocttou/core/analysis.h"
+#include "tocttou/programs/testbeds.h"
+#include "tocttou/sim/ids.h"
+#include "tocttou/trace/journal.h"
+
+namespace tocttou::core {
+
+enum class VictimKind { vi, gedit, suspending, sendmail };
+enum class AttackerKind { naive, prefaulted, pipelined, none };
+
+const char* to_string(VictimKind v);
+const char* to_string(AttackerKind a);
+
+struct ScenarioConfig {
+  programs::TestbedProfile profile;
+  VictimKind victim = VictimKind::vi;
+  AttackerKind attacker = AttackerKind::naive;
+  std::uint64_t file_bytes = 100 * 1024;
+  std::uint64_t seed = 1;
+
+  /// Record the syscall journal (needed for L/D analysis). Full event
+  /// logs (Gantt) additionally require `record_events`.
+  bool record_journal = false;
+  bool record_events = false;
+
+  /// Background kernel-thread load (Section 5's interference source).
+  bool background_load = true;
+
+  /// Use the defended victim variant (fchown/fchmod on the fd instead of
+  /// chown/chmod on the path) — the Section 8 remedy. Only meaningful
+  /// for the vi and gedit victims.
+  bool defended_victim = false;
+
+  /// Victim pre-save activity. Defaults: ~U(0, 2 quanta) on a
+  /// uniprocessor (randomizes the slice phase, as real editing does),
+  /// ~U(0.2ms, 1ms) on multiprocessors (the phase is irrelevant there).
+  std::optional<Duration> victim_think;
+
+  /// Paths staged in the VFS (defaults are fine for all experiments).
+  std::string watched_path = "/home/alice/report.txt";
+  std::string evil_target = "/etc/passwd";
+  std::string dummy_path = "/tmp/dummy";
+
+  sim::Uid attacker_uid = 500;
+  sim::Gid attacker_gid = 500;
+
+  /// Hard stop for one round of simulated time.
+  Duration round_limit = Duration::seconds(30);
+};
+
+struct RoundResult {
+  bool success = false;         // /etc/passwd handed to the attacker
+  bool victim_completed = false;
+  bool attacker_finished = false;
+  int attacker_iterations = 0;
+  std::uint64_t events = 0;
+  SimTime end_time;
+
+  /// Filled when record_journal was set.
+  std::optional<WindowMeasurement> window;
+  /// Filled when record_journal/record_events were set.
+  trace::RoundTrace trace;
+
+  /// Journal pids for further digging (benches use these).
+  trace::Pid victim_pid = 0;
+  trace::Pid attacker_pid = 0;
+  trace::Pid attacker_pid2 = 0;  // pipelined helper thread
+};
+
+RoundResult run_round(const ScenarioConfig& cfg);
+
+struct CampaignStats {
+  SuccessCounter success;
+  SuccessCounter detected;
+  RunningStats laxity_us;      // L over rounds where measurable
+  RunningStats detection_us;   // D over rounds where measurable
+  RunningStats victim_window_us;
+  std::uint64_t total_events = 0;
+  int anomalies = 0;  // rounds hitting the time limit
+
+  std::string summary() const;
+};
+
+/// Runs `rounds` rounds with seeds mix(cfg.seed, i); enables the journal
+/// iff `measure_ld` (slower but yields L/D stats).
+CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
+                           bool measure_ld = false);
+
+/// The DConvention the paper uses for each victim.
+DConvention d_convention_for(VictimKind v);
+
+/// The WindowSpec matching a scenario.
+WindowSpec window_spec_for(const ScenarioConfig& cfg);
+
+}  // namespace tocttou::core

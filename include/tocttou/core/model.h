@@ -1,0 +1,90 @@
+// The paper's probabilistic model (Section 3).
+//
+// Equation 1 decomposes attack success over whether the victim is
+// suspended inside its vulnerability window:
+//
+//   P(success) = P(susp) * P(sched|susp) * P(fin|susp)
+//              + P(!susp) * P(sched|!susp) * P(fin|!susp)
+//
+// On a uniprocessor P(sched|!susp) = 0 (the attacker cannot run while
+// the victim runs), so success is bounded by P(victim suspended). On a
+// multiprocessor the second term is live and P(fin|!susp) is governed by
+// the laxity formula (1):
+//
+//   rate = 0        if L < 0
+//        = L / D    if 0 <= L < D
+//        = 1        if L >= D
+//
+// where L = t2 - t1 is the victim's laxity and D the attacker's
+// detection-iteration time.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+
+#include "tocttou/common/rng.h"
+#include "tocttou/common/time.h"
+
+namespace tocttou::core {
+
+/// Formula (1): clamp(L/D, 0, 1). D must be positive.
+double laxity_success_rate(Duration laxity, Duration detection);
+double laxity_success_rate(double l_over_d);
+
+/// Formula (1) when L and D are noisy (the paper: "L and D are not
+/// strictly constant ... the running environment imposes variance").
+/// Monte-Carlo over independent Gaussians, with D floored at a small
+/// positive value. Deterministic for a given seed.
+double noisy_laxity_success_rate(Duration l_mean, Duration l_stdev,
+                                 Duration d_mean, Duration d_stdev,
+                                 std::size_t samples = 100000,
+                                 std::uint64_t seed = 42);
+
+/// Equation 1 with all five conditional probabilities explicit.
+struct Equation1 {
+  double p_victim_suspended = 0.0;
+  double p_sched_given_suspended = 1.0;
+  double p_finish_given_suspended = 1.0;
+  double p_sched_given_running = 1.0;   // 0 on a uniprocessor
+  double p_finish_given_running = 0.0;  // laxity formula on an MP
+
+  double success() const;
+
+  /// Uniprocessor instantiation (Section 3.2): the second term is dead.
+  static Equation1 uniprocessor(double p_victim_suspended,
+                                double p_sched_given_suspended = 1.0,
+                                double p_finish_given_suspended = 1.0);
+
+  /// Multiprocessor instantiation (Section 3.3): a dedicated CPU makes
+  /// P(sched|!susp) ~ 1 and P(fin|!susp) the laxity rate.
+  static Equation1 multiprocessor(double p_victim_suspended,
+                                  Duration laxity, Duration detection);
+};
+
+/// Helpers for estimating P(victim suspended) on a uniprocessor from
+/// first principles (the suspension sources of Section 4.1):
+///  - time-slice expiry: the window covers window/quantum of the slice;
+///  - I/O stalls: 1 - (1-p)^n for n stall opportunities inside the window.
+double p_suspended_timeslice(Duration window, Duration quantum);
+double p_suspended_io(double stall_prob_per_call, std::size_t calls);
+/// Combine independent suspension sources: 1 - prod(1 - p_i).
+double combine_suspension(std::initializer_list<double> sources);
+
+/// Model prediction for the vi attack (window grows with file size):
+/// window = base + bytes * per-byte write cost.
+struct ViModelParams {
+  Duration window_base = Duration::micros(100);
+  Duration window_per_kb = Duration::micros_f(17.4);
+  Duration quantum = Duration::millis(100);
+  double write_stall_prob = 2.0e-4;   // per write() call
+  std::uint64_t write_chunk_bytes = 8192;
+  Duration attacker_iteration = Duration::micros(41);
+};
+
+/// Predicted uniprocessor success rate for a vi save of `bytes`.
+double vi_uniprocessor_prediction(const ViModelParams& p, std::uint64_t bytes);
+/// Predicted multiprocessor success rate for a vi save of `bytes`.
+double vi_multiprocessor_prediction(const ViModelParams& p,
+                                    std::uint64_t bytes);
+
+}  // namespace tocttou::core

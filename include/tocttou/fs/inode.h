@@ -1,0 +1,93 @@
+// In-memory inode.
+//
+// Every inode carries a semaphore modeling the Linux 2.6 `i_sem`
+// (i_mutex): namespace operations hold the parent directory's semaphore,
+// attribute operations hold the target's. The FIFO hand-off of these
+// semaphores is what arbitrates the paper's races (Section 3.4: "the race
+// is reduced to the competition for the semaphore").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tocttou/fs/types.h"
+#include "tocttou/sim/semaphore.h"
+
+namespace tocttou::fs {
+
+class Inode {
+ public:
+  Inode(Ino ino, FileType type, sim::Uid uid, sim::Gid gid, Mode mode,
+        std::string sem_name)
+      : ino_(ino), type_(type), uid_(uid), gid_(gid), mode_(mode),
+        sem_(std::move(sem_name)) {}
+
+  Inode(const Inode&) = delete;
+  Inode& operator=(const Inode&) = delete;
+
+  Ino ino() const { return ino_; }
+  FileType type() const { return type_; }
+  bool is_dir() const { return type_ == FileType::directory; }
+  bool is_symlink() const { return type_ == FileType::symlink; }
+
+  sim::Uid uid() const { return uid_; }
+  sim::Gid gid() const { return gid_; }
+  Mode mode() const { return mode_; }
+  std::uint64_t size_bytes() const { return size_bytes_; }
+  int nlink() const { return nlink_; }
+  int open_refs() const { return open_refs_; }
+  const std::string& symlink_target() const { return symlink_target_; }
+
+  /// Directory entries (name -> inode). Only valid for directories.
+  const std::map<std::string, Ino>& entries() const { return entries_; }
+
+  sim::Semaphore& sem() { return sem_; }
+  const sim::Semaphore& sem() const { return sem_; }
+
+  /// True while a rename is mutating this directory. Models the Linux
+  /// rename seqlock: concurrent lockless lookups in a directory being
+  /// renamed-into must retry on the slow path (this is what lengthens
+  /// the attacker's stat to ~26us in the paper's Figure 10).
+  bool rename_in_progress() const { return rename_in_progress_; }
+  void set_rename_in_progress(bool v) { rename_in_progress_ = v; }
+
+  /// Mutators used by VFS ops at their commit points (and by tests).
+  void set_mode(Mode m) { mode_ = m; }
+  void set_owner(sim::Uid uid, sim::Gid gid) {
+    uid_ = uid;
+    gid_ = gid;
+  }
+  void set_size_bytes(std::uint64_t n) { size_bytes_ = n; }
+  void add_size_bytes(std::uint64_t n) { size_bytes_ += n; }
+  void set_symlink_target(std::string t) { symlink_target_ = std::move(t); }
+
+  StatBuf to_stat() const {
+    StatBuf s;
+    s.ino = ino_;
+    s.type = type_;
+    s.uid = uid_;
+    s.gid = gid_;
+    s.mode = mode_;
+    s.size_bytes = size_bytes_;
+    return s;
+  }
+
+ private:
+  friend class Vfs;
+
+  Ino ino_;
+  FileType type_;
+  sim::Uid uid_;
+  sim::Gid gid_;
+  Mode mode_;
+  std::uint64_t size_bytes_ = 0;
+  int nlink_ = 0;
+  int open_refs_ = 0;
+  std::string symlink_target_;
+  std::map<std::string, Ino> entries_;
+  sim::Semaphore sem_;
+  bool rename_in_progress_ = false;
+};
+
+}  // namespace tocttou::fs

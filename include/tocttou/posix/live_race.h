@@ -1,0 +1,65 @@
+// Live (real-syscall) TOCTTOU race on the host file system.
+//
+// An unprivileged restaging of the gedit experiment: the "victim" thread
+// performs rename(temp -> target); <gap>; chmod(target); chown(target)
+// while the "attacker" thread polls stat(target) and, on detecting the
+// fresh rename (the inode number changes), runs unlink(target) +
+// symlink(decoy, target). The attack succeeds when the victim's chmod
+// lands on the decoy — the exact analogue of chowning /etc/passwd,
+// without needing root.
+//
+// On a multi-core host with the threads pinned to different CPUs this
+// reproduces the paper's live race; on a single-CPU host it demonstrates
+// the uniprocessor claim (success only when the victim gets preempted
+// inside the gap).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tocttou/common/stats.h"
+
+namespace tocttou::posix {
+
+struct LiveRaceConfig {
+  int rounds = 200;
+  /// Victim-side computation between rename and chmod, in spin-loop
+  /// iterations (~1ns each); 0 reproduces the multi-core "tiny gap".
+  std::uint64_t victim_gap_spins = 30000;
+  /// Attacker v2 trick: pre-fault unlink/symlink before the race.
+  bool prefault_attacker = true;
+  /// Pin victim to CPU 0 and attacker to CPU 1 when possible.
+  bool pin_threads = true;
+  std::uint64_t file_bytes = 4096;
+};
+
+struct LiveRaceResult {
+  int rounds = 0;
+  int successes = 0;
+  int detections = 0;
+  double success_rate() const {
+    return rounds == 0 ? 0.0
+                       : static_cast<double>(successes) / rounds;
+  }
+  bool threads_pinned = false;
+  int cpus = 1;
+  /// Per-round victim window (rename return -> chmod call), microseconds.
+  RunningStats window_us;
+  /// Attacker detection-loop iteration cost, microseconds.
+  RunningStats iteration_us;
+};
+
+/// Runs the live race. Throws std::runtime_error on host I/O failures.
+LiveRaceResult run_live_race(const LiveRaceConfig& cfg);
+
+/// Measures the host's raw syscall costs (stat/unlink/symlink/rename on
+/// scratch files), for the D-side of the model. Values in microseconds.
+struct HostSyscallCosts {
+  double stat_us = 0.0;
+  double unlink_us = 0.0;
+  double symlink_us = 0.0;
+  double rename_us = 0.0;
+};
+HostSyscallCosts measure_host_syscall_costs(int iterations = 2000);
+
+}  // namespace tocttou::posix

@@ -1,0 +1,41 @@
+// Host-filesystem helpers for the live (real-syscall) experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tocttou::posix {
+
+/// RAII temporary directory under $TMPDIR (default /tmp), recursively
+/// removed on destruction.
+class ScratchDir {
+ public:
+  /// Creates e.g. /tmp/tocttou-XXXXXX. Throws std::runtime_error on
+  /// failure.
+  explicit ScratchDir(const std::string& prefix = "tocttou");
+  ~ScratchDir();
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Monotonic clock, nanoseconds.
+std::int64_t now_ns();
+
+/// Best-effort pin of the calling thread to a CPU. Returns false if the
+/// host refuses (single CPU, restricted sandbox, ...).
+bool pin_to_cpu(int cpu);
+
+/// Number of online CPUs.
+int online_cpus();
+
+/// Writes `bytes` of filler to `path` (creating/truncating it).
+void write_file(const std::string& path, std::uint64_t bytes);
+
+}  // namespace tocttou::posix

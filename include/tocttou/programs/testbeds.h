@@ -1,0 +1,31 @@
+// Testbed profiles: machine + syscall costs + program timings for the
+// paper's three experimental platforms.
+#pragma once
+
+#include <string>
+
+#include "tocttou/fs/costs.h"
+#include "tocttou/programs/timings.h"
+#include "tocttou/sim/machine.h"
+
+namespace tocttou::programs {
+
+struct TestbedProfile {
+  std::string name;
+  sim::MachineSpec machine;
+  fs::SyscallCosts costs;
+  ProgramTimings timings;
+};
+
+/// The uniprocessor baseline of Section 4 (same per-CPU speed as the
+/// SMP's Xeons; one CPU).
+TestbedProfile testbed_uniprocessor_xeon();
+
+/// Section 5/6.1's SMP: 2x Intel Xeon 1.7 GHz.
+TestbedProfile testbed_smp_dual_xeon();
+
+/// Section 6.2's multi-core: Pentium D 3.2 GHz dual-core with
+/// Hyper-Threading (4 logical CPUs).
+TestbedProfile testbed_multicore_pentium_d();
+
+}  // namespace tocttou::programs

@@ -1,0 +1,178 @@
+// Victim program models.
+//
+// Each victim reproduces the exact syscall sequence of its real
+// counterpart's save path, with calibrated compute gaps between the
+// calls (ProgramTimings). The victims run as root editing a file owned
+// by the attacker — the paper's precondition list (Section 2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tocttou/fs/vfs.h"
+#include "tocttou/programs/timings.h"
+#include "tocttou/sim/program.h"
+
+namespace tocttou::programs {
+
+/// vi 6.1 save path (Figure 1): the <open, chown> pair. The window spans
+/// the whole buffer write, so its length grows with the file size —
+/// the basis of Figures 6 and 7.
+///
+///   rename(wfname -> backup)
+///   fd = open(wfname, O_CREAT|O_TRUNC|O_WRONLY)   <- window opens
+///   write(fd, ...) xN
+///   close(fd)
+///   chown(wfname, st_old.st_uid, st_old.st_gid)   <- window closes
+struct ViVictimConfig {
+  std::string wfname;
+  std::string backup_name;
+  std::uint64_t file_bytes = 100 * 1024;
+  sim::Uid owner_uid = 500;  // the original owner (the attacker)
+  sim::Gid owner_gid = 500;
+  /// Pre-save "user editing" computation; on a uniprocessor this
+  /// randomizes where the save falls within the victim's time slice.
+  Duration think_time = Duration::zero();
+  /// The Section 8 remedy: restore ownership with fchown(fd) before
+  /// closing instead of chown(path) after — the attr call then binds to
+  /// the inode created by this open() and cannot be redirected.
+  bool fd_attr_remedy = false;
+  ProgramTimings t;
+};
+
+class ViVictim final : public sim::Program {
+ public:
+  ViVictim(fs::Vfs& vfs, ViVictimConfig cfg);
+  sim::Action next(sim::ProgramContext& ctx) override;
+
+ private:
+  enum class Phase {
+    load_open, load_read, load_close,  // startup: read the file into the
+                                       // buffer (pre-faults libc pages)
+    think, rename, pre_open, open, prep_write, write_chunk, between_chunks,
+    pre_close, fchown_fd, close, pre_chown, chown, done,
+  };
+  fs::Vfs& vfs_;
+  ViVictimConfig cfg_;
+  Phase phase_ = Phase::load_open;
+  std::uint64_t written_ = 0;
+  fs::OpenResult open_out_;
+  fs::OpenResult load_out_;
+  Errno err_ = Errno::ok;
+};
+
+/// gedit 2.8.3 save path (Figure 3): the <rename, chown> pair. The
+/// window is only the comp gap between rename and chmod — a few
+/// microseconds — which is why the attack never lands on a uniprocessor
+/// (Section 4.2) but does on multiprocessors (Section 6).
+///
+///   fd = open(temp, O_CREAT|O_EXCL|O_WRONLY); write*; close
+///   rename(real -> backup)
+///   rename(temp -> real)                      <- window opens
+///   chmod(real, st.st_mode)
+///   chown(real, st.st_uid, st.st_gid)         <- window closes
+struct GeditVictimConfig {
+  std::string real_filename;
+  std::string temp_filename;
+  std::string backup_name;
+  std::uint64_t file_bytes = 16 * 1024;
+  sim::Uid owner_uid = 500;
+  sim::Gid owner_gid = 500;
+  fs::Mode owner_mode = 0644;
+  Duration think_time = Duration::zero();
+  /// The Section 8 remedy: fchmod/fchown the scratch fd BEFORE the
+  /// rename, so the renamed file is never root-owned under the watched
+  /// name and there is nothing to detect.
+  bool fd_attr_remedy = false;
+  ProgramTimings t;
+};
+
+class GeditVictim final : public sim::Program {
+ public:
+  GeditVictim(fs::Vfs& vfs, GeditVictimConfig cfg);
+  sim::Action next(sim::ProgramContext& ctx) override;
+
+ private:
+  enum class Phase {
+    load_open, load_read, load_close,  // startup: read the file
+    think, prep, open_temp, write_chunk, between_chunks,
+    fchmod_fd, fchown_fd,  // fd_attr_remedy only
+    close_temp, pre_backup, backup, pre_rename, rename, comp_gap, chmod,
+    chmod_chown_gap, chown, done,
+  };
+  fs::Vfs& vfs_;
+  GeditVictimConfig cfg_;
+  Phase phase_ = Phase::load_open;
+  std::uint64_t written_ = 0;
+  fs::OpenResult open_out_;
+  fs::OpenResult load_out_;
+  Errno err_ = Errno::ok;
+};
+
+/// A victim in the style of the paper's rpm example (Section 3.2): the
+/// process is (almost) always suspended inside its window because the
+/// window contains blocking I/O. On a uniprocessor this makes
+/// P(victim suspended) ~ 1 and the attack succeeds nearly always — the
+/// upper-bound case of the model.
+///
+///   fd = open(path, O_CREAT|O_TRUNC)  <- check (file becomes root-owned)
+///   [sleeps `io_time` on device I/O]
+///   close(fd)
+///   chown(path, owner)                <- use
+struct SuspendingVictimConfig {
+  std::string path;
+  sim::Uid owner_uid = 500;
+  sim::Gid owner_gid = 500;
+  Duration io_time = Duration::millis(5);
+  Duration think_time = Duration::zero();
+};
+
+class SuspendingVictim final : public sim::Program {
+ public:
+  SuspendingVictim(fs::Vfs& vfs, SuspendingVictimConfig cfg);
+  sim::Action next(sim::ProgramContext& ctx) override;
+
+ private:
+  enum class Phase { think, rename_away, check, io, close, use, done };
+  fs::Vfs& vfs_;
+  SuspendingVictimConfig cfg_;
+  Phase phase_ = Phase::think;
+  fs::OpenResult open_out_;
+  Errno err_ = Errno::ok;
+};
+
+/// The classic sendmail-style victim from the paper's introduction:
+/// checks that the mailbox is not a symlink (lstat), then appends to it.
+/// The attack swaps the mailbox for a symlink to /etc/passwd between the
+/// two calls, making sendmail append attacker-controlled bytes to the
+/// password file.
+///
+///   lstat(mbox)  -> must not be a symlink   <- check
+///   fd = open(mbox, O_WRONLY); write(fd); close(fd)  <- use
+struct SendmailVictimConfig {
+  std::string mailbox;
+  std::uint64_t message_bytes = 2 * 1024;
+  Duration check_use_gap = Duration::micros(60);
+  Duration think_time = Duration::zero();
+};
+
+class SendmailVictim final : public sim::Program {
+ public:
+  SendmailVictim(fs::Vfs& vfs, SendmailVictimConfig cfg);
+  sim::Action next(sim::ProgramContext& ctx) override;
+
+  /// True if the check step rejected the mailbox (symlink found in time).
+  bool rejected() const { return rejected_; }
+
+ private:
+  enum class Phase { think, check, gap, open, write, close, done };
+  fs::Vfs& vfs_;
+  SendmailVictimConfig cfg_;
+  Phase phase_ = Phase::think;
+  fs::StatBuf stat_out_;
+  fs::OpenResult open_out_;
+  Errno err_ = Errno::ok;
+  bool rejected_ = false;
+};
+
+}  // namespace tocttou::programs

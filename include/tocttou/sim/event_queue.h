@@ -1,0 +1,59 @@
+// Discrete-event core: a priority queue of timestamped callbacks.
+//
+// Events with equal timestamps fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "tocttou/common/time.h"
+
+namespace tocttou::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `t` (must be >= now()).
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `d` after now().
+  void schedule_after(Duration d, Callback cb) {
+    schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Pops and runs the earliest event, advancing now(). Returns false if
+  /// the queue is empty.
+  bool run_next();
+
+  /// Timestamp of the earliest pending event (never() if empty).
+  SimTime peek_time() const;
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = SimTime::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tocttou::sim

@@ -1,0 +1,107 @@
+// The simulated kernel: event loop, CPUs, dispatching, blocking,
+// semaphores, traps, and tracing. This is the substrate every experiment
+// runs on; see DESIGN.md §4 for the architecture.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tocttou/common/rng.h"
+#include "tocttou/common/time.h"
+#include "tocttou/sim/event_queue.h"
+#include "tocttou/sim/ids.h"
+#include "tocttou/sim/machine.h"
+#include "tocttou/sim/process.h"
+#include "tocttou/sim/scheduler.h"
+#include "tocttou/sim/semaphore.h"
+#include "tocttou/trace/journal.h"
+
+namespace tocttou::sim {
+
+class Kernel {
+ public:
+  /// `sched` supplies policy; `trace` may be nullptr to disable tracing
+  /// (campaign mode records journals only when trace is provided).
+  Kernel(MachineSpec spec, std::unique_ptr<Scheduler> sched,
+         std::uint64_t seed, trace::RoundTrace* trace = nullptr);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Creates a process; it becomes runnable immediately (dispatch happens
+  /// when the event loop next runs).
+  Pid spawn(std::unique_ptr<Program> program, SpawnOptions opts);
+
+  /// Runs until `stop()` returns true (checked after every event), the
+  /// event queue drains, or virtual time exceeds `limit`.
+  /// Returns true if `stop()` fired.
+  bool run_until(const std::function<bool()>& stop,
+                 SimTime limit = SimTime::never());
+
+  /// Runs until every non-kernel process has exited (or limit).
+  bool run_to_exit(SimTime limit = SimTime::never());
+
+  SimTime now() const { return queue_.now(); }
+  const MachineSpec& spec() const { return spec_; }
+  Rng& rng() { return rng_; }
+  trace::RoundTrace* trace() const { return trace_; }
+
+  Process& process(Pid pid);
+  const Process& process(Pid pid) const;
+  std::size_t live_user_processes() const;
+  std::uint64_t events_executed() const { return queue_.executed(); }
+
+  /// Which process currently runs on `cpu` (kNoPid if idle).
+  Pid running_on(CpuId cpu) const;
+
+  /// Emits an instantaneous marker event attributed to `pid`.
+  void mark(Pid pid, std::string label, std::string detail = "");
+
+  /// Spawns the machine's background kernel-thread load (one generator
+  /// per CPU) per spec().background. Call at most once.
+  void start_background_load();
+
+ private:
+  struct CpuState {
+    Pid running = kNoPid;
+    SimTime busy_since;
+  };
+
+  // --- dispatch & execution machinery ---
+  void make_ready(Process& p, bool just_woken);
+  void dispatch(CpuId cpu);
+  void maybe_dispatch_idle_cpus();
+  void continue_process(Process& p);
+  void start_next_action(Process& p);
+  void advance_service(Process& p);
+  void begin_segment(Process& p, Process::SegKind kind, Duration effective,
+                     std::string label);
+  void on_segment_end(Pid pid, std::uint64_t gen);
+  void finish_segment(Process& p, Duration ran);
+  void preempt(Process& p, bool requeue_front);
+  void block_on_sem(Process& p, Semaphore& sem);
+  void release_sem(Process& p, Semaphore& sem);
+  void wake(Pid pid, bool from_io);
+  void handle_exit(Process& p);
+  void complete_service(Process& p, Errno result);
+  void free_cpu(Process& p);
+  void charge(Process& p, Duration ran);
+  void trace_segment(const Process& p, trace::Category cat,
+                     const std::string& label, SimTime begin, SimTime end);
+  std::vector<CpuId> idle_allowed_cpus(const Process& p) const;
+  std::vector<CpuId> allowed_cpus(const Process& p) const;
+
+  MachineSpec spec_;
+  std::unique_ptr<Scheduler> sched_;
+  Rng rng_;
+  trace::RoundTrace* trace_ = nullptr;
+
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Process>> procs_;  // index = pid - 1
+  std::vector<CpuState> cpus_;
+  bool background_started_ = false;
+};
+
+}  // namespace tocttou::sim

@@ -1,0 +1,67 @@
+// Scheduler policy interface.
+//
+// The kernel owns the mechanism (dispatching, preemption plumbing, time
+// accounting); a Scheduler supplies the policy: run-queue order, CPU
+// placement, wakeup preemption, and slice sizing. tocttou/sched provides
+// the Linux-2.6-flavored implementation used by all experiments.
+#pragma once
+
+#include <vector>
+
+#include "tocttou/common/time.h"
+#include "tocttou/sim/ids.h"
+
+namespace tocttou::sim {
+
+class Process;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called when the machine spec is known (before any enqueue).
+  virtual void init(int n_cpus) = 0;
+
+  /// Picks the CPU a newly-runnable process should be enqueued on.
+  /// `idle_cpus` lists currently idle CPUs allowed by the affinity mask;
+  /// `allowed_cpus` lists all allowed CPUs.
+  virtual CpuId place(const Process& p, const std::vector<CpuId>& idle_cpus,
+                      const std::vector<CpuId>& allowed_cpus) = 0;
+
+  /// Enqueues a runnable process on `cpu`'s queue. `front` places it at
+  /// the head of its priority level — used for tasks preempted by a
+  /// wakeup, which must resume before their round-robin peers (as in the
+  /// Linux O(1) scheduler, where a preempted task never left the head of
+  /// its list).
+  virtual void enqueue(Process& p, CpuId cpu, bool front) = 0;
+
+  /// Pops the next process to run on `cpu`; nullptr if the queue is empty.
+  virtual Process* pick_next(CpuId cpu) = 0;
+
+  /// Idle balancing: `thief` has an empty queue; pull a runnable process
+  /// whose affinity allows `thief` from another CPU's queue (nullptr if
+  /// nothing can be migrated). Mirrors the Linux idle-pull path — without
+  /// it, a third process can starve behind a spinner while another CPU
+  /// idles.
+  virtual Process* steal(CpuId thief) = 0;
+
+  /// Removes an exited or migrating process from any queue.
+  virtual void remove(const Process& p) = 0;
+
+  /// True if `woken` (just enqueued on `cpu`) should preempt `running`.
+  virtual bool should_preempt(const Process& woken,
+                              const Process& running) const = 0;
+
+  /// True if a process whose slice expired on `cpu` must yield (i.e.
+  /// someone of equal-or-higher priority is waiting there).
+  virtual bool should_yield_on_expiry(const Process& running,
+                                      CpuId cpu) const = 0;
+
+  /// Fresh time slice for a (re)started process.
+  virtual Duration fresh_slice(const Process& p) const = 0;
+
+  /// Number of queued (not running) processes on `cpu`.
+  virtual std::size_t queue_depth(CpuId cpu) const = 0;
+};
+
+}  // namespace tocttou::sim

@@ -1,0 +1,59 @@
+// Kernel semaphore (binary, FIFO), modeling the Linux 2.6 per-inode
+// `i_sem` that arbitrates the races in the paper: whichever process
+// acquires the semaphore first delays the other's metadata operation —
+// the "cascading effect" of Section 6.1.
+//
+// Semaphores are passive data owned by their creator (the VFS attaches
+// one to every inode); all state transitions are performed by the Kernel.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "tocttou/sim/ids.h"
+
+namespace tocttou::sim {
+
+class Kernel;
+
+class Semaphore {
+ public:
+  explicit Semaphore(std::string name) : name_(std::move(name)) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool held() const { return owner_ != kNoPid; }
+  Pid owner() const { return owner_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  friend class Kernel;
+  std::string name_;
+  Pid owner_ = kNoPid;
+  std::deque<Pid> waiters_;
+};
+
+/// A one-shot user-level event flag (futex-like), used by multithreaded
+/// attack programs to hand work between threads (Section 7's pipelined
+/// attacker). set() wakes all waiters; the flag stays set.
+class EventFlag {
+ public:
+  explicit EventFlag(std::string name) : name_(std::move(name)) {}
+
+  EventFlag(const EventFlag&) = delete;
+  EventFlag& operator=(const EventFlag&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool is_set() const { return set_; }
+  void reset() { set_ = false; }
+
+ private:
+  friend class Kernel;
+  std::string name_;
+  bool set_ = false;
+  std::deque<Pid> waiters_;
+};
+
+}  // namespace tocttou::sim

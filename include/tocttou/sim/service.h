@@ -1,0 +1,95 @@
+// Service operations: kernel-side state machines for syscalls.
+//
+// A `ServiceOp` is the simulated analogue of a syscall implementation.
+// The process's program constructs one (the VFS provides factories for
+// every file-system call) and yields it as an Action; the kernel then
+// repeatedly calls advance(), honoring each returned Step:
+//
+//   work(d)        consume d of CPU time in kernel mode (non-preemptible;
+//                  the time is still charged against the time slice)
+//   acquire(sem)   take a semaphore, blocking in FIFO order if held
+//   release(sem)   release a semaphore (must be held by this process)
+//   block_io(d)    sleep on simulated device I/O for d (CPU is released)
+//   done(errno)    the syscall returns
+//
+// Between steps the op may mutate VFS state directly — mutations are
+// instantaneous at the current virtual time, which is exactly the
+// linearization-point semantics the paper's analysis assumes (a rename is
+// visible the moment it happens inside the semaphore-protected section).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "tocttou/common/error.h"
+#include "tocttou/common/rng.h"
+#include "tocttou/common/time.h"
+#include "tocttou/sim/ids.h"
+#include "tocttou/sim/semaphore.h"
+
+namespace tocttou::trace {
+struct SyscallRecord;
+}
+
+namespace tocttou::sim {
+
+class Kernel;
+class Process;
+
+struct Step {
+  enum class Kind { work, acquire, release, block_io, done };
+  Kind kind = Kind::done;
+  Duration dur = Duration::zero();
+  Semaphore* sem = nullptr;
+  Errno result = Errno::ok;
+
+  static Step work(Duration d) { return {Kind::work, d, nullptr, Errno::ok}; }
+  static Step acquire(Semaphore* s) {
+    return {Kind::acquire, Duration::zero(), s, Errno::ok};
+  }
+  static Step release(Semaphore* s) {
+    return {Kind::release, Duration::zero(), s, Errno::ok};
+  }
+  static Step block_io(Duration d) {
+    return {Kind::block_io, d, nullptr, Errno::ok};
+  }
+  static Step done(Errno e = Errno::ok) {
+    return {Kind::done, Duration::zero(), nullptr, e};
+  }
+};
+
+/// Execution context handed to ServiceOp::advance.
+struct ServiceContext {
+  Kernel& kernel;
+  Process& proc;
+  Rng& rng;
+  SimTime now;
+};
+
+class ServiceOp {
+ public:
+  virtual ~ServiceOp() = default;
+
+  /// Trace label, e.g. "stat", "unlink".
+  virtual std::string_view name() const = 0;
+
+  /// Advances the state machine; called once at syscall entry and again
+  /// after each non-done step completes.
+  virtual Step advance(ServiceContext& ctx) = 0;
+
+  /// Identifier of the libc page holding this call's user-space wrapper.
+  /// The kernel injects a page-fault trap the first time a process issues
+  /// a call from a page it has not touched yet — the effect that dooms
+  /// attack program v1 on the multi-core (Section 6.2.1). Return
+  /// kNoLibcPage to opt out.
+  virtual int libc_page() const { return kNoLibcPage; }
+
+  /// Called once when the op completes so the op can attach structured
+  /// results (observed uid/gid, paths) to the trace journal.
+  virtual void fill_record(trace::SyscallRecord& rec) const { (void)rec; }
+
+  static constexpr int kNoLibcPage = -1;
+};
+
+}  // namespace tocttou::sim

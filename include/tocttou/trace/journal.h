@@ -1,0 +1,81 @@
+// Structured per-syscall journal.
+//
+// The Gantt/trace events in trace.h are for humans; analysis code wants
+// structured data: exact enter/exit times, the observed stat() results
+// (how the attacker's detection loop sees the world), and which inode an
+// operation was finally applied to (how we judge attack success, and how
+// the window analyzer finds t1/t2/t3). The kernel appends one record per
+// completed syscall.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tocttou/common/error.h"
+#include "tocttou/common/time.h"
+#include "tocttou/trace/trace.h"
+
+namespace tocttou::trace {
+
+struct SyscallRecord {
+  Pid pid = 0;
+  std::string name;       // "stat", "rename", ...
+  SimTime enter;          // syscall entry (after any libc trap)
+  SimTime exit;           // syscall return
+  Errno result = Errno::ok;
+  std::string path;       // primary path argument, if any
+  std::string path2;      // secondary path (rename newpath, symlink linkpath)
+
+  // stat/lstat: attributes observed.
+  std::optional<std::uint32_t> st_uid;
+  std::optional<std::uint32_t> st_gid;
+  std::optional<std::uint64_t> st_ino;
+
+  // Mutating calls: the inode the operation was applied to after path
+  // resolution (e.g. chown through a symlink reports the target's inode).
+  std::optional<std::uint64_t> applied_ino;
+
+  Duration length() const { return exit - enter; }
+};
+
+class SyscallJournal {
+ public:
+  void add(SyscallRecord rec) { records_.push_back(std::move(rec)); }
+  const std::vector<SyscallRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// CSV export (enter_us,exit_us,pid,name,result,path,path2,st_uid,
+  /// st_gid,st_ino,applied_ino) for offline analysis/plotting.
+  std::string to_csv() const;
+
+  /// All records of `pid` named `name`, in enter-time order.
+  std::vector<SyscallRecord> for_pid(Pid pid, std::string_view name) const;
+
+  /// First record of `pid` named `name` entering at or after `from`.
+  std::optional<SyscallRecord> first(Pid pid, std::string_view name,
+                                     SimTime from = SimTime::origin()) const;
+
+ private:
+  std::vector<SyscallRecord> records_;
+};
+
+/// Bundle passed around by the kernel: human-readable events plus the
+/// structured journal for one simulated round.
+///
+/// `log_events` can be cleared to record only the (much cheaper) syscall
+/// journal — campaign mode uses this to measure L and D over hundreds of
+/// rounds without paying for full Gantt-grade event logs.
+struct RoundTrace {
+  TraceLog log;
+  SyscallJournal journal;
+  bool log_events = true;
+  void clear() {
+    log.clear();
+    journal.clear();
+  }
+};
+
+}  // namespace tocttou::trace

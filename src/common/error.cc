@@ -1,0 +1,39 @@
+#include "tocttou/common/error.h"
+
+namespace tocttou {
+
+const char* to_string(Errno e) {
+  switch (e) {
+    case Errno::ok:
+      return "OK";
+    case Errno::enoent:
+      return "ENOENT";
+    case Errno::eexist:
+      return "EEXIST";
+    case Errno::eacces:
+      return "EACCES";
+    case Errno::eperm:
+      return "EPERM";
+    case Errno::enotdir:
+      return "ENOTDIR";
+    case Errno::eisdir:
+      return "EISDIR";
+    case Errno::eloop:
+      return "ELOOP";
+    case Errno::ebadf:
+      return "EBADF";
+    case Errno::einval:
+      return "EINVAL";
+    case Errno::enotempty:
+      return "ENOTEMPTY";
+    case Errno::emfile:
+      return "EMFILE";
+    case Errno::enametoolong:
+      return "ENAMETOOLONG";
+    case Errno::exdev:
+      return "EXDEV";
+  }
+  return "E???";
+}
+
+}  // namespace tocttou

@@ -1,0 +1,175 @@
+#include "tocttou/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tocttou/common/error.h"
+#include "tocttou/common/strings.h"
+
+namespace tocttou {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStats::summary() const {
+  return strfmt("n=%zu mean=%.3f stdev=%.3f min=%.3f max=%.3f", n_, mean(),
+                stdev(), min(), max());
+}
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stdev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Samples::quantile(double q) const {
+  TOCTTOU_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+void SuccessCounter::record(bool success) {
+  ++trials_;
+  if (success) ++successes_;
+}
+
+double SuccessCounter::rate() const {
+  return trials_ == 0
+             ? 0.0
+             : static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+std::pair<double, double> SuccessCounter::wilson95() const {
+  if (trials_ == 0) return {0.0, 1.0};
+  const double z = 1.959963985;  // 97.5th percentile of N(0,1)
+  const double n = static_cast<double>(trials_);
+  const double p = rate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TOCTTOU_CHECK(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += (c == 0 ? "| " : " | ");
+      out += pad_right(cells[c], widths[c]);
+    }
+    out += " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += (c == 0 ? "|-" : "-|-");
+    out += std::string(widths[c], '-');
+  }
+  out += "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  return strfmt("%.*f", precision, v);
+}
+
+std::string TextTable::pct(double v, int precision) {
+  return strfmt("%.*f%%", precision, v * 100.0);
+}
+
+}  // namespace tocttou

@@ -1,0 +1,26 @@
+#include "tocttou/common/time.h"
+
+#include "tocttou/common/strings.h"
+
+namespace tocttou {
+
+std::string Duration::to_string() const {
+  const double abs_ns = ns_ < 0 ? -static_cast<double>(ns_)
+                                : static_cast<double>(ns_);
+  if (abs_ns < 1000.0) {
+    return strfmt("%ldns", static_cast<long>(ns_));
+  }
+  if (abs_ns < 1'000'000.0) {
+    return strfmt("%.1fus", us());
+  }
+  if (abs_ns < 1'000'000'000.0) {
+    return strfmt("%.3fms", ms());
+  }
+  return strfmt("%.3fs", ms() / 1000.0);
+}
+
+std::string SimTime::to_string() const {
+  return strfmt("t=%.1fus", us());
+}
+
+}  // namespace tocttou

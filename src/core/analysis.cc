@@ -1,0 +1,137 @@
+#include "tocttou/core/analysis.h"
+
+#include <algorithm>
+
+#include "tocttou/core/model.h"
+
+namespace tocttou::core {
+
+WindowSpec WindowSpec::vi(std::string wfname) {
+  WindowSpec s;
+  s.check_call = "open";
+  s.check_on_path2 = false;
+  s.use_call = "chown";
+  s.path = std::move(wfname);
+  return s;
+}
+
+WindowSpec WindowSpec::gedit(std::string real_filename) {
+  WindowSpec s;
+  s.check_call = "rename";
+  s.check_on_path2 = true;  // rename(temp -> real): real is path2
+  s.use_call = "chmod";
+  s.path = std::move(real_filename);
+  return s;
+}
+
+std::optional<double> WindowMeasurement::predicted_rate() const {
+  if (!laxity || !d || *d <= Duration::zero()) return std::nullopt;
+  return laxity_success_rate(*laxity, *d);
+}
+
+WindowMeasurement analyze_window(const trace::SyscallJournal& journal,
+                                 trace::Pid victim, trace::Pid attacker,
+                                 const WindowSpec& spec,
+                                 DConvention convention) {
+  WindowMeasurement m;
+
+  // --- victim side: window_open (check exit) and t3 (use enter) ---
+  // The victim may issue the check call several times on the watched
+  // path (e.g. vi opens the file read-only at startup and again, with
+  // O_CREAT, during the save). The vulnerability window is the TIGHTEST
+  // <check, use> pair: for each successful check, find the first use
+  // after it and keep the pair with the smallest gap.
+  std::vector<trace::SyscallRecord> checks;
+  for (const auto& r : journal.records()) {
+    if (r.pid != victim || r.name != spec.check_call) continue;
+    if (r.result != Errno::ok) continue;
+    const std::string& p = spec.check_on_path2 ? r.path2 : r.path;
+    if (p != spec.path) continue;
+    checks.push_back(r);
+  }
+  if (checks.empty()) return m;
+  std::vector<trace::SyscallRecord> uses;
+  for (const auto& r : journal.records()) {
+    if (r.pid == victim && r.name == spec.use_call && r.path == spec.path) {
+      uses.push_back(r);
+    }
+  }
+  std::optional<Duration> best_gap;
+  for (const auto& c : checks) {
+    std::optional<trace::SyscallRecord> first_use;
+    for (const auto& u : uses) {
+      if (u.enter >= c.exit && (!first_use || u.enter < first_use->enter)) {
+        first_use = u;
+      }
+    }
+    if (!first_use) continue;
+    const Duration gap = first_use->enter - c.exit;
+    if (!best_gap || gap < *best_gap) {
+      best_gap = gap;
+      m.window_found = true;
+      m.window_open = c.exit;
+      m.t3 = first_use->enter;
+    }
+  }
+  if (!m.window_found) return m;
+
+  // --- attacker side: detection stats on the watched path ---
+  const auto stats = journal.for_pid(attacker, "stat");
+  std::optional<trace::SyscallRecord> detect;
+  for (const auto& r : stats) {
+    if (r.path != spec.path) continue;
+    if (r.result == Errno::ok && r.st_uid && *r.st_uid == 0 && r.st_gid &&
+        *r.st_gid == 0) {
+      if (!detect || r.enter < detect->enter) detect = r;
+    }
+  }
+  if (!detect) return m;
+  m.detected = true;
+  // Effective detection start: a stat that *entered* before the window
+  // opened (blocked on the directory semaphore behind the check call)
+  // cannot logically have begun observing the window before it existed,
+  // so clamp t1 to the window-open instant. The paper's t1 ("earliest
+  // observed start time of stat which indicates a vulnerability window")
+  // has the same intent; without the clamp L is systematically inflated
+  // by up to one blocked-stat duration.
+  m.t1 = max(detect->enter, m.window_open);
+
+  // --- D per convention ---
+  switch (convention) {
+    case DConvention::loop_iteration: {
+      // Mean period between consecutive detection-loop stats up to and
+      // including the detecting one.
+      Duration total = Duration::zero();
+      int gaps = 0;
+      std::optional<SimTime> prev;
+      for (const auto& r : stats) {
+        if (r.path != spec.path) continue;
+        if (r.enter > detect->enter) break;
+        if (prev) {
+          total += r.enter - *prev;
+          ++gaps;
+        }
+        prev = r.enter;
+      }
+      if (gaps > 0) m.d = total / gaps;
+      break;
+    }
+    case DConvention::stat_to_unlink: {
+      // Interval from the detecting stat's start to the unlink's start
+      // (includes post-detection computation and any libc trap).
+      std::optional<trace::SyscallRecord> unlink;
+      for (const auto& r : journal.for_pid(attacker, "unlink")) {
+        if (r.path == spec.path && r.enter >= detect->enter) {
+          if (!unlink || r.enter < unlink->enter) unlink = r;
+        }
+      }
+      if (unlink) m.d = unlink->enter - m.t1;  // from the effective start
+      break;
+    }
+  }
+
+  if (m.d) m.laxity = (m.t3 - *m.d) - m.t1;
+  return m;
+}
+
+}  // namespace tocttou::core

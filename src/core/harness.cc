@@ -1,0 +1,295 @@
+#include "tocttou/core/harness.h"
+
+#include <memory>
+
+#include "tocttou/common/strings.h"
+#include "tocttou/fs/vfs.h"
+#include "tocttou/programs/attackers.h"
+#include "tocttou/programs/victims.h"
+#include "tocttou/sched/linux_sched.h"
+#include "tocttou/sim/kernel.h"
+
+namespace tocttou::core {
+
+const char* to_string(VictimKind v) {
+  switch (v) {
+    case VictimKind::vi:
+      return "vi";
+    case VictimKind::gedit:
+      return "gedit";
+    case VictimKind::suspending:
+      return "suspending";
+    case VictimKind::sendmail:
+      return "sendmail";
+  }
+  return "?";
+}
+
+const char* to_string(AttackerKind a) {
+  switch (a) {
+    case AttackerKind::naive:
+      return "naive";
+    case AttackerKind::prefaulted:
+      return "prefaulted";
+    case AttackerKind::pipelined:
+      return "pipelined";
+    case AttackerKind::none:
+      return "none";
+  }
+  return "?";
+}
+
+DConvention d_convention_for(VictimKind v) {
+  // vi (Table 1) uses the loop-iteration period; gedit (Table 2) the
+  // stat-start -> unlink-start interval.
+  return v == VictimKind::gedit ? DConvention::stat_to_unlink
+                                : DConvention::loop_iteration;
+}
+
+WindowSpec window_spec_for(const ScenarioConfig& cfg) {
+  switch (cfg.victim) {
+    case VictimKind::gedit:
+      return WindowSpec::gedit(cfg.watched_path);
+    case VictimKind::vi:
+      return WindowSpec::vi(cfg.watched_path);
+    case VictimKind::suspending: {
+      WindowSpec s;
+      s.check_call = "open";
+      s.use_call = "chown";
+      s.path = cfg.watched_path;
+      return s;
+    }
+    case VictimKind::sendmail: {
+      WindowSpec s;
+      s.check_call = "lstat";
+      s.use_call = "open";
+      s.path = cfg.watched_path;
+      return s;
+    }
+  }
+  return WindowSpec::vi(cfg.watched_path);
+}
+
+namespace {
+
+using programs::AttackTarget;
+
+Duration default_think(const ScenarioConfig& cfg, Rng& rng) {
+  if (cfg.victim_think) return *cfg.victim_think;
+  if (cfg.profile.machine.n_cpus == 1) {
+    // Randomize where the save falls within the victim's time slice.
+    return rng.uniform_duration(Duration::zero(),
+                                cfg.profile.machine.timeslice * 2.0);
+  }
+  return rng.uniform_duration(Duration::micros(200), Duration::millis(1));
+}
+
+}  // namespace
+
+RoundResult run_round(const ScenarioConfig& cfg) {
+  RoundResult res;
+  Rng setup_rng(mix_seed(cfg.seed, 0xA11CE));
+
+  // --- file system tree ---
+  fs::Vfs vfs(cfg.profile.costs);
+  vfs.mkdir_p("/etc", 0, 0, 0755);
+  const fs::Ino passwd =
+      vfs.create_file(cfg.evil_target, 0, 0, 0644, 1536);
+  vfs.mkdir_p("/home/alice", cfg.attacker_uid, cfg.attacker_gid, 0755);
+  vfs.mkdir_p("/tmp", 0, 0, 0777);
+  vfs.create_file(cfg.watched_path, cfg.attacker_uid, cfg.attacker_gid, 0644,
+                  cfg.file_bytes);
+  vfs.create_file(cfg.dummy_path, cfg.attacker_uid, cfg.attacker_gid, 0644, 0);
+
+  // --- kernel ---
+  const bool tracing = cfg.record_journal || cfg.record_events;
+  res.trace.log_events = cfg.record_events;
+  auto sched = std::make_unique<sched::LinuxLikeScheduler>(
+      sched::LinuxSchedParams{cfg.profile.machine.timeslice,
+                              /*wake_preempts_equal_priority=*/true});
+  sim::Kernel kernel(cfg.profile.machine, std::move(sched),
+                     mix_seed(cfg.seed, 0x5EED), tracing ? &res.trace : nullptr);
+  if (cfg.background_load) kernel.start_background_load();
+
+  // --- attacker(s): spawned first — they are waiting for the admin ---
+  const auto& t = cfg.profile.timings;
+  AttackTarget target{cfg.watched_path, cfg.evil_target, cfg.dummy_path};
+  const Duration loop_comp = (cfg.victim == VictimKind::vi)
+                                 ? t.atk_loop_comp_vi
+                                 : t.atk_loop_comp_gedit;
+  sim::SpawnOptions aopts;
+  aopts.name = "attacker";
+  aopts.uid = cfg.attacker_uid;
+  aopts.gid = cfg.attacker_gid;
+
+  const programs::NaiveAttacker* naive = nullptr;
+  const programs::PrefaultedAttacker* prefaulted = nullptr;
+  auto pipeline_state = std::make_unique<programs::PipelinedAttackState>();
+  switch (cfg.attacker) {
+    case AttackerKind::naive: {
+      auto prog = std::make_unique<programs::NaiveAttacker>(
+          vfs, target, loop_comp, t.atk_post_detect_comp);
+      naive = prog.get();
+      res.attacker_pid = kernel.spawn(std::move(prog), aopts);
+      break;
+    }
+    case AttackerKind::prefaulted: {
+      auto prog = std::make_unique<programs::PrefaultedAttacker>(
+          vfs, target, t.atk_v2_comp);
+      prefaulted = prog.get();
+      res.attacker_pid = kernel.spawn(std::move(prog), aopts);
+      break;
+    }
+    case AttackerKind::pipelined: {
+      auto main = std::make_unique<programs::PipelinedAttackerMain>(
+          vfs, target, loop_comp, t.atk_thread_handoff, pipeline_state.get());
+      auto helper = std::make_unique<programs::PipelinedAttackerSymlinker>(
+          vfs, target, t.atk_thread_handoff, pipeline_state.get());
+      res.attacker_pid = kernel.spawn(std::move(main), aopts);
+      sim::SpawnOptions hopts = aopts;
+      hopts.name = "attacker/symlink";
+      res.attacker_pid2 = kernel.spawn(std::move(helper), hopts);
+      break;
+    }
+    case AttackerKind::none:
+      break;
+  }
+
+  // --- victim (root) ---
+  const Duration think = default_think(cfg, setup_rng);
+  sim::SpawnOptions vopts;
+  vopts.name = to_string(cfg.victim);
+  vopts.uid = 0;
+  vopts.gid = 0;
+  std::unique_ptr<sim::Program> vic;
+  switch (cfg.victim) {
+    case VictimKind::vi: {
+      programs::ViVictimConfig vc;
+      vc.wfname = cfg.watched_path;
+      vc.backup_name = cfg.watched_path + "~";
+      vc.file_bytes = cfg.file_bytes;
+      vc.owner_uid = cfg.attacker_uid;
+      vc.owner_gid = cfg.attacker_gid;
+      vc.think_time = think;
+      vc.fd_attr_remedy = cfg.defended_victim;
+      vc.t = t;
+      vic = std::make_unique<programs::ViVictim>(vfs, vc);
+      break;
+    }
+    case VictimKind::gedit: {
+      programs::GeditVictimConfig gc;
+      gc.real_filename = cfg.watched_path;
+      gc.temp_filename = "/home/alice/.goutputstream-sim";
+      gc.backup_name = cfg.watched_path + "~";
+      gc.file_bytes = cfg.file_bytes;
+      gc.owner_uid = cfg.attacker_uid;
+      gc.owner_gid = cfg.attacker_gid;
+      gc.think_time = think;
+      gc.fd_attr_remedy = cfg.defended_victim;
+      gc.t = t;
+      vic = std::make_unique<programs::GeditVictim>(vfs, gc);
+      break;
+    }
+    case VictimKind::suspending: {
+      programs::SuspendingVictimConfig sc;
+      sc.path = cfg.watched_path;
+      sc.owner_uid = cfg.attacker_uid;
+      sc.owner_gid = cfg.attacker_gid;
+      sc.think_time = think;
+      vic = std::make_unique<programs::SuspendingVictim>(vfs, sc);
+      break;
+    }
+    case VictimKind::sendmail: {
+      programs::SendmailVictimConfig mc;
+      mc.mailbox = cfg.watched_path;
+      mc.think_time = think;
+      vic = std::make_unique<programs::SendmailVictim>(vfs, mc);
+      break;
+    }
+  }
+  const sim::Pid victim_pid = kernel.spawn(std::move(vic), vopts);
+  res.victim_pid = victim_pid;
+
+  // --- run: until the victim exits, then drain the attack briefly ---
+  const SimTime limit = SimTime::origin() + cfg.round_limit;
+  const bool victim_done = kernel.run_until(
+      [&] { return kernel.process(victim_pid).exited(); }, limit);
+  res.victim_completed = victim_done;
+  if (cfg.attacker != AttackerKind::none) {
+    kernel.run_until(
+        [&] {
+          if (!kernel.process(res.attacker_pid).exited()) return false;
+          return res.attacker_pid2 == 0 ||
+                 kernel.process(res.attacker_pid2).exited();
+        },
+        min(limit, kernel.now() + Duration::millis(2)));
+  }
+  res.end_time = kernel.now();
+  res.events = kernel.events_executed();
+
+  // --- judge ---
+  const fs::Inode& pw = vfs.inode(passwd);
+  res.success = (pw.uid() == cfg.attacker_uid);
+  if (cfg.victim == VictimKind::sendmail) {
+    // sendmail success = the message bytes were appended to /etc/passwd.
+    res.success = (pw.size_bytes() > 1536);
+  }
+  if (naive != nullptr) {
+    res.attacker_finished = naive->status().attack_done;
+    res.attacker_iterations = naive->status().iterations;
+  } else if (prefaulted != nullptr) {
+    res.attacker_finished = prefaulted->status().attack_done;
+    res.attacker_iterations = prefaulted->status().iterations;
+  } else if (cfg.attacker == AttackerKind::pipelined) {
+    res.attacker_finished = pipeline_state->status.attack_done;
+    res.attacker_iterations = pipeline_state->status.iterations;
+  }
+
+  if (cfg.record_journal && cfg.attacker != AttackerKind::none) {
+    res.window =
+        analyze_window(res.trace.journal, victim_pid, res.attacker_pid,
+                       window_spec_for(cfg), d_convention_for(cfg.victim));
+  }
+  return res;
+}
+
+CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
+                           bool measure_ld) {
+  CampaignStats stats;
+  for (int i = 0; i < rounds; ++i) {
+    ScenarioConfig round_cfg = cfg;
+    round_cfg.seed = mix_seed(cfg.seed, static_cast<std::uint64_t>(i));
+    round_cfg.record_journal = measure_ld;
+    round_cfg.record_events = false;
+    const RoundResult r = run_round(round_cfg);
+    stats.success.record(r.success);
+    stats.total_events += r.events;
+    if (!r.victim_completed) ++stats.anomalies;
+    if (r.window) {
+      stats.detected.record(r.window->detected);
+      if (r.window->window_found) {
+        stats.victim_window_us.add(r.window->victim_window().us());
+      }
+      if (r.window->laxity) stats.laxity_us.add(r.window->laxity->us());
+      if (r.window->d) stats.detection_us.add(r.window->d->us());
+    }
+  }
+  return stats;
+}
+
+std::string CampaignStats::summary() const {
+  const auto [lo, hi] = success.wilson95();
+  std::string out = strfmt(
+      "success %zu/%zu = %.1f%% (95%% CI %.1f-%.1f%%)",
+      success.successes(), success.trials(), success.rate() * 100.0,
+      lo * 100.0, hi * 100.0);
+  if (!laxity_us.empty()) {
+    out += strfmt("; L=%.1f±%.2fus D=%.1f±%.2fus", laxity_us.mean(),
+                  laxity_us.stdev(), detection_us.mean(),
+                  detection_us.stdev());
+  }
+  if (anomalies > 0) out += strfmt("; anomalies=%d", anomalies);
+  return out;
+}
+
+}  // namespace tocttou::core

@@ -1,0 +1,125 @@
+#include "tocttou/core/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tocttou/common/error.h"
+
+namespace tocttou::core {
+
+double laxity_success_rate(Duration laxity, Duration detection) {
+  TOCTTOU_CHECK(detection > Duration::zero(), "D must be positive");
+  if (laxity < Duration::zero()) return 0.0;
+  if (laxity >= detection) return 1.0;
+  return laxity / detection;
+}
+
+double laxity_success_rate(double l_over_d) {
+  return std::clamp(l_over_d, 0.0, 1.0);
+}
+
+double noisy_laxity_success_rate(Duration l_mean, Duration l_stdev,
+                                 Duration d_mean, Duration d_stdev,
+                                 std::size_t samples, std::uint64_t seed) {
+  TOCTTOU_CHECK(d_mean > Duration::zero(), "D must be positive");
+  TOCTTOU_CHECK(samples > 0, "need at least one sample");
+  Rng rng(seed);
+  const Duration d_floor = Duration::micros(1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto l = Duration::nanos(static_cast<std::int64_t>(
+        rng.normal(static_cast<double>(l_mean.ns()),
+                   static_cast<double>(l_stdev.ns()))));
+    const auto d = max(d_floor,
+                       rng.normal_duration(d_mean, d_stdev, d_floor));
+    acc += laxity_success_rate(l, d);
+  }
+  return acc / static_cast<double>(samples);
+}
+
+double Equation1::success() const {
+  auto check = [](double p) {
+    TOCTTOU_CHECK(p >= 0.0 && p <= 1.0, "probabilities must be in [0,1]");
+    return p;
+  };
+  const double ps = check(p_victim_suspended);
+  return ps * check(p_sched_given_suspended) *
+             check(p_finish_given_suspended) +
+         (1.0 - ps) * check(p_sched_given_running) *
+             check(p_finish_given_running);
+}
+
+Equation1 Equation1::uniprocessor(double p_victim_suspended,
+                                  double p_sched_given_suspended,
+                                  double p_finish_given_suspended) {
+  Equation1 e;
+  e.p_victim_suspended = p_victim_suspended;
+  e.p_sched_given_suspended = p_sched_given_suspended;
+  e.p_finish_given_suspended = p_finish_given_suspended;
+  e.p_sched_given_running = 0.0;  // cannot run while the victim runs
+  e.p_finish_given_running = 0.0;
+  return e;
+}
+
+Equation1 Equation1::multiprocessor(double p_victim_suspended,
+                                    Duration laxity, Duration detection) {
+  Equation1 e;
+  e.p_victim_suspended = p_victim_suspended;
+  e.p_sched_given_suspended = 1.0;
+  e.p_finish_given_suspended = 1.0;
+  e.p_sched_given_running = 1.0;  // dedicated CPU
+  e.p_finish_given_running = laxity_success_rate(laxity, detection);
+  return e;
+}
+
+double p_suspended_timeslice(Duration window, Duration quantum) {
+  TOCTTOU_CHECK(quantum > Duration::zero(), "quantum must be positive");
+  if (window <= Duration::zero()) return 0.0;
+  return std::min(1.0, window / quantum);
+}
+
+double p_suspended_io(double stall_prob_per_call, std::size_t calls) {
+  TOCTTOU_CHECK(stall_prob_per_call >= 0.0 && stall_prob_per_call <= 1.0,
+                "probability out of range");
+  return 1.0 - std::pow(1.0 - stall_prob_per_call,
+                        static_cast<double>(calls));
+}
+
+double combine_suspension(std::initializer_list<double> sources) {
+  double stay = 1.0;
+  for (double p : sources) {
+    TOCTTOU_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
+    stay *= 1.0 - p;
+  }
+  return 1.0 - stay;
+}
+
+namespace {
+Duration vi_window(const ViModelParams& p, std::uint64_t bytes) {
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  return p.window_base + p.window_per_kb * kb;
+}
+}  // namespace
+
+double vi_uniprocessor_prediction(const ViModelParams& p,
+                                  std::uint64_t bytes) {
+  const Duration window = vi_window(p, bytes);
+  const auto writes = static_cast<std::size_t>(
+      (bytes + p.write_chunk_bytes - 1) / p.write_chunk_bytes);
+  const double p_susp = combine_suspension(
+      {p_suspended_timeslice(window, p.quantum),
+       p_suspended_io(p.write_stall_prob, writes)});
+  return Equation1::uniprocessor(p_susp).success();
+}
+
+double vi_multiprocessor_prediction(const ViModelParams& p,
+                                    std::uint64_t bytes) {
+  const Duration window = vi_window(p, bytes);
+  // L ~ window - D (the last detection chance is one iteration before
+  // the chown); any suspension only widens the window.
+  const Duration laxity = window - p.attacker_iteration;
+  return Equation1::multiprocessor(0.0, laxity, p.attacker_iteration)
+      .success();
+}
+
+}  // namespace tocttou::core

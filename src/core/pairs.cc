@@ -1,0 +1,154 @@
+#include "tocttou/core/pairs.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tocttou::core {
+
+namespace {
+
+bool in(std::string_view name, std::initializer_list<const char*> set) {
+  return std::any_of(set.begin(), set.end(),
+                     [&](const char* c) { return name == c; });
+}
+
+// Check set: calls that establish an invariant about a name — either by
+// observing it (stat family) or by creating/placing it (creation set).
+// This follows the CUU model of the FAST'05 anatomy study: gedit's
+// <rename, chown> pair has a *creation* call as its check.
+bool establishes(std::string_view name) {
+  return in(name, {"stat", "lstat", "access", "readlink", "open", "rename",
+                   "symlink", "mkdir", "link"});
+}
+
+// Use set: calls that act on a name assuming an earlier invariant.
+bool uses(std::string_view name) {
+  return in(name, {"open", "chown", "chmod", "rename", "unlink", "symlink",
+                   "link", "mkdir"});
+}
+
+}  // namespace
+
+CallClass classify_call(std::string_view name) {
+  const bool c = establishes(name);
+  const bool u = uses(name);
+  if (c && u) return CallClass::both;
+  if (c) return CallClass::check;
+  if (u) return CallClass::use;
+  return CallClass::neither;
+}
+
+bool is_check_call(std::string_view name) { return establishes(name); }
+bool is_use_call(std::string_view name) { return uses(name); }
+
+const std::vector<PairShape>& known_pair_shapes() {
+  static const std::vector<PairShape> shapes = {
+      {"open", "chown",
+       "vi 6.1 save path: creates the file as root, then gives it back"},
+      {"rename", "chown",
+       "gedit 2.8.3 save path: renames the scratch file, then restores "
+       "ownership"},
+      {"rename", "chmod",
+       "gedit 2.8.3 save path: the chmod immediately before the chown"},
+      {"lstat", "open",
+       "sendmail-style mailbox append: checks for a symlink, then opens"},
+      {"stat", "open", "generic existence check followed by open"},
+      {"stat", "chown", "generic attribute check followed by ownership change"},
+      {"access", "open", "the classic setuid access(2)/open(2) pair"},
+      {"stat", "unlink", "cleanup daemons: check age/owner, then remove"},
+      {"stat", "mkdir", "temp-dir creation after an existence probe"},
+  };
+  return shapes;
+}
+
+std::vector<DetectedPair> find_pairs(const trace::SyscallJournal& journal,
+                                     trace::Pid pid) {
+  std::vector<const trace::SyscallRecord*> recs;
+  for (const auto& r : journal.records()) {
+    if (r.pid == pid && !r.path.empty()) recs.push_back(&r);
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const trace::SyscallRecord* a, const trace::SyscallRecord* b) {
+              return a->enter < b->enter;
+            });
+
+  struct Pending {
+    std::string call;
+    SimTime exit;
+  };
+  std::map<std::string, Pending> last_check;
+  std::vector<DetectedPair> out;
+
+  for (const auto* r : recs) {
+    // The name(s) this call acts on: path always; rename also acts on
+    // (and then establishes) its new name path2.
+    if (uses(r->name)) {
+      auto it = last_check.find(r->path);
+      if (it != last_check.end() && r->enter > it->second.exit) {
+        out.push_back(DetectedPair{it->second.call, r->name, r->path,
+                                   it->second.exit, r->enter});
+      }
+      if (r->name == "rename" && !r->path2.empty()) {
+        auto it2 = last_check.find(r->path2);
+        if (it2 != last_check.end() && r->enter > it2->second.exit) {
+          out.push_back(DetectedPair{it2->second.call, r->name, r->path2,
+                                     it2->second.exit, r->enter});
+        }
+      }
+    }
+    if (establishes(r->name) && r->result == Errno::ok) {
+      // rename establishes its destination; a failed stat establishes
+      // nothing; all others establish their primary path.
+      if (r->name == "rename") {
+        last_check[r->path2] = Pending{r->name, r->exit};
+        last_check.erase(r->path);  // the old name no longer exists
+      } else {
+        last_check[r->path] = Pending{r->name, r->exit};
+      }
+    }
+    if (r->name == "unlink" && r->result == Errno::ok) {
+      last_check.erase(r->path);  // invariant destroyed with the name
+    }
+  }
+  return out;
+}
+
+std::optional<DetectedPair> find_widest_pair(
+    const trace::SyscallJournal& journal, trace::Pid pid,
+    std::string_view check, std::string_view use) {
+  std::optional<DetectedPair> best;
+  for (const auto& p : find_pairs(journal, pid)) {
+    if (p.check_call == check && p.use_call == use) {
+      if (!best || p.window() > best->window()) best = p;
+    }
+  }
+  return best;
+}
+
+std::vector<Interference> find_interference(
+    const trace::SyscallJournal& journal, trace::Pid victim) {
+  const auto windows = find_pairs(journal, victim);
+  std::vector<Interference> out;
+  for (const auto& r : journal.records()) {
+    if (r.pid == victim || r.result != Errno::ok) continue;
+    // Namespace mutations only: the calls that can remap a name.
+    const bool mutates = in(r.name, {"unlink", "symlink", "rename", "link",
+                                     "mkdir"});
+    if (!mutates) continue;
+    for (const auto& w : windows) {
+      const bool on_path =
+          r.path == w.path || (r.name == "rename" && r.path2 == w.path);
+      if (!on_path) continue;
+      if (r.enter >= w.check_exit && r.enter < w.use_enter) {
+        out.push_back(Interference{w, r.pid, r.name, r.enter});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Interference& a, const Interference& b) {
+              return a.at < b.at;
+            });
+  return out;
+}
+
+}  // namespace tocttou::core

@@ -1,0 +1,1275 @@
+// ServiceOp implementations for every modeled syscall.
+//
+// Each op is a small state machine driven by Kernel::advance_service; see
+// include/tocttou/sim/service.h for the step protocol and DESIGN.md §4
+// for which operation holds which semaphore.
+#include <optional>
+
+#include "tocttou/common/strings.h"
+#include "tocttou/fs/vfs.h"
+#include "tocttou/sim/kernel.h"
+#include "tocttou/trace/journal.h"
+
+namespace tocttou::fs {
+
+namespace {
+
+using sim::ServiceContext;
+using sim::ServiceOp;
+using sim::Step;
+
+// libc page ids: which syscall wrappers share a physical page of libc.
+// unlink and symlink share one — the paper observed they "seem to be on
+// the same page" (Section 6.2.2), which is why pre-faulting unlink also
+// pre-faults symlink in attack program v2.
+enum LibcPage {
+  kPageStat = 1,
+  kPageOpenClose = 2,
+  kPageReadWrite = 3,
+  kPageUnlinkSymlink = 4,
+  kPageRename = 5,
+  kPageChmodChown = 6,
+  kPageMisc = 7,
+};
+
+Creds creds_of(const ServiceContext& ctx) {
+  return Creds{ctx.proc.uid(), ctx.proc.gid()};
+}
+
+/// Path resolution driver shared by all ops.
+///
+/// Policy `hold`: the final directory's semaphore is acquired and LEFT
+/// HELD when resolution completes; the op must release held_dir_sem().
+/// Policy `lockless_if_free`: the fast path reads the directory without
+/// the semaphore when it is free; when a writer holds it the walk takes
+/// the slow path (acquire, look up, pay stat_locked_tail, release) — this
+/// is what makes a concurrent stat() block behind rename() and detect the
+/// window "at the first moment" (Figure 10).
+class Walker {
+ public:
+  enum class SemPolicy { lockless_if_free, hold };
+  enum class Follow { yes, no };
+
+  Walker(Vfs& vfs, std::string path, SemPolicy policy, Follow follow)
+      : vfs_(vfs), path_(std::move(path)), policy_(policy), follow_(follow) {}
+
+  /// Returns the next step to execute, or nullopt when resolution is done.
+  std::optional<Step> advance(ServiceContext& ctx);
+
+  Errno error() const { return err_; }  // prefix/symlink errors; ok otherwise
+  Ino parent() const { return parent_; }
+  const std::string& final_name() const { return final_name_; }
+  Ino target() const { return target_; }
+  bool target_exists() const { return target_ != kNoIno; }
+  const StatBuf& snapshot() const { return snapshot_; }
+  sim::Semaphore* held_dir_sem() const { return held_; }
+  bool took_slow_path() const { return slow_path_; }
+
+ private:
+  enum class St {
+    init,          // compute prefix cost
+    prefix_done,   // prefix work charged; do the real walk + final policy
+    locked,        // final dir semaphore acquired; look up
+    locked_tail,   // lockless slow path: paid stat_locked_tail; release
+    release_then_restart,  // symlink follow: sem released; restart
+    done,
+  };
+
+  // Looks up the final component and snapshots it; returns true if the
+  // walk must restart through a symlink.
+  bool lookup_final();
+
+  Vfs& vfs_;
+  std::string path_;
+  SemPolicy policy_;
+  Follow follow_;
+  St st_ = St::init;
+  int depth_ = 0;
+  Errno err_ = Errno::ok;
+  Ino parent_ = kNoIno;
+  std::string final_name_;
+  Ino target_ = kNoIno;
+  StatBuf snapshot_;
+  sim::Semaphore* held_ = nullptr;
+  bool slow_path_ = false;
+};
+
+bool Walker::lookup_final() {
+  target_ = vfs_.lookup_in(parent_, final_name_);
+  if (target_ != kNoIno) {
+    const Inode& t = vfs_.inode(target_);
+    snapshot_ = t.to_stat();
+    if (t.is_symlink() && follow_ == Follow::yes) {
+      path_ = t.symlink_target();
+      ++depth_;
+      return true;  // restart through the link
+    }
+  }
+  return false;
+}
+
+std::optional<Step> Walker::advance(ServiceContext& ctx) {
+  (void)ctx;
+  while (true) {
+    switch (st_) {
+      case St::init: {
+        if (depth_ > Vfs::kMaxSymlinkDepth) {
+          err_ = Errno::eloop;
+          st_ = St::done;
+          return std::nullopt;
+        }
+        if (!is_absolute_path(path_)) {
+          err_ = Errno::einval;
+          st_ = St::done;
+          return std::nullopt;
+        }
+        st_ = St::prefix_done;
+        const auto n = Vfs::component_count(path_);
+        if (n == 0) {
+          err_ = Errno::einval;
+          st_ = St::done;
+          return std::nullopt;
+        }
+        return Step::work(vfs_.costs().path_component *
+                          static_cast<std::int64_t>(n));
+      }
+      case St::prefix_done: {
+        const auto walk = vfs_.walk_prefix(path_);
+        if (walk.err != Errno::ok) {
+          err_ = walk.err;
+          st_ = St::done;
+          return std::nullopt;
+        }
+        parent_ = walk.parent;
+        final_name_ = walk.final_name;
+        Inode& parent_inode = vfs_.inode_mut(parent_);
+        sim::Semaphore& sem = parent_inode.sem();
+        if (policy_ == SemPolicy::hold) {
+          st_ = St::locked;
+          return Step::acquire(&sem);
+        }
+        // dcache semantics for lockless (RCU-style) lookups:
+        //  * a directory being renamed-into forces the slow path (the
+        //    rename seqlock would make the walk retry);
+        //  * a positive entry can be read locklessly even while a writer
+        //    holds the semaphore (the dentry stays valid until the
+        //    writer's commit point);
+        //  * a negative result is only trustworthy when no writer holds
+        //    the semaphore — otherwise take the slow path and wait.
+        const bool must_block =
+            parent_inode.rename_in_progress() ||
+            (sem.held() && walk.target == kNoIno);
+        if (!must_block) {
+          if (lookup_final()) {
+            st_ = St::init;
+            continue;
+          }
+          st_ = St::done;
+          return std::nullopt;
+        }
+        slow_path_ = true;
+        st_ = St::locked;
+        return Step::acquire(&sem);
+      }
+      case St::locked: {
+        sim::Semaphore& sem = vfs_.inode_mut(parent_).sem();
+        const bool restart = lookup_final();
+        if (policy_ == SemPolicy::lockless_if_free) {
+          st_ = restart ? St::release_then_restart : St::locked_tail;
+          return Step::work(vfs_.costs().stat_locked_tail);
+        }
+        if (restart) {
+          st_ = St::init;
+          return Step::release(&sem);
+        }
+        held_ = &sem;  // caller releases
+        st_ = St::done;
+        return std::nullopt;
+      }
+      case St::locked_tail: {
+        st_ = St::done;
+        return Step::release(&vfs_.inode_mut(parent_).sem());
+      }
+      case St::release_then_restart: {
+        st_ = St::init;
+        return Step::release(&vfs_.inode_mut(parent_).sem());
+      }
+      case St::done:
+        return std::nullopt;
+    }
+  }
+}
+
+/// Base with shared journaling plumbing.
+class FsOp : public ServiceOp {
+ public:
+  FsOp(Vfs& vfs, std::string path, Errno* err_out)
+      : vfs_(vfs), path_(std::move(path)), err_out_(err_out) {}
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    rec.path = path_;
+  }
+
+ protected:
+  Step finish(Errno e) {
+    if (err_out_ != nullptr) *err_out_ = e;
+    return Step::done(e);
+  }
+
+  Vfs& vfs_;
+  std::string path_;
+  Errno* err_out_;
+};
+
+// ---------------------------------------------------------------------------
+// stat / lstat / access
+// ---------------------------------------------------------------------------
+
+class StatOp final : public FsOp {
+ public:
+  StatOp(Vfs& vfs, std::string path, bool follow, StatBuf* out, Errno* err_out)
+      : FsOp(vfs, std::move(path), err_out),
+        follow_(follow),
+        out_(out) {}
+
+  std::string_view name() const override { return follow_ ? "stat" : "lstat"; }
+  int libc_page() const override { return kPageStat; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_,
+                          Walker::SemPolicy::lockless_if_free,
+                          follow_ ? Walker::Follow::yes : Walker::Follow::no);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        phase_ = 1;
+        return Step::work(vfs_.costs().stat_base);
+      }
+      default: {
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        if (!walker_->target_exists()) return finish(Errno::enoent);
+        ok_ = true;
+        if (out_ != nullptr) *out_ = walker_->snapshot();
+        return finish(Errno::ok);
+      }
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    FsOp::fill_record(rec);
+    if (ok_) {
+      const auto& s = walker_->snapshot();
+      rec.st_uid = s.uid;
+      rec.st_gid = s.gid;
+      rec.st_ino = s.ino;
+    }
+  }
+
+ private:
+  bool follow_;
+  StatBuf* out_;
+  std::optional<Walker> walker_;
+  int phase_ = 0;
+  bool ok_ = false;
+};
+
+class AccessOp final : public FsOp {
+ public:
+  AccessOp(Vfs& vfs, std::string path, Errno* err_out)
+      : FsOp(vfs, std::move(path), err_out) {}
+
+  std::string_view name() const override { return "access"; }
+  int libc_page() const override { return kPageStat; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::lockless_if_free,
+                          Walker::Follow::yes);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        phase_ = 1;
+        return Step::work(vfs_.costs().access_base);
+      }
+      default: {
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        if (!walker_->target_exists()) return finish(Errno::enoent);
+        const Inode& t = vfs_.inode(walker_->target());
+        return finish(Vfs::may_read(t, creds_of(ctx)) ? Errno::ok
+                                                      : Errno::eacces);
+      }
+    }
+  }
+
+ private:
+  std::optional<Walker> walker_;
+  int phase_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// open / close / read / write
+// ---------------------------------------------------------------------------
+
+class OpenOp final : public FsOp {
+ public:
+  OpenOp(Vfs& vfs, std::string path, OpenFlags flags, Mode mode,
+         OpenResult* out)
+      : FsOp(vfs, std::move(path), nullptr),
+        flags_(flags),
+        mode_(mode),
+        out_(out) {}
+
+  std::string_view name() const override { return "open"; }
+  int libc_page() const override { return kPageOpenClose; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {  // resolve, holding the directory semaphore
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::hold,
+                          Walker::Follow::yes);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        if (walker_->error() != Errno::ok) return done_err(walker_->error());
+        sem_ = walker_->held_dir_sem();
+        if (walker_->target_exists()) {
+          const Inode& t = vfs_.inode(walker_->target());
+          if (flags_.create && flags_.excl) return fail(Errno::eexist);
+          if (t.is_dir() && flags_.write) return fail(Errno::eisdir);
+          const auto creds = creds_of(ctx);
+          const bool perm = flags_.write ? Vfs::may_write(t, creds)
+                                         : Vfs::may_read(t, creds);
+          if (!perm) return fail(Errno::eacces);
+          ino_ = walker_->target();
+          if (flags_.truncate && flags_.write) {
+            vfs_.inode_mut(ino_).set_size_bytes(0);
+          }
+          phase_ = 2;
+          return Step::release(sem_);
+        }
+        if (!flags_.create) return fail(Errno::enoent);
+        if (!Vfs::may_write(vfs_.inode(walker_->parent()), creds_of(ctx))) {
+          return fail(Errno::eacces);
+        }
+        phase_ = 1;
+        return Step::work(vfs_.costs().create_extra);
+      }
+      case 1: {  // commit the newly created inode (still under the sem)
+        Inode& n = vfs_.alloc_inode(FileType::regular, ctx.proc.uid(),
+                                    ctx.proc.gid(), mode_);
+        ino_ = n.ino();
+        vfs_.link_entry(walker_->parent(), walker_->final_name(), ino_);
+        phase_ = 2;
+        return Step::release(sem_);
+      }
+      case 2: {  // fd setup after releasing the namespace lock
+        phase_ = 3;
+        return Step::work(vfs_.costs().open_base);
+      }
+      case 3: {
+        const int fd = vfs_.fd_alloc(ctx.proc.pid(), ino_, flags_);
+        if (out_ != nullptr) {
+          out_->fd = fd;
+          out_->err = Errno::ok;
+        }
+        return Step::done(Errno::ok);
+      }
+      default: {  // phase 9: error path, semaphore already released
+        return done_err(pending_err_);
+      }
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    FsOp::fill_record(rec);
+    if (ino_ != kNoIno) rec.applied_ino = ino_;
+  }
+
+ private:
+  Step done_err(Errno e) {
+    if (out_ != nullptr) {
+      out_->fd = -1;
+      out_->err = e;
+    }
+    return Step::done(e);
+  }
+
+  Step fail(Errno e) {
+    pending_err_ = e;
+    phase_ = 9;
+    return Step::release(sem_);
+  }
+
+  OpenFlags flags_;
+  Mode mode_;
+  OpenResult* out_;
+  std::optional<Walker> walker_;
+  sim::Semaphore* sem_ = nullptr;
+  Ino ino_ = kNoIno;
+  int phase_ = 0;
+  Errno pending_err_ = Errno::ok;
+};
+
+class CloseOp final : public ServiceOp {
+ public:
+  CloseOp(Vfs& vfs, int fd, Errno* err_out)
+      : vfs_(vfs), fd_(fd), err_out_(err_out) {}
+
+  std::string_view name() const override { return "close"; }
+  int libc_page() const override { return kPageOpenClose; }
+
+  Step advance(ServiceContext& ctx) override {
+    if (phase_ == 0) {
+      phase_ = 1;
+      return Step::work(vfs_.costs().close_base);
+    }
+    const Errno e = vfs_.fd_close(ctx.proc.pid(), fd_);
+    if (err_out_ != nullptr) *err_out_ = e;
+    return Step::done(e);
+  }
+
+ private:
+  Vfs& vfs_;
+  int fd_;
+  Errno* err_out_;
+  int phase_ = 0;
+};
+
+class WriteOp final : public ServiceOp {
+ public:
+  WriteOp(Vfs& vfs, int fd, std::uint64_t bytes, Errno* err_out)
+      : vfs_(vfs), fd_(fd), bytes_(bytes), err_out_(err_out) {}
+
+  std::string_view name() const override { return "write"; }
+  int libc_page() const override { return kPageReadWrite; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        const auto f = vfs_.fd_get(ctx.proc.pid(), fd_);
+        if (!f.ok() || !f.value().flags.write) return finish(Errno::ebadf);
+        ino_ = f.value().ino;
+        phase_ = 1;
+        return Step::acquire(&vfs_.inode_mut(ino_).sem());
+      }
+      case 1: {
+        phase_ = 2;
+        const double kb = static_cast<double>(bytes_) / 1024.0;
+        return Step::work(vfs_.costs().write_base +
+                          vfs_.costs().write_per_kb * kb);
+      }
+      case 2: {
+        vfs_.inode_mut(ino_).add_size_bytes(bytes_);
+        phase_ = 3;
+        return Step::release(&vfs_.inode_mut(ino_).sem());
+      }
+      case 3: {
+        phase_ = 4;
+        // Page-cache writeback throttling: occasionally the writer is put
+        // to sleep on the device — a uniprocessor suspension source.
+        if (ctx.rng.bernoulli(vfs_.costs().writeback_stall_prob)) {
+          return Step::block_io(ctx.rng.normal_duration(
+              vfs_.costs().writeback_stall_mean,
+              vfs_.costs().writeback_stall_stdev, Duration::micros(200)));
+        }
+        return finish(Errno::ok);
+      }
+      default:
+        return finish(Errno::ok);
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    if (ino_ != kNoIno) rec.applied_ino = ino_;
+  }
+
+ private:
+  Step finish(Errno e) {
+    if (err_out_ != nullptr) *err_out_ = e;
+    return Step::done(e);
+  }
+
+  Vfs& vfs_;
+  int fd_;
+  std::uint64_t bytes_;
+  Errno* err_out_;
+  Ino ino_ = kNoIno;
+  int phase_ = 0;
+};
+
+class ReadOp final : public ServiceOp {
+ public:
+  ReadOp(Vfs& vfs, int fd, std::uint64_t bytes, Errno* err_out)
+      : vfs_(vfs), fd_(fd), bytes_(bytes), err_out_(err_out) {}
+
+  std::string_view name() const override { return "read"; }
+  int libc_page() const override { return kPageReadWrite; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        const auto f = vfs_.fd_get(ctx.proc.pid(), fd_);
+        if (!f.ok()) return finish(Errno::ebadf);
+        phase_ = 1;
+        const double kb = static_cast<double>(bytes_) / 1024.0;
+        return Step::work(vfs_.costs().read_base +
+                          vfs_.costs().read_per_kb * kb);
+      }
+      default:
+        return finish(Errno::ok);
+    }
+  }
+
+ private:
+  Step finish(Errno e) {
+    if (err_out_ != nullptr) *err_out_ = e;
+    return Step::done(e);
+  }
+
+  Vfs& vfs_;
+  int fd_;
+  std::uint64_t bytes_;
+  Errno* err_out_;
+  int phase_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// rename / unlink / symlink / mkdir / readlink
+// ---------------------------------------------------------------------------
+
+class RenameOp final : public FsOp {
+ public:
+  RenameOp(Vfs& vfs, std::string oldpath, std::string newpath, Errno* err_out)
+      : FsOp(vfs, std::move(oldpath), err_out),
+        newpath_(std::move(newpath)) {}
+
+  std::string_view name() const override { return "rename"; }
+  int libc_page() const override { return kPageRename; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::hold,
+                          Walker::Follow::no);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        sem_ = walker_->held_dir_sem();
+        if (!walker_->target_exists()) return fail(Errno::enoent);
+        const auto nw = vfs_.walk_prefix(newpath_);
+        if (nw.err != Errno::ok) return fail(nw.err);
+        if (nw.parent != walker_->parent()) return fail(Errno::exdev);
+        new_final_ = nw.final_name;
+        if (new_final_ == walker_->final_name()) return fail(Errno::einval);
+        if (!Vfs::may_write(vfs_.inode(walker_->parent()), creds_of(ctx))) {
+          return fail(Errno::eacces);
+        }
+        // Models the rename seqlock: lockless lookups in this directory
+        // take the slow path until the commit.
+        vfs_.inode_mut(walker_->parent()).set_rename_in_progress(true);
+        phase_ = 1;
+        return Step::work(vfs_.costs().rename_work);
+      }
+      case 1: {  // commit point, still under the directory semaphore
+        const Ino dir = walker_->parent();
+        const Ino tgt = walker_->target();
+        vfs_.unlink_entry(dir, walker_->final_name());
+        if (vfs_.lookup_in(dir, new_final_) != kNoIno) {
+          vfs_.unlink_entry(dir, new_final_);
+        }
+        vfs_.link_entry(dir, new_final_, tgt);
+        applied_ = tgt;
+        vfs_.inode_mut(dir).set_rename_in_progress(false);
+        phase_ = 2;
+        return Step::release(sem_);
+      }
+      case 2: {
+        phase_ = 3;
+        return Step::work(vfs_.costs().rename_tail);
+      }
+      default:
+        if (pending_err_ != Errno::ok) return finish(pending_err_);
+        return finish(Errno::ok);
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    FsOp::fill_record(rec);
+    rec.path2 = newpath_;
+    if (applied_ != kNoIno) rec.applied_ino = applied_;
+  }
+
+ private:
+  Step fail(Errno e) {
+    pending_err_ = e;
+    phase_ = 3;
+    return Step::release(sem_);
+  }
+
+  std::string newpath_;
+  std::string new_final_;
+  std::optional<Walker> walker_;
+  sim::Semaphore* sem_ = nullptr;
+  Ino applied_ = kNoIno;
+  Errno pending_err_ = Errno::ok;
+  int phase_ = 0;
+};
+
+class UnlinkOp final : public FsOp {
+ public:
+  UnlinkOp(Vfs& vfs, std::string path, Errno* err_out)
+      : FsOp(vfs, std::move(path), err_out) {}
+
+  std::string_view name() const override { return "unlink"; }
+  int libc_page() const override { return kPageUnlinkSymlink; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::hold,
+                          Walker::Follow::no);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        dir_sem_ = walker_->held_dir_sem();
+        if (!walker_->target_exists()) return fail(Errno::enoent);
+        ino_ = walker_->target();
+        if (vfs_.inode(ino_).is_dir()) return fail(Errno::eisdir);
+        if (!Vfs::may_write(vfs_.inode(walker_->parent()), creds_of(ctx))) {
+          return fail(Errno::eacces);
+        }
+        phase_ = 1;
+        // Lock order everywhere: directory sem, then target inode sem.
+        return Step::acquire(&vfs_.inode_mut(ino_).sem());
+      }
+      case 1: {
+        phase_ = 2;
+        return Step::work(vfs_.costs().unlink_detach);
+      }
+      case 2: {  // detach commit: the name disappears from the directory
+        vfs_.unlink_entry(walker_->parent(), walker_->final_name());
+        phase_ = 3;
+        return Step::release(dir_sem_);
+      }
+      case 3: {  // physical truncate happens after the dir sem is free —
+                 // this is what lets a parallel symlink overlap (Sec. 7).
+        phase_ = 4;
+        const Inode& n = vfs_.inode(ino_);
+        // Orphans with open fds keep their data (vi keeps writing through
+        // its fd after the attacker's unlink); truncate only when fully
+        // unreferenced.
+        truncating_ =
+            n.nlink() == 0 && n.open_refs() == 0 && n.size_bytes() > 0;
+        if (truncating_) {
+          const double kb = static_cast<double>(n.size_bytes()) / 1024.0;
+          return Step::work(vfs_.costs().truncate_per_kb * kb);
+        }
+        return advance(ctx);
+      }
+      case 4: {
+        if (truncating_) vfs_.inode_mut(ino_).set_size_bytes(0);
+        phase_ = 5;
+        return Step::release(&vfs_.inode_mut(ino_).sem());
+      }
+      default:
+        if (pending_err_ != Errno::ok) return finish(pending_err_);
+        return finish(Errno::ok);
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    FsOp::fill_record(rec);
+    if (ino_ != kNoIno) rec.applied_ino = ino_;
+  }
+
+ private:
+  Step fail(Errno e) {
+    pending_err_ = e;
+    phase_ = 5;
+    return Step::release(dir_sem_);
+  }
+
+  std::optional<Walker> walker_;
+  sim::Semaphore* dir_sem_ = nullptr;
+  Ino ino_ = kNoIno;
+  Errno pending_err_ = Errno::ok;
+  bool truncating_ = false;
+  int phase_ = 0;
+};
+
+class SymlinkOp final : public FsOp {
+ public:
+  SymlinkOp(Vfs& vfs, std::string target, std::string linkpath,
+            Errno* err_out)
+      : FsOp(vfs, std::move(linkpath), err_out), target_(std::move(target)) {}
+
+  std::string_view name() const override { return "symlink"; }
+  int libc_page() const override { return kPageUnlinkSymlink; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::hold,
+                          Walker::Follow::no);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        sem_ = walker_->held_dir_sem();
+        if (walker_->target_exists()) return fail(Errno::eexist);
+        if (!Vfs::may_write(vfs_.inode(walker_->parent()), creds_of(ctx))) {
+          return fail(Errno::eacces);
+        }
+        phase_ = 1;
+        return Step::work(vfs_.costs().symlink_base);
+      }
+      case 1: {  // commit
+        Inode& n = vfs_.alloc_inode(FileType::symlink, ctx.proc.uid(),
+                                    ctx.proc.gid(), 0777);
+        n.set_symlink_target(target_);
+        vfs_.link_entry(walker_->parent(), walker_->final_name(), n.ino());
+        applied_ = n.ino();
+        phase_ = 2;
+        return Step::release(sem_);
+      }
+      default:
+        if (pending_err_ != Errno::ok) return finish(pending_err_);
+        return finish(Errno::ok);
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    FsOp::fill_record(rec);
+    rec.path2 = target_;
+    if (applied_ != kNoIno) rec.applied_ino = applied_;
+  }
+
+ private:
+  Step fail(Errno e) {
+    pending_err_ = e;
+    phase_ = 2;
+    return Step::release(sem_);
+  }
+
+  std::string target_;
+  std::optional<Walker> walker_;
+  sim::Semaphore* sem_ = nullptr;
+  Ino applied_ = kNoIno;
+  Errno pending_err_ = Errno::ok;
+  int phase_ = 0;
+};
+
+class MkdirOp final : public FsOp {
+ public:
+  MkdirOp(Vfs& vfs, std::string path, Mode mode, Errno* err_out)
+      : FsOp(vfs, std::move(path), err_out), mode_(mode) {}
+
+  std::string_view name() const override { return "mkdir"; }
+  int libc_page() const override { return kPageMisc; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::hold,
+                          Walker::Follow::no);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        sem_ = walker_->held_dir_sem();
+        if (walker_->target_exists()) return fail(Errno::eexist);
+        if (!Vfs::may_write(vfs_.inode(walker_->parent()), creds_of(ctx))) {
+          return fail(Errno::eacces);
+        }
+        phase_ = 1;
+        return Step::work(vfs_.costs().mkdir_base);
+      }
+      case 1: {
+        Inode& n = vfs_.alloc_inode(FileType::directory, ctx.proc.uid(),
+                                    ctx.proc.gid(), mode_);
+        vfs_.link_entry(walker_->parent(), walker_->final_name(), n.ino());
+        phase_ = 2;
+        return Step::release(sem_);
+      }
+      default:
+        if (pending_err_ != Errno::ok) return finish(pending_err_);
+        return finish(Errno::ok);
+    }
+  }
+
+ private:
+  Step fail(Errno e) {
+    pending_err_ = e;
+    phase_ = 2;
+    return Step::release(sem_);
+  }
+
+  Mode mode_;
+  std::optional<Walker> walker_;
+  sim::Semaphore* sem_ = nullptr;
+  Errno pending_err_ = Errno::ok;
+  int phase_ = 0;
+};
+
+class ReadlinkOp final : public FsOp {
+ public:
+  ReadlinkOp(Vfs& vfs, std::string path, std::string* out, Errno* err_out)
+      : FsOp(vfs, std::move(path), err_out), out_(out) {}
+
+  std::string_view name() const override { return "readlink"; }
+  int libc_page() const override { return kPageMisc; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::lockless_if_free,
+                          Walker::Follow::no);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        phase_ = 1;
+        return Step::work(vfs_.costs().readlink_base);
+      }
+      default: {
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        if (!walker_->target_exists()) return finish(Errno::enoent);
+        const Inode& t = vfs_.inode(walker_->target());
+        if (!t.is_symlink()) return finish(Errno::einval);
+        if (out_ != nullptr) *out_ = t.symlink_target();
+        return finish(Errno::ok);
+      }
+    }
+  }
+
+ private:
+  std::string* out_;
+  std::optional<Walker> walker_;
+  int phase_ = 0;
+};
+
+class LinkOp final : public FsOp {
+ public:
+  LinkOp(Vfs& vfs, std::string oldpath, std::string newpath, Errno* err_out)
+      : FsOp(vfs, std::move(oldpath), err_out), newpath_(std::move(newpath)) {}
+
+  std::string_view name() const override { return "link"; }
+  int libc_page() const override { return kPageUnlinkSymlink; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {  // resolve the existing file (no symlink follow, as link(2))
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::lockless_if_free,
+                          Walker::Follow::no);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        if (!walker_->target_exists()) return finish(Errno::enoent);
+        if (vfs_.inode(walker_->target()).is_dir()) {
+          return finish(Errno::eisdir);
+        }
+        target_ino_ = walker_->target();
+        phase_ = 1;
+        new_walker_.emplace(vfs_, newpath_, Walker::SemPolicy::hold,
+                            Walker::Follow::no);
+        return advance(ctx);
+      }
+      case 1: {  // take the destination directory's semaphore
+        if (auto s = new_walker_->advance(ctx)) return *s;
+        if (new_walker_->error() != Errno::ok) {
+          return finish(new_walker_->error());
+        }
+        sem_ = new_walker_->held_dir_sem();
+        if (new_walker_->target_exists()) return fail(Errno::eexist);
+        if (!Vfs::may_write(vfs_.inode(new_walker_->parent()),
+                            creds_of(ctx))) {
+          return fail(Errno::eacces);
+        }
+        phase_ = 2;
+        return Step::work(vfs_.costs().link_base);
+      }
+      case 2: {  // commit
+        vfs_.link_entry(new_walker_->parent(), new_walker_->final_name(),
+                        target_ino_);
+        phase_ = 3;
+        return Step::release(sem_);
+      }
+      default:
+        if (pending_err_ != Errno::ok) return finish(pending_err_);
+        return finish(Errno::ok);
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    FsOp::fill_record(rec);
+    rec.path2 = newpath_;
+    if (target_ino_ != kNoIno) rec.applied_ino = target_ino_;
+  }
+
+ private:
+  Step fail(Errno e) {
+    pending_err_ = e;
+    phase_ = 3;
+    return Step::release(sem_);
+  }
+
+  std::string newpath_;
+  std::optional<Walker> walker_;
+  std::optional<Walker> new_walker_;
+  sim::Semaphore* sem_ = nullptr;
+  Ino target_ino_ = kNoIno;
+  Errno pending_err_ = Errno::ok;
+  int phase_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// fd-based operations (no path resolution: immune to name redirection)
+// ---------------------------------------------------------------------------
+
+class FstatOp final : public ServiceOp {
+ public:
+  FstatOp(Vfs& vfs, int fd, StatBuf* out, Errno* err_out)
+      : vfs_(vfs), fd_(fd), out_(out), err_out_(err_out) {}
+
+  std::string_view name() const override { return "fstat"; }
+  int libc_page() const override { return kPageStat; }
+
+  Step advance(ServiceContext& ctx) override {
+    if (phase_ == 0) {
+      phase_ = 1;
+      return Step::work(vfs_.costs().stat_base);
+    }
+    const auto f = vfs_.fd_get(ctx.proc.pid(), fd_);
+    if (!f.ok()) return finish(Errno::ebadf);
+    ino_ = f.value().ino;
+    if (out_ != nullptr) *out_ = vfs_.inode(ino_).to_stat();
+    return finish(Errno::ok);
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    if (ino_ != kNoIno) rec.applied_ino = ino_;
+  }
+
+ private:
+  Step finish(Errno e) {
+    if (err_out_ != nullptr) *err_out_ = e;
+    return Step::done(e);
+  }
+
+  Vfs& vfs_;
+  int fd_;
+  StatBuf* out_;
+  Errno* err_out_;
+  Ino ino_ = kNoIno;
+  int phase_ = 0;
+};
+
+/// fchmod/fchown: acquire the open inode's semaphore, apply, release.
+/// The inode was fixed at open() time — the attacker's rename/symlink
+/// games after that are irrelevant.
+class FSetAttrOp : public ServiceOp {
+ public:
+  FSetAttrOp(Vfs& vfs, int fd, Errno* err_out)
+      : vfs_(vfs), fd_(fd), err_out_(err_out) {}
+
+  int libc_page() const override { return kPageChmodChown; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        const auto f = vfs_.fd_get(ctx.proc.pid(), fd_);
+        if (!f.ok()) return finish(Errno::ebadf);
+        ino_ = f.value().ino;
+        if (!permitted(vfs_.inode(ino_), creds_of(ctx))) {
+          return finish(Errno::eperm);
+        }
+        phase_ = 1;
+        return Step::acquire(&vfs_.inode_mut(ino_).sem());
+      }
+      case 1: {
+        phase_ = 2;
+        return Step::work(work_cost());
+      }
+      case 2: {
+        apply(vfs_.inode_mut(ino_));
+        phase_ = 3;
+        return Step::release(&vfs_.inode_mut(ino_).sem());
+      }
+      default:
+        return finish(Errno::ok);
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    if (ino_ != kNoIno) rec.applied_ino = ino_;
+  }
+
+ protected:
+  virtual bool permitted(const Inode& target, const Creds& c) const = 0;
+  virtual Duration work_cost() const = 0;
+  virtual void apply(Inode& target) = 0;
+
+  Vfs& vfs_;
+
+ private:
+  Step finish(Errno e) {
+    if (err_out_ != nullptr) *err_out_ = e;
+    return Step::done(e);
+  }
+
+  int fd_;
+  Errno* err_out_;
+  Ino ino_ = kNoIno;
+  int phase_ = 0;
+};
+
+class FchmodOp final : public FSetAttrOp {
+ public:
+  FchmodOp(Vfs& vfs, int fd, Mode mode, Errno* err_out)
+      : FSetAttrOp(vfs, fd, err_out), mode_(mode) {}
+
+  std::string_view name() const override { return "fchmod"; }
+
+ protected:
+  bool permitted(const Inode& t, const Creds& c) const override {
+    return c.is_root() || t.uid() == c.uid;
+  }
+  Duration work_cost() const override { return vfs_.costs().chmod_base; }
+  void apply(Inode& t) override { t.set_mode(mode_); }
+
+ private:
+  Mode mode_;
+};
+
+class FchownOp final : public FSetAttrOp {
+ public:
+  FchownOp(Vfs& vfs, int fd, sim::Uid uid, sim::Gid gid, Errno* err_out)
+      : FSetAttrOp(vfs, fd, err_out), uid_(uid), gid_(gid) {}
+
+  std::string_view name() const override { return "fchown"; }
+
+ protected:
+  bool permitted(const Inode& t, const Creds& c) const override {
+    (void)t;
+    return c.is_root();
+  }
+  Duration work_cost() const override { return vfs_.costs().chown_base; }
+  void apply(Inode& t) override { t.set_owner(uid_, gid_); }
+
+ private:
+  sim::Uid uid_;
+  sim::Gid gid_;
+};
+
+// ---------------------------------------------------------------------------
+// chmod / chown
+// ---------------------------------------------------------------------------
+
+/// Shared by chmod and chown: resolve the path (following symlinks — the
+/// fatal behaviour the attacks exploit; lockless dcache walk like stat),
+/// then apply under the TARGET INODE's semaphore. This is the semaphore
+/// the paper's cascade runs through: an unlink holding the inode
+/// semaphore through detach+truncate delays the victim's chmod, which in
+/// turn delays the chown past the attacker's symlink (Section 6.1). Note
+/// POSIX semantics: the operation applies to the inode resolved at
+/// lookup time even if the name is unlinked while waiting.
+class SetAttrOp : public FsOp {
+ public:
+  SetAttrOp(Vfs& vfs, std::string path, Errno* err_out)
+      : FsOp(vfs, std::move(path), err_out) {}
+
+  int libc_page() const override { return kPageChmodChown; }
+
+  Step advance(ServiceContext& ctx) override {
+    switch (phase_) {
+      case 0: {
+        if (!walker_) {
+          walker_.emplace(vfs_, path_, Walker::SemPolicy::lockless_if_free,
+                          Walker::Follow::yes);
+        }
+        if (auto s = walker_->advance(ctx)) return *s;
+        if (walker_->error() != Errno::ok) return finish(walker_->error());
+        if (!walker_->target_exists()) return finish(Errno::enoent);
+        ino_ = walker_->target();
+        if (!permitted(vfs_.inode(ino_), creds_of(ctx))) {
+          return finish(Errno::eperm);
+        }
+        phase_ = 1;
+        return Step::acquire(&vfs_.inode_mut(ino_).sem());
+      }
+      case 1: {
+        phase_ = 2;
+        return Step::work(work_cost());
+      }
+      case 2: {  // commit
+        apply(vfs_.inode_mut(ino_));
+        phase_ = 3;
+        return Step::release(&vfs_.inode_mut(ino_).sem());
+      }
+      default:
+        return finish(Errno::ok);
+    }
+  }
+
+  void fill_record(trace::SyscallRecord& rec) const override {
+    FsOp::fill_record(rec);
+    if (ino_ != kNoIno) rec.applied_ino = ino_;
+  }
+
+ protected:
+  virtual bool permitted(const Inode& target, const Creds& c) const = 0;
+  virtual Duration work_cost() const = 0;
+  virtual void apply(Inode& target) = 0;
+
+ private:
+  std::optional<Walker> walker_;
+  Ino ino_ = kNoIno;
+  int phase_ = 0;
+};
+
+class ChmodOp final : public SetAttrOp {
+ public:
+  ChmodOp(Vfs& vfs, std::string path, Mode mode, Errno* err_out)
+      : SetAttrOp(vfs, std::move(path), err_out), mode_(mode) {}
+
+  std::string_view name() const override { return "chmod"; }
+
+ protected:
+  bool permitted(const Inode& t, const Creds& c) const override {
+    return c.is_root() || t.uid() == c.uid;
+  }
+  Duration work_cost() const override { return vfs_.costs().chmod_base; }
+  void apply(Inode& t) override { t.set_mode(mode_); }
+
+ private:
+  Mode mode_;
+};
+
+class ChownOp final : public SetAttrOp {
+ public:
+  ChownOp(Vfs& vfs, std::string path, sim::Uid uid, sim::Gid gid,
+          Errno* err_out)
+      : SetAttrOp(vfs, std::move(path), err_out), uid_(uid), gid_(gid) {}
+
+  std::string_view name() const override { return "chown"; }
+
+ protected:
+  bool permitted(const Inode& t, const Creds& c) const override {
+    (void)t;
+    return c.is_root();  // only root may give files away
+  }
+  Duration work_cost() const override { return vfs_.costs().chown_base; }
+  void apply(Inode& t) override {
+    t.set_owner(uid_, gid_);
+  }
+
+ private:
+  sim::Uid uid_;
+  sim::Gid gid_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factory methods
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ServiceOp> Vfs::stat_op(std::string path, StatBuf* out,
+                                        Errno* err_out) {
+  return std::make_unique<StatOp>(*this, std::move(path), true, out, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::lstat_op(std::string path, StatBuf* out,
+                                         Errno* err_out) {
+  return std::make_unique<StatOp>(*this, std::move(path), false, out,
+                                  err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::access_op(std::string path, Errno* err_out) {
+  return std::make_unique<AccessOp>(*this, std::move(path), err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::open_op(std::string path, OpenFlags flags,
+                                        Mode mode, OpenResult* out) {
+  return std::make_unique<OpenOp>(*this, std::move(path), flags, mode, out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::close_op(int fd, Errno* err_out) {
+  return std::make_unique<CloseOp>(*this, fd, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::write_op(int fd, std::uint64_t bytes,
+                                         Errno* err_out) {
+  return std::make_unique<WriteOp>(*this, fd, bytes, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::read_op(int fd, std::uint64_t bytes,
+                                        Errno* err_out) {
+  return std::make_unique<ReadOp>(*this, fd, bytes, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::rename_op(std::string oldpath,
+                                          std::string newpath,
+                                          Errno* err_out) {
+  return std::make_unique<RenameOp>(*this, std::move(oldpath),
+                                    std::move(newpath), err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::unlink_op(std::string path, Errno* err_out) {
+  return std::make_unique<UnlinkOp>(*this, std::move(path), err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::symlink_op(std::string target,
+                                           std::string linkpath,
+                                           Errno* err_out) {
+  return std::make_unique<SymlinkOp>(*this, std::move(target),
+                                     std::move(linkpath), err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::chmod_op(std::string path, Mode mode,
+                                         Errno* err_out) {
+  return std::make_unique<ChmodOp>(*this, std::move(path), mode, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::chown_op(std::string path, sim::Uid uid,
+                                         sim::Gid gid, Errno* err_out) {
+  return std::make_unique<ChownOp>(*this, std::move(path), uid, gid, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::mkdir_op(std::string path, Mode mode,
+                                         Errno* err_out) {
+  return std::make_unique<MkdirOp>(*this, std::move(path), mode, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::readlink_op(std::string path,
+                                            std::string* out,
+                                            Errno* err_out) {
+  return std::make_unique<ReadlinkOp>(*this, std::move(path), out, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::link_op(std::string oldpath,
+                                        std::string newpath, Errno* err_out) {
+  return std::make_unique<LinkOp>(*this, std::move(oldpath),
+                                  std::move(newpath), err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::fstat_op(int fd, StatBuf* out,
+                                         Errno* err_out) {
+  return std::make_unique<FstatOp>(*this, fd, out, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::fchmod_op(int fd, Mode mode, Errno* err_out) {
+  return std::make_unique<FchmodOp>(*this, fd, mode, err_out);
+}
+
+std::unique_ptr<ServiceOp> Vfs::fchown_op(int fd, sim::Uid uid, sim::Gid gid,
+                                          Errno* err_out) {
+  return std::make_unique<FchownOp>(*this, fd, uid, gid, err_out);
+}
+
+}  // namespace tocttou::fs

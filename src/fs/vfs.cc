@@ -1,0 +1,283 @@
+#include "tocttou/fs/vfs.h"
+
+#include "tocttou/common/strings.h"
+
+namespace tocttou::fs {
+
+const char* to_string(FileType t) {
+  switch (t) {
+    case FileType::regular:
+      return "regular";
+    case FileType::directory:
+      return "directory";
+    case FileType::symlink:
+      return "symlink";
+  }
+  return "?";
+}
+
+Vfs::Vfs(SyscallCosts costs) : costs_(costs) {
+  Inode& r = alloc_inode(FileType::directory, sim::kRootUid, sim::kRootGid,
+                         kModeDefaultDir);
+  r.nlink_ = 1;
+  root_ = r.ino();
+}
+
+Vfs::~Vfs() = default;
+
+Inode& Vfs::alloc_inode(FileType type, sim::Uid uid, sim::Gid gid,
+                        Mode mode) {
+  const Ino ino = next_ino_++;
+  auto node = std::make_unique<Inode>(ino, type, uid, gid, mode,
+                                      strfmt("i_sem:%llu",
+                                             static_cast<unsigned long long>(ino)));
+  Inode& ref = *node;
+  inodes_.emplace(ino, std::move(node));
+  return ref;
+}
+
+const Inode& Vfs::inode(Ino ino) const {
+  auto it = inodes_.find(ino);
+  TOCTTOU_CHECK(it != inodes_.end(), "unknown inode");
+  return *it->second;
+}
+
+Inode& Vfs::inode_mut(Ino ino) {
+  auto it = inodes_.find(ino);
+  TOCTTOU_CHECK(it != inodes_.end(), "unknown inode");
+  return *it->second;
+}
+
+Ino Vfs::lookup_in(Ino parent, const std::string& name) const {
+  const Inode& dir = inode(parent);
+  if (!dir.is_dir()) return kNoIno;
+  auto it = dir.entries().find(name);
+  return it == dir.entries().end() ? kNoIno : it->second;
+}
+
+std::size_t Vfs::component_count(const std::string& path) {
+  return split_path(path).size();
+}
+
+namespace {
+struct ResolveOutcome {
+  Errno err = Errno::ok;
+  Ino ino = kNoIno;
+};
+}  // namespace
+
+// Recursive resolution helper; `follow_final` resolves a final symlink.
+static ResolveOutcome resolve_rec(const Vfs& vfs, const std::string& path,
+                                  bool follow_final, int depth) {
+  if (depth > Vfs::kMaxSymlinkDepth) return {Errno::eloop, kNoIno};
+  if (!is_absolute_path(path)) return {Errno::einval, kNoIno};
+  const auto parts = split_path(path);
+  Ino cur = vfs.root();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] == "..") return {Errno::einval, kNoIno};  // not modeled
+    const Inode& dir = vfs.inode(cur);
+    if (!dir.is_dir()) return {Errno::enotdir, kNoIno};
+    const Ino child = vfs.lookup_in(cur, parts[i]);
+    if (child == kNoIno) return {Errno::enoent, kNoIno};
+    const Inode& cn = vfs.inode(child);
+    const bool last = (i + 1 == parts.size());
+    if (cn.is_symlink() && (!last || follow_final)) {
+      const auto sub =
+          resolve_rec(vfs, cn.symlink_target(), true, depth + 1);
+      if (sub.err != Errno::ok) return sub;
+      if (!last && !vfs.inode(sub.ino).is_dir()) {
+        return {Errno::enotdir, kNoIno};
+      }
+      cur = sub.ino;
+    } else {
+      cur = child;
+    }
+  }
+  return {Errno::ok, cur};
+}
+
+Result<Ino> Vfs::lookup(const std::string& path, bool follow) const {
+  const auto out = resolve_rec(*this, path, follow, 0);
+  if (out.err != Errno::ok) return out.err;
+  return out.ino;
+}
+
+Vfs::WalkResult Vfs::walk_prefix(const std::string& path) const {
+  WalkResult res;
+  if (!is_absolute_path(path)) {
+    res.err = Errno::einval;
+    return res;
+  }
+  const auto parts = split_path(path);
+  if (parts.empty()) {
+    res.err = Errno::einval;  // operating on "/" itself is not modeled
+    return res;
+  }
+  Ino cur = root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == "..") {
+      res.err = Errno::einval;
+      return res;
+    }
+    const Inode& dir = inode(cur);
+    if (!dir.is_dir()) {
+      res.err = Errno::enotdir;
+      return res;
+    }
+    Ino child = lookup_in(cur, parts[i]);
+    if (child == kNoIno) {
+      res.err = Errno::enoent;
+      return res;
+    }
+    const Inode& cn = inode(child);
+    if (cn.is_symlink()) {
+      const auto sub = resolve_rec(*this, cn.symlink_target(), true, 1);
+      if (sub.err != Errno::ok) {
+        res.err = sub.err;
+        return res;
+      }
+      child = sub.ino;
+    }
+    if (!inode(child).is_dir()) {
+      res.err = Errno::enotdir;
+      return res;
+    }
+    cur = child;
+  }
+  const std::string& final = parts.back();
+  if (final == "..") {
+    res.err = Errno::einval;
+    return res;
+  }
+  if (!inode(cur).is_dir()) {
+    res.err = Errno::enotdir;
+    return res;
+  }
+  res.parent = cur;
+  res.final_name = final;
+  res.target = lookup_in(cur, final);
+  return res;
+}
+
+Ino Vfs::mkdir_p(const std::string& path, sim::Uid uid, sim::Gid gid,
+                 Mode mode) {
+  TOCTTOU_CHECK(is_absolute_path(path), "mkdir_p requires an absolute path");
+  Ino cur = root_;
+  for (const auto& part : split_path(path)) {
+    TOCTTOU_CHECK(part != "..", "'..' is not modeled");
+    Ino child = lookup_in(cur, part);
+    if (child == kNoIno) {
+      Inode& n = alloc_inode(FileType::directory, uid, gid, mode);
+      link_entry(cur, part, n.ino());
+      child = n.ino();
+    }
+    TOCTTOU_CHECK(inode(child).is_dir(), "mkdir_p path crosses a non-dir");
+    cur = child;
+  }
+  return cur;
+}
+
+Ino Vfs::create_file(const std::string& path, sim::Uid uid, sim::Gid gid,
+                     Mode mode, std::uint64_t size_bytes) {
+  const auto walk = walk_prefix(path);
+  TOCTTOU_CHECK(walk.err == Errno::ok, "create_file: bad parent path");
+  TOCTTOU_CHECK(walk.target == kNoIno, "create_file: path already exists");
+  Inode& n = alloc_inode(FileType::regular, uid, gid, mode);
+  n.size_bytes_ = size_bytes;
+  link_entry(walk.parent, walk.final_name, n.ino());
+  return n.ino();
+}
+
+Ino Vfs::create_symlink(const std::string& path, const std::string& target,
+                        sim::Uid uid, sim::Gid gid) {
+  const auto walk = walk_prefix(path);
+  TOCTTOU_CHECK(walk.err == Errno::ok, "create_symlink: bad parent path");
+  TOCTTOU_CHECK(walk.target == kNoIno, "create_symlink: path already exists");
+  Inode& n = alloc_inode(FileType::symlink, uid, gid, 0777);
+  n.symlink_target_ = target;
+  link_entry(walk.parent, walk.final_name, n.ino());
+  return n.ino();
+}
+
+void Vfs::link_entry(Ino dir, const std::string& name, Ino target) {
+  Inode& d = inode_mut(dir);
+  TOCTTOU_CHECK(d.is_dir(), "link_entry target is not a directory");
+  TOCTTOU_CHECK(!d.entries_.contains(name), "link_entry: name exists");
+  d.entries_[name] = target;
+  ++inode_mut(target).nlink_;
+}
+
+void Vfs::unlink_entry(Ino dir, const std::string& name) {
+  Inode& d = inode_mut(dir);
+  auto it = d.entries_.find(name);
+  TOCTTOU_CHECK(it != d.entries_.end(), "unlink_entry: no such name");
+  Inode& t = inode_mut(it->second);
+  --t.nlink_;
+  TOCTTOU_CHECK(t.nlink_ >= 0, "negative nlink");
+  d.entries_.erase(it);
+  // Inodes are never physically erased within a round: orphan inodes
+  // (nlink 0 with open fds) are a modeled behaviour, and keeping
+  // tombstones keeps Ino references held by in-flight ops valid.
+}
+
+void Vfs::release_ref(Ino ino) {
+  Inode& n = inode_mut(ino);
+  --n.open_refs_;
+  TOCTTOU_CHECK(n.open_refs_ >= 0, "negative open_refs");
+}
+
+bool Vfs::may_read(const Inode& n, const Creds& c) {
+  if (c.is_root()) return true;
+  if (n.uid() == c.uid) return (n.mode() & 0400) != 0;
+  if (n.gid() == c.gid) return (n.mode() & 0040) != 0;
+  return (n.mode() & 0004) != 0;
+}
+
+bool Vfs::may_write(const Inode& n, const Creds& c) {
+  if (c.is_root()) return true;
+  if (n.uid() == c.uid) return (n.mode() & 0200) != 0;
+  if (n.gid() == c.gid) return (n.mode() & 0020) != 0;
+  return (n.mode() & 0002) != 0;
+}
+
+bool Vfs::may_exec(const Inode& n, const Creds& c) {
+  if (c.is_root()) return true;
+  if (n.uid() == c.uid) return (n.mode() & 0100) != 0;
+  if (n.gid() == c.gid) return (n.mode() & 0010) != 0;
+  return (n.mode() & 0001) != 0;
+}
+
+int Vfs::fd_alloc(sim::Pid pid, Ino ino, OpenFlags flags) {
+  auto& table = fd_tables_[pid];
+  int& next = next_fd_[pid];
+  if (next < 3) next = 3;  // 0..2 notionally stdio
+  const int fd = next++;
+  table[fd] = OpenFile{ino, flags};
+  ++inode_mut(ino).open_refs_;
+  return fd;
+}
+
+Result<OpenFile> Vfs::fd_get(sim::Pid pid, int fd) const {
+  auto t = fd_tables_.find(pid);
+  if (t == fd_tables_.end()) return Errno::ebadf;
+  auto it = t->second.find(fd);
+  if (it == t->second.end()) return Errno::ebadf;
+  return it->second;
+}
+
+Errno Vfs::fd_close(sim::Pid pid, int fd) {
+  auto t = fd_tables_.find(pid);
+  if (t == fd_tables_.end()) return Errno::ebadf;
+  auto it = t->second.find(fd);
+  if (it == t->second.end()) return Errno::ebadf;
+  release_ref(it->second.ino);
+  t->second.erase(it);
+  return Errno::ok;
+}
+
+std::size_t Vfs::open_fd_count(sim::Pid pid) const {
+  auto t = fd_tables_.find(pid);
+  return t == fd_tables_.end() ? 0 : t->second.size();
+}
+
+}  // namespace tocttou::fs

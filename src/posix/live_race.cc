@@ -1,0 +1,193 @@
+#include "tocttou/posix/live_race.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <sched.h>
+
+#include <atomic>
+#include <cerrno>
+#include <stdexcept>
+#include <thread>
+
+#include "tocttou/posix/scratch.h"
+
+namespace tocttou::posix {
+
+namespace {
+
+/// Busy-spin for roughly `spins` iterations (prevents the compiler from
+/// collapsing the victim's "computation gap").
+void spin(std::uint64_t spins) {
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < spins; ++i) {
+    sink = sink + 1;
+  }
+}
+
+struct RoundChannel {
+  std::atomic<int> phase{0};  // 0 idle, 1 armed, 2 victim done, 3 att done
+  std::atomic<bool> quit{false};
+  std::atomic<std::uint64_t> old_ino{0};  // target's inode before rename
+};
+
+}  // namespace
+
+LiveRaceResult run_live_race(const LiveRaceConfig& cfg) {
+  LiveRaceResult res;
+  res.cpus = online_cpus();
+
+  ScratchDir dir("tocttou-live");
+  const std::string target = dir.file("target");
+  const std::string temp = dir.file("temp");
+  const std::string decoy = dir.file("decoy");
+  const std::string dummy = dir.file("dummy");
+
+  write_file(decoy, 64);
+  ::chmod(decoy.c_str(), 0600);
+
+  RoundChannel ch;
+  std::atomic<int> successes{0};
+  std::atomic<int> detections{0};
+
+  std::thread attacker([&] {
+    bool pinned = !cfg.pin_threads || pin_to_cpu(1 % res.cpus);
+    (void)pinned;
+    if (cfg.prefault_attacker) {
+      // v2 trick: touch the unlink/symlink code paths before the race.
+      write_file(dummy, 1);
+      ::unlink(dummy.c_str());
+      ::symlink(decoy.c_str(), dummy.c_str());
+      ::unlink(dummy.c_str());
+    }
+    while (!ch.quit.load(std::memory_order_acquire)) {
+      const int ph = ch.phase.load(std::memory_order_acquire);
+      if (ph != 1 && ph != 2) {
+        // Not armed; be polite on single-CPU hosts.
+        sched_yield();
+        continue;
+      }
+      // Armed: poll for the rename (the target's inode changes from the
+      // staged one — the analogue of "owner became root").
+      const std::uint64_t base = ch.old_ino.load(std::memory_order_acquire);
+      bool detected = false;
+      while (true) {
+        struct stat st{};
+        if (::stat(target.c_str(), &st) == 0 &&
+            static_cast<std::uint64_t>(st.st_ino) != base) {
+          detected = true;
+          ::unlink(target.c_str());
+          ::symlink(decoy.c_str(), target.c_str());
+          break;
+        }
+        if (ch.phase.load(std::memory_order_acquire) >= 2) break;
+      }
+      if (detected) detections.fetch_add(1, std::memory_order_relaxed);
+      ch.phase.store(3, std::memory_order_release);
+    }
+  });
+
+  if (cfg.pin_threads) {
+    res.threads_pinned = pin_to_cpu(0) && res.cpus > 1;
+  }
+
+  for (int round = 0; round < cfg.rounds; ++round) {
+    // Stage: target exists (old inode), temp holds the new content.
+    ::unlink(target.c_str());
+    write_file(target, cfg.file_bytes);
+    write_file(temp, cfg.file_bytes);
+    ::chmod(decoy.c_str(), 0600);
+    struct stat staged{};
+    ::stat(target.c_str(), &staged);
+    ch.old_ino.store(static_cast<std::uint64_t>(staged.st_ino),
+                     std::memory_order_release);
+
+    ch.phase.store(1, std::memory_order_release);
+    // Victim: rename, gap, chmod, chown.
+    const std::int64_t t_rename = now_ns();
+    if (::rename(temp.c_str(), target.c_str()) != 0) {
+      ch.phase.store(2, std::memory_order_release);
+      while (ch.phase.load(std::memory_order_acquire) != 3) {
+        sched_yield();
+      }
+      ch.phase.store(0, std::memory_order_release);
+      continue;
+    }
+    spin(cfg.victim_gap_spins);
+    const std::int64_t t_chmod = now_ns();
+    ::chmod(target.c_str(), 0666);
+    ::chown(target.c_str(), getuid(), getgid());
+    ch.phase.store(2, std::memory_order_release);
+    res.window_us.add(static_cast<double>(t_chmod - t_rename) / 1000.0);
+
+    // Wait for the attacker to finish its round.
+    while (ch.phase.load(std::memory_order_acquire) != 3) {
+      sched_yield();
+    }
+
+    // Judge: did the chmod land on the decoy?
+    struct stat st{};
+    if (::stat(decoy.c_str(), &st) == 0 && (st.st_mode & 0777) == 0666) {
+      successes.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++res.rounds;
+    ch.phase.store(0, std::memory_order_release);
+  }
+
+  ch.quit.store(true, std::memory_order_release);
+  ch.phase.store(1, std::memory_order_release);  // unblock the poller
+  attacker.join();
+
+  res.successes = successes.load();
+  res.detections = detections.load();
+  return res;
+}
+
+HostSyscallCosts measure_host_syscall_costs(int iterations) {
+  HostSyscallCosts out;
+  ScratchDir dir("tocttou-cost");
+  const std::string f = dir.file("probe");
+  write_file(f, 64);
+
+  struct stat st{};
+  std::int64_t t0 = now_ns();
+  for (int i = 0; i < iterations; ++i) ::stat(f.c_str(), &st);
+  out.stat_us = static_cast<double>(now_ns() - t0) / 1000.0 / iterations;
+
+  const std::string a = dir.file("a");
+  const std::string b = dir.file("b");
+  t0 = now_ns();
+  for (int i = 0; i < iterations; ++i) {
+    write_file(a, 1);
+    ::unlink(a.c_str());
+  }
+  const double write_unlink =
+      static_cast<double>(now_ns() - t0) / 1000.0 / iterations;
+
+  t0 = now_ns();
+  for (int i = 0; i < iterations; ++i) write_file(a, 1);
+  const double write_only =
+      static_cast<double>(now_ns() - t0) / 1000.0 / iterations;
+  out.unlink_us = write_unlink > write_only ? write_unlink - write_only : 0.0;
+
+  t0 = now_ns();
+  for (int i = 0; i < iterations; ++i) {
+    ::symlink(f.c_str(), b.c_str());
+    ::unlink(b.c_str());
+  }
+  out.symlink_us =
+      static_cast<double>(now_ns() - t0) / 1000.0 / iterations / 2.0;
+
+  write_file(a, 64);
+  t0 = now_ns();
+  for (int i = 0; i < iterations; ++i) {
+    ::rename(a.c_str(), b.c_str());
+    ::rename(b.c_str(), a.c_str());
+  }
+  out.rename_us =
+      static_cast<double>(now_ns() - t0) / 1000.0 / iterations / 2.0;
+  return out;
+}
+
+}  // namespace tocttou::posix

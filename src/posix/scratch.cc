@@ -1,0 +1,93 @@
+#include "tocttou/posix/scratch.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sched.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace tocttou::posix {
+
+namespace {
+
+void remove_tree(const std::string& path) {
+  DIR* d = opendir(path.c_str());
+  if (d != nullptr) {
+    while (dirent* e = readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string child = path + "/" + name;
+      struct stat st{};
+      if (lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        remove_tree(child);
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    closedir(d);
+  }
+  ::rmdir(path.c_str());
+}
+
+}  // namespace
+
+ScratchDir::ScratchDir(const std::string& prefix) {
+  const char* tmp = getenv("TMPDIR");
+  std::string tmpl = std::string(tmp != nullptr ? tmp : "/tmp") + "/" +
+                     prefix + "-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  path_ = buf.data();
+}
+
+ScratchDir::~ScratchDir() {
+  if (!path_.empty()) remove_tree(path_);
+}
+
+std::int64_t now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+bool pin_to_cpu(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+}
+
+int online_cpus() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n < 1 ? 1 : static_cast<int>(n);
+}
+
+void write_file(const std::string& path, std::uint64_t bytes) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("open failed: " + path);
+  }
+  char buf[4096];
+  std::memset(buf, 'x', sizeof(buf));
+  std::uint64_t left = bytes;
+  while (left > 0) {
+    const auto n = static_cast<size_t>(
+        left < sizeof(buf) ? left : sizeof(buf));
+    if (::write(fd, buf, n) < 0) break;
+    left -= n;
+  }
+  ::close(fd);
+}
+
+}  // namespace tocttou::posix

@@ -1,0 +1,63 @@
+#include "tocttou/programs/testbeds.h"
+
+namespace tocttou::programs {
+
+namespace {
+
+sim::MachineSpec xeon_machine(int n_cpus) {
+  sim::MachineSpec m;
+  m.n_cpus = n_cpus;
+  m.speed = 1.0;
+  m.timeslice = Duration::millis(100);
+  m.context_switch_cost = Duration::micros(3);
+  m.wakeup_latency = Duration::micros(2);
+  m.libc_fault_cost = Duration::micros(12);
+  m.noise.rel_sigma = 0.05;
+  return m;
+}
+
+}  // namespace
+
+TestbedProfile testbed_uniprocessor_xeon() {
+  TestbedProfile p;
+  p.name = "uniprocessor-xeon-1.7GHz";
+  p.machine = xeon_machine(1);
+  p.machine.name = p.name;
+  p.costs = fs::SyscallCosts::xeon();
+  p.timings = ProgramTimings::xeon();
+  return p;
+}
+
+TestbedProfile testbed_smp_dual_xeon() {
+  TestbedProfile p;
+  p.name = "smp-2x-xeon-1.7GHz";
+  p.machine = xeon_machine(2);
+  p.machine.name = p.name;
+  p.costs = fs::SyscallCosts::xeon();
+  p.timings = ProgramTimings::xeon();
+  return p;
+}
+
+TestbedProfile testbed_multicore_pentium_d() {
+  TestbedProfile p;
+  p.name = "multicore-pentium-d-3.2GHz";
+  sim::MachineSpec m;
+  m.name = p.name;
+  m.n_cpus = 4;  // 2 cores x HT
+  m.speed = 1.0;  // absolute costs live in the pentium_d tables
+  m.timeslice = Duration::millis(100);
+  m.context_switch_cost = Duration::micros(1);
+  m.wakeup_latency = Duration::micros(1);
+  m.libc_fault_cost = Duration::micros(6);  // Section 6.2.1's 6us trap
+  m.noise.rel_sigma = 0.05;
+  m.noise.tick_cost_mean = Duration::nanos(600);
+  m.noise.tick_cost_stdev = Duration::nanos(150);
+  m.noise.softirq_cost_mean = Duration::micros(6);
+  m.noise.softirq_cost_stdev = Duration::micros(2);
+  p.machine = m;
+  p.costs = fs::SyscallCosts::pentium_d();
+  p.timings = ProgramTimings::pentium_d();
+  return p;
+}
+
+}  // namespace tocttou::programs

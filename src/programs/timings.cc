@@ -1,0 +1,31 @@
+#include "tocttou/programs/timings.h"
+
+namespace tocttou::programs {
+
+ProgramTimings ProgramTimings::xeon() {
+  return ProgramTimings{};  // defaults are the Xeon calibration
+}
+
+ProgramTimings ProgramTimings::pentium_d() {
+  ProgramTimings t;
+  // ~3x faster CPU; the measured gaps from Section 6.2:
+  t.vi_pre_open = Duration::micros(8);
+  t.vi_prep_write = Duration::micros(10);
+  t.vi_between_chunks = Duration::nanos(700);
+  t.vi_pre_close = Duration::micros(3);
+  t.vi_pre_chown = Duration::micros(13);
+  t.gedit_prep = Duration::micros(10);
+  t.gedit_between_chunks = Duration::nanos(700);
+  t.gedit_pre_backup = Duration::micros(3);
+  t.gedit_pre_rename = Duration::micros_f(2.5);
+  t.gedit_comp_gap = Duration::micros(3);  // the 3us gap of Figure 8
+  t.gedit_chmod_chown_gap = Duration::nanos(400);
+  t.atk_loop_comp_vi = Duration::micros(10);
+  t.atk_loop_comp_gedit = Duration::micros(11);
+  t.atk_post_detect_comp = Duration::micros(11);  // Figure 8's 11us
+  t.atk_v2_comp = Duration::micros(2);            // Figure 10's 2us
+  t.atk_thread_handoff = Duration::nanos(400);
+  return t;
+}
+
+}  // namespace tocttou::programs

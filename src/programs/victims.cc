@@ -1,0 +1,315 @@
+#include "tocttou/programs/victims.h"
+
+#include <algorithm>
+
+namespace tocttou::programs {
+
+using sim::Action;
+using sim::ProgramContext;
+
+// ---------------------------------------------------------------------------
+// vi
+// ---------------------------------------------------------------------------
+
+ViVictim::ViVictim(fs::Vfs& vfs, ViVictimConfig cfg)
+    : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+Action ViVictim::next(ProgramContext& ctx) {
+  (void)ctx;
+  switch (phase_) {
+    case Phase::load_open:
+      phase_ = Phase::load_read;
+      return Action::service(
+          vfs_.open_op(cfg_.wfname, fs::OpenFlags::read_only(), 0,
+                       &load_out_));
+    case Phase::load_read:
+      phase_ = Phase::load_close;
+      if (load_out_.fd < 0) return next(ctx);
+      return Action::service(
+          vfs_.read_op(load_out_.fd, cfg_.file_bytes, &err_));
+    case Phase::load_close:
+      phase_ = Phase::think;
+      if (load_out_.fd >= 0) {
+        return Action::service(vfs_.close_op(load_out_.fd, &err_));
+      }
+      return next(ctx);
+    case Phase::think:
+      phase_ = Phase::rename;
+      if (cfg_.think_time > Duration::zero()) {
+        return Action::compute(cfg_.think_time, "edit");
+      }
+      [[fallthrough]];
+    case Phase::rename:
+      phase_ = Phase::pre_open;
+      return Action::service(
+          vfs_.rename_op(cfg_.wfname, cfg_.backup_name, &err_));
+    case Phase::pre_open:
+      phase_ = Phase::open;
+      return Action::compute(cfg_.t.vi_pre_open, "comp");
+    case Phase::open:
+      phase_ = Phase::prep_write;
+      return Action::service(vfs_.open_op(
+          cfg_.wfname, fs::OpenFlags::write_create_trunc(), 0644, &open_out_));
+    case Phase::prep_write:
+      if (open_out_.fd < 0) {  // editor would report an error and bail
+        phase_ = Phase::done;
+        return Action::exit_proc();
+      }
+      phase_ = Phase::write_chunk;
+      return Action::compute(cfg_.t.vi_prep_write, "comp");
+    case Phase::write_chunk: {
+      if (written_ >= cfg_.file_bytes) {
+        phase_ = Phase::pre_close;
+        return next(ctx);
+      }
+      const std::uint64_t n =
+          std::min<std::uint64_t>(cfg_.t.vi_write_chunk_bytes,
+                                  cfg_.file_bytes - written_);
+      written_ += n;
+      phase_ = Phase::between_chunks;
+      return Action::service(vfs_.write_op(open_out_.fd, n, &err_));
+    }
+    case Phase::between_chunks:
+      phase_ = Phase::write_chunk;
+      if (cfg_.t.vi_between_chunks > Duration::zero() &&
+          written_ < cfg_.file_bytes) {
+        return Action::compute(cfg_.t.vi_between_chunks, "comp");
+      }
+      return next(ctx);
+    case Phase::pre_close:
+      phase_ = cfg_.fd_attr_remedy ? Phase::fchown_fd : Phase::close;
+      return Action::compute(cfg_.t.vi_pre_close, "comp");
+    case Phase::fchown_fd:
+      // Defended variant: bind the ownership change to the fd's inode.
+      phase_ = Phase::close;
+      return Action::service(vfs_.fchown_op(open_out_.fd, cfg_.owner_uid,
+                                            cfg_.owner_gid, &err_));
+    case Phase::close:
+      phase_ = cfg_.fd_attr_remedy ? Phase::done : Phase::pre_chown;
+      return Action::service(vfs_.close_op(open_out_.fd, &err_));
+    case Phase::pre_chown:
+      phase_ = Phase::chown;
+      return Action::compute(cfg_.t.vi_pre_chown, "comp");
+    case Phase::chown:
+      phase_ = Phase::done;
+      return Action::service(
+          vfs_.chown_op(cfg_.wfname, cfg_.owner_uid, cfg_.owner_gid, &err_));
+    case Phase::done:
+      return Action::exit_proc();
+  }
+  return Action::exit_proc();
+}
+
+// ---------------------------------------------------------------------------
+// gedit
+// ---------------------------------------------------------------------------
+
+GeditVictim::GeditVictim(fs::Vfs& vfs, GeditVictimConfig cfg)
+    : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+Action GeditVictim::next(ProgramContext& ctx) {
+  (void)ctx;
+  switch (phase_) {
+    case Phase::load_open:
+      phase_ = Phase::load_read;
+      return Action::service(
+          vfs_.open_op(cfg_.real_filename, fs::OpenFlags::read_only(), 0,
+                       &load_out_));
+    case Phase::load_read:
+      phase_ = Phase::load_close;
+      if (load_out_.fd < 0) return next(ctx);
+      return Action::service(
+          vfs_.read_op(load_out_.fd, cfg_.file_bytes, &err_));
+    case Phase::load_close:
+      phase_ = Phase::think;
+      if (load_out_.fd >= 0) {
+        return Action::service(vfs_.close_op(load_out_.fd, &err_));
+      }
+      return next(ctx);
+    case Phase::think:
+      phase_ = Phase::prep;
+      if (cfg_.think_time > Duration::zero()) {
+        return Action::compute(cfg_.think_time, "edit");
+      }
+      [[fallthrough]];
+    case Phase::prep:
+      phase_ = Phase::open_temp;
+      return Action::compute(cfg_.t.gedit_prep, "comp");
+    case Phase::open_temp: {
+      phase_ = Phase::write_chunk;
+      fs::OpenFlags flags = fs::OpenFlags::write_create_trunc();
+      flags.excl = true;  // mkstemp-style: the scratch name is fresh
+      return Action::service(
+          vfs_.open_op(cfg_.temp_filename, flags, 0600, &open_out_));
+    }
+    case Phase::write_chunk: {
+      if (open_out_.fd < 0) {
+        phase_ = Phase::done;
+        return Action::exit_proc();
+      }
+      if (written_ >= cfg_.file_bytes) {
+        phase_ = cfg_.fd_attr_remedy ? Phase::fchmod_fd : Phase::close_temp;
+        return next(ctx);
+      }
+      const std::uint64_t n =
+          std::min<std::uint64_t>(cfg_.t.gedit_write_chunk_bytes,
+                                  cfg_.file_bytes - written_);
+      written_ += n;
+      phase_ = Phase::between_chunks;
+      return Action::service(vfs_.write_op(open_out_.fd, n, &err_));
+    }
+    case Phase::between_chunks:
+      phase_ = Phase::write_chunk;
+      if (cfg_.t.gedit_between_chunks > Duration::zero() &&
+          written_ < cfg_.file_bytes) {
+        return Action::compute(cfg_.t.gedit_between_chunks, "comp");
+      }
+      return next(ctx);
+    case Phase::fchmod_fd:
+      phase_ = Phase::fchown_fd;
+      return Action::service(
+          vfs_.fchmod_op(open_out_.fd, cfg_.owner_mode, &err_));
+    case Phase::fchown_fd:
+      phase_ = Phase::close_temp;
+      return Action::service(vfs_.fchown_op(open_out_.fd, cfg_.owner_uid,
+                                            cfg_.owner_gid, &err_));
+    case Phase::close_temp:
+      phase_ = Phase::pre_backup;
+      return Action::service(vfs_.close_op(open_out_.fd, &err_));
+    case Phase::pre_backup:
+      phase_ = Phase::backup;
+      return Action::compute(cfg_.t.gedit_pre_backup, "comp");
+    case Phase::backup:
+      phase_ = Phase::pre_rename;
+      return Action::service(
+          vfs_.rename_op(cfg_.real_filename, cfg_.backup_name, &err_));
+    case Phase::pre_rename:
+      phase_ = Phase::rename;
+      return Action::compute(cfg_.t.gedit_pre_rename, "comp");
+    case Phase::rename:
+      phase_ = cfg_.fd_attr_remedy ? Phase::done : Phase::comp_gap;
+      return Action::service(
+          vfs_.rename_op(cfg_.temp_filename, cfg_.real_filename, &err_));
+    case Phase::comp_gap:
+      // The decisive gap: 43us on the SMP Xeon, 3us on the multi-core.
+      phase_ = Phase::chmod;
+      return Action::compute(cfg_.t.gedit_comp_gap, "comp");
+    case Phase::chmod:
+      phase_ = Phase::chmod_chown_gap;
+      return Action::service(
+          vfs_.chmod_op(cfg_.real_filename, cfg_.owner_mode, &err_));
+    case Phase::chmod_chown_gap:
+      phase_ = Phase::chown;
+      if (cfg_.t.gedit_chmod_chown_gap > Duration::zero()) {
+        return Action::compute(cfg_.t.gedit_chmod_chown_gap, "comp");
+      }
+      return next(ctx);
+    case Phase::chown:
+      phase_ = Phase::done;
+      return Action::service(vfs_.chown_op(cfg_.real_filename, cfg_.owner_uid,
+                                           cfg_.owner_gid, &err_));
+    case Phase::done:
+      return Action::exit_proc();
+  }
+  return Action::exit_proc();
+}
+
+// ---------------------------------------------------------------------------
+// SuspendingVictim (rpm-style upper bound)
+// ---------------------------------------------------------------------------
+
+SuspendingVictim::SuspendingVictim(fs::Vfs& vfs, SuspendingVictimConfig cfg)
+    : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+Action SuspendingVictim::next(ProgramContext& ctx) {
+  (void)ctx;
+  switch (phase_) {
+    case Phase::think:
+      phase_ = Phase::rename_away;
+      if (cfg_.think_time > Duration::zero()) {
+        return Action::compute(cfg_.think_time, "work");
+      }
+      [[fallthrough]];
+    case Phase::rename_away:
+      // Like vi: move the old file aside so the open() below creates a
+      // fresh (root-owned) inode under the watched name.
+      phase_ = Phase::check;
+      return Action::service(
+          vfs_.rename_op(cfg_.path, cfg_.path + ".bak", &err_));
+    case Phase::check:
+      phase_ = Phase::io;
+      return Action::service(vfs_.open_op(
+          cfg_.path, fs::OpenFlags::write_create_trunc(), 0644, &open_out_));
+    case Phase::io:
+      // The window contains blocking I/O: on a uniprocessor the attacker
+      // is all but guaranteed the CPU here (P(victim suspended) ~ 1).
+      phase_ = Phase::close;
+      return Action::sleep_for(cfg_.io_time);
+    case Phase::close:
+      if (open_out_.fd < 0) {
+        phase_ = Phase::done;
+        return Action::exit_proc();
+      }
+      phase_ = Phase::use;
+      return Action::service(vfs_.close_op(open_out_.fd, &err_));
+    case Phase::use:
+      phase_ = Phase::done;
+      return Action::service(
+          vfs_.chown_op(cfg_.path, cfg_.owner_uid, cfg_.owner_gid, &err_));
+    case Phase::done:
+      return Action::exit_proc();
+  }
+  return Action::exit_proc();
+}
+
+// ---------------------------------------------------------------------------
+// SendmailVictim
+// ---------------------------------------------------------------------------
+
+SendmailVictim::SendmailVictim(fs::Vfs& vfs, SendmailVictimConfig cfg)
+    : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+Action SendmailVictim::next(ProgramContext& ctx) {
+  (void)ctx;
+  switch (phase_) {
+    case Phase::think:
+      phase_ = Phase::check;
+      if (cfg_.think_time > Duration::zero()) {
+        return Action::compute(cfg_.think_time, "queue");
+      }
+      [[fallthrough]];
+    case Phase::check:
+      phase_ = Phase::gap;
+      return Action::service(vfs_.lstat_op(cfg_.mailbox, &stat_out_, &err_));
+    case Phase::gap:
+      if (err_ != Errno::ok || stat_out_.is_symlink()) {
+        rejected_ = true;  // the check did its job
+        phase_ = Phase::done;
+        return Action::exit_proc();
+      }
+      phase_ = Phase::open;
+      return Action::compute(cfg_.check_use_gap, "comp");
+    case Phase::open: {
+      phase_ = Phase::write;
+      fs::OpenFlags flags;
+      flags.write = true;  // append; follows a symlink if one appeared
+      return Action::service(vfs_.open_op(cfg_.mailbox, flags, 0, &open_out_));
+    }
+    case Phase::write:
+      if (open_out_.fd < 0) {
+        phase_ = Phase::done;
+        return Action::exit_proc();
+      }
+      phase_ = Phase::close;
+      return Action::service(
+          vfs_.write_op(open_out_.fd, cfg_.message_bytes, &err_));
+    case Phase::close:
+      phase_ = Phase::done;
+      return Action::service(vfs_.close_op(open_out_.fd, &err_));
+    case Phase::done:
+      return Action::exit_proc();
+  }
+  return Action::exit_proc();
+}
+
+}  // namespace tocttou::programs

@@ -1,0 +1,163 @@
+#include "tocttou/sched/linux_sched.h"
+
+#include <algorithm>
+
+#include "tocttou/common/error.h"
+
+namespace tocttou::sched {
+
+using sim::CpuId;
+using sim::Process;
+
+LinuxLikeScheduler::LinuxLikeScheduler(LinuxSchedParams params)
+    : params_(params) {}
+
+void LinuxLikeScheduler::init(int n_cpus) {
+  queues_.assign(static_cast<std::size_t>(n_cpus), RunQueue{});
+}
+
+LinuxLikeScheduler::RunQueue& LinuxLikeScheduler::rq(CpuId cpu) {
+  TOCTTOU_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < queues_.size(),
+                "bad cpu id in scheduler");
+  return queues_[static_cast<std::size_t>(cpu)];
+}
+
+const LinuxLikeScheduler::RunQueue& LinuxLikeScheduler::rq(CpuId cpu) const {
+  TOCTTOU_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < queues_.size(),
+                "bad cpu id in scheduler");
+  return queues_[static_cast<std::size_t>(cpu)];
+}
+
+CpuId LinuxLikeScheduler::place(const Process& p,
+                                const std::vector<CpuId>& idle_cpus,
+                                const std::vector<CpuId>& allowed_cpus) {
+  TOCTTOU_CHECK(!allowed_cpus.empty(), "placement with empty affinity");
+  // Prefer the last CPU if it is idle (cache affinity), then any idle CPU.
+  if (!idle_cpus.empty()) {
+    if (std::find(idle_cpus.begin(), idle_cpus.end(), p.last_cpu()) !=
+        idle_cpus.end()) {
+      return p.last_cpu();
+    }
+    return idle_cpus.front();
+  }
+  // No idle CPU: stay where we last ran if allowed, else least loaded.
+  if (std::find(allowed_cpus.begin(), allowed_cpus.end(), p.last_cpu()) !=
+      allowed_cpus.end()) {
+    return p.last_cpu();
+  }
+  CpuId best = allowed_cpus.front();
+  std::size_t best_depth = rq(best).size;
+  for (CpuId c : allowed_cpus) {
+    if (rq(c).size < best_depth) {
+      best = c;
+      best_depth = rq(c).size;
+    }
+  }
+  return best;
+}
+
+void LinuxLikeScheduler::enqueue(Process& p, CpuId cpu, bool front) {
+  auto& q = rq(cpu);
+  auto& fifo = q.by_prio[p.priority()];
+  if (front) {
+    fifo.push_front(&p);
+  } else {
+    fifo.push_back(&p);
+  }
+  ++q.size;
+}
+
+Process* LinuxLikeScheduler::pick_next(CpuId cpu) {
+  auto& q = rq(cpu);
+  while (!q.by_prio.empty()) {
+    auto it = q.by_prio.begin();
+    auto& fifo = it->second;
+    if (fifo.empty()) {
+      q.by_prio.erase(it);
+      continue;
+    }
+    Process* p = fifo.front();
+    fifo.pop_front();
+    --q.size;
+    if (fifo.empty()) q.by_prio.erase(it);
+    if (p->state() == sim::ProcState::ready) return p;
+    // Stale entry (e.g. removed process); skip it.
+  }
+  return nullptr;
+}
+
+Process* LinuxLikeScheduler::steal(CpuId thief) {
+  // Pull from the most loaded queue; take the TAIL of its lowest
+  // priority level (the task that would otherwise wait longest), if its
+  // affinity allows the thief CPU.
+  CpuId victim_cpu = sim::kNoCpu;
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    if (static_cast<CpuId>(c) == thief) continue;
+    if (queues_[c].size > best) {
+      best = queues_[c].size;
+      victim_cpu = static_cast<CpuId>(c);
+    }
+  }
+  if (victim_cpu == sim::kNoCpu) return nullptr;
+  auto& q = rq(victim_cpu);
+  for (auto it = q.by_prio.rbegin(); it != q.by_prio.rend(); ++it) {
+    auto& fifo = it->second;
+    for (auto pit = fifo.rbegin(); pit != fifo.rend(); ++pit) {
+      Process* p = *pit;
+      if (p->state() == sim::ProcState::ready &&
+          (p->affinity_mask() & (1ull << thief))) {
+        fifo.erase(std::next(pit).base());
+        --q.size;
+        return p;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void LinuxLikeScheduler::remove(const Process& p) {
+  for (auto& q : queues_) {
+    for (auto& [prio, fifo] : q.by_prio) {
+      auto it = std::find(fifo.begin(), fifo.end(), &p);
+      if (it != fifo.end()) {
+        fifo.erase(it);
+        --q.size;
+        return;
+      }
+    }
+  }
+}
+
+bool LinuxLikeScheduler::should_preempt(const Process& woken,
+                                        const Process& running) const {
+  if (woken.priority() > running.priority()) return true;
+  if (params_.wake_preempts_equal_priority &&
+      woken.priority() == running.priority()) {
+    return true;
+  }
+  return false;
+}
+
+bool LinuxLikeScheduler::should_yield_on_expiry(const Process& running,
+                                                CpuId cpu) const {
+  const auto& q = rq(cpu);
+  for (const auto& [prio, fifo] : q.by_prio) {
+    if (prio < running.priority()) break;  // map is sorted descending
+    for (const Process* p : fifo) {
+      if (p->state() == sim::ProcState::ready) return true;
+    }
+  }
+  return false;
+}
+
+Duration LinuxLikeScheduler::fresh_slice(const Process& p) const {
+  (void)p;
+  return params_.timeslice;
+}
+
+std::size_t LinuxLikeScheduler::queue_depth(CpuId cpu) const {
+  return rq(cpu).size;
+}
+
+}  // namespace tocttou::sched

@@ -1,0 +1,31 @@
+#include "tocttou/sim/event_queue.h"
+
+#include <utility>
+
+#include "tocttou/common/error.h"
+
+namespace tocttou::sim {
+
+void EventQueue::schedule_at(SimTime t, Callback cb) {
+  TOCTTOU_CHECK(t >= now_, "cannot schedule an event in the past");
+  heap_.push(Entry{t, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap
+  // relative to simulation work and keeps the code obviously correct).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.t;
+  ++executed_;
+  e.cb();
+  return true;
+}
+
+SimTime EventQueue::peek_time() const {
+  return heap_.empty() ? SimTime::never() : heap_.top().t;
+}
+
+}  // namespace tocttou::sim

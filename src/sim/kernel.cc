@@ -1,0 +1,606 @@
+#include "tocttou/sim/kernel.h"
+
+#include <algorithm>
+
+#include "tocttou/common/error.h"
+#include "tocttou/common/strings.h"
+
+namespace tocttou::sim {
+
+namespace {
+
+/// Background kernel-thread load generator: sleep an exponential interval,
+/// then burn a short high-priority burst (DESIGN.md: the source of the
+/// "some other process prevents the attacker from being scheduled" failures
+/// in the paper's 1-byte vi experiments).
+class BackgroundDaemon : public Program {
+ public:
+  explicit BackgroundDaemon(BackgroundLoad cfg) : cfg_(cfg) {}
+
+  Action next(ProgramContext& ctx) override {
+    if (sleeping_next_) {
+      sleeping_next_ = false;
+      const double mean_us = cfg_.mean_interval.us();
+      return Action::sleep_for(
+          Duration::micros_f(ctx.rng.exponential(mean_us)));
+    }
+    sleeping_next_ = true;
+    return Action::compute(
+        ctx.rng.normal_duration(cfg_.burst_mean, cfg_.burst_stdev,
+                                Duration::micros(10)),
+        "kthread");
+  }
+
+ private:
+  BackgroundLoad cfg_;
+  bool sleeping_next_ = true;
+};
+
+}  // namespace
+
+Kernel::Kernel(MachineSpec spec, std::unique_ptr<Scheduler> sched,
+               std::uint64_t seed, trace::RoundTrace* trace)
+    : spec_(std::move(spec)),
+      sched_(std::move(sched)),
+      rng_(seed),
+      trace_(trace) {
+  TOCTTOU_CHECK(spec_.n_cpus >= 1, "machine needs at least one CPU");
+  TOCTTOU_CHECK(sched_ != nullptr, "kernel needs a scheduler");
+  cpus_.resize(static_cast<std::size_t>(spec_.n_cpus));
+  sched_->init(spec_.n_cpus);
+}
+
+Kernel::~Kernel() = default;
+
+Pid Kernel::spawn(std::unique_ptr<Program> program, SpawnOptions opts) {
+  TOCTTOU_CHECK(program != nullptr, "spawn requires a program");
+  auto proc = std::unique_ptr<Process>(new Process());
+  Process& p = *proc;
+  p.pid_ = static_cast<Pid>(procs_.size() + 1);
+  p.name_ = opts.name;
+  p.priority_ = opts.priority;
+  p.uid_ = opts.uid;
+  p.gid_ = opts.gid;
+  p.affinity_mask_ = opts.affinity_mask;
+  p.kernel_thread_ = opts.kernel_thread;
+  p.program_ = std::move(program);
+  p.slice_left_ = opts.initial_slice.value_or(sched_->fresh_slice(p));
+  p.state_ = ProcState::ready;
+  procs_.push_back(std::move(proc));
+  if (trace_) trace_->log.set_process_name(p.pid_, p.name_);
+  // Enqueue via an event so that spawning inside program code is safe.
+  queue_.schedule_at(now(), [this, pid = p.pid_] {
+    Process& q = process(pid);
+    if (q.state_ == ProcState::ready && q.cpu_ == kNoCpu) {
+      make_ready(q, /*just_woken=*/false);
+    }
+  });
+  return p.pid_;
+}
+
+Process& Kernel::process(Pid pid) {
+  TOCTTOU_CHECK(pid >= 1 && pid <= procs_.size(), "unknown pid");
+  return *procs_[pid - 1];
+}
+
+const Process& Kernel::process(Pid pid) const {
+  TOCTTOU_CHECK(pid >= 1 && pid <= procs_.size(), "unknown pid");
+  return *procs_[pid - 1];
+}
+
+std::size_t Kernel::live_user_processes() const {
+  std::size_t n = 0;
+  for (const auto& p : procs_) {
+    if (!p->kernel_thread_ && p->state_ != ProcState::exited) ++n;
+  }
+  return n;
+}
+
+Pid Kernel::running_on(CpuId cpu) const {
+  TOCTTOU_CHECK(cpu >= 0 && cpu < spec_.n_cpus, "bad cpu id");
+  return cpus_[static_cast<std::size_t>(cpu)].running;
+}
+
+bool Kernel::run_until(const std::function<bool()>& stop, SimTime limit) {
+  while (true) {
+    if (stop()) return true;
+    if (queue_.empty()) return false;
+    if (queue_.peek_time() > limit) return false;
+    queue_.run_next();
+  }
+}
+
+bool Kernel::run_to_exit(SimTime limit) {
+  return run_until([this] { return live_user_processes() == 0; }, limit);
+}
+
+void Kernel::mark(Pid pid, std::string label, std::string detail) {
+  if (!trace_ || !trace_->log_events) return;
+  trace::TraceEvent ev;
+  ev.begin = ev.end = now();
+  ev.pid = pid;
+  ev.cpu = process(pid).cpu_;
+  ev.category = trace::Category::marker;
+  ev.label = std::move(label);
+  ev.detail = std::move(detail);
+  trace_->log.add(std::move(ev));
+}
+
+void Kernel::start_background_load() {
+  TOCTTOU_CHECK(!background_started_, "background load already started");
+  background_started_ = true;
+  if (!spec_.background.enabled) return;
+  for (int c = 0; c < spec_.n_cpus; ++c) {
+    SpawnOptions opts;
+    opts.name = strfmt("kthread/%d", c);
+    opts.priority = spec_.background.priority;
+    opts.kernel_thread = true;
+    opts.affinity_mask = 1ull << c;
+    spawn(std::make_unique<BackgroundDaemon>(spec_.background), opts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ready / dispatch
+// ---------------------------------------------------------------------------
+
+std::vector<CpuId> Kernel::allowed_cpus(const Process& p) const {
+  std::vector<CpuId> out;
+  for (int c = 0; c < spec_.n_cpus; ++c) {
+    if (p.affinity_mask_ & (1ull << c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<CpuId> Kernel::idle_allowed_cpus(const Process& p) const {
+  std::vector<CpuId> out;
+  for (int c = 0; c < spec_.n_cpus; ++c) {
+    if ((p.affinity_mask_ & (1ull << c)) &&
+        cpus_[static_cast<std::size_t>(c)].running == kNoPid) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void Kernel::make_ready(Process& p, bool just_woken) {
+  TOCTTOU_CHECK(p.state_ == ProcState::ready, "make_ready on non-ready proc");
+  const auto allowed = allowed_cpus(p);
+  TOCTTOU_CHECK(!allowed.empty(), "process affinity excludes every CPU");
+  const CpuId cpu = sched_->place(p, idle_allowed_cpus(p), allowed);
+  sched_->enqueue(p, cpu, /*front=*/false);
+  auto& cs = cpus_[static_cast<std::size_t>(cpu)];
+  if (cs.running == kNoPid) {
+    dispatch(cpu);
+    return;
+  }
+  {
+    Process& running = process(cs.running);
+    // Wakeups preempt per policy; newly spawned tasks preempt only on
+    // strictly higher priority.
+    const bool preempts = just_woken
+                              ? sched_->should_preempt(p, running)
+                              : p.priority_ > running.priority_;
+    if (preempts) {
+      if (running.seg_kind_ == Process::SegKind::user_compute) {
+        // User mode is preemptible immediately.
+        const Duration elapsed = now() - running.seg_start_;
+        ++running.seg_gen_;  // invalidate the scheduled segment-end event
+        charge(running, elapsed);
+        trace_segment(running, trace::Category::compute,
+                      running.compute_label_, running.seg_start_, now());
+        running.compute_left_ -= elapsed;
+        if (running.compute_left_ < Duration::zero()) {
+          running.compute_left_ = Duration::zero();
+        }
+        running.seg_kind_ = Process::SegKind::none;
+        preempt(running, /*requeue_front=*/true);
+      } else {
+        // Kernel mode: defer to the next safe point.
+        running.need_resched_ = true;
+      }
+    }
+  }
+}
+
+void Kernel::dispatch(CpuId cpu) {
+  auto& cs = cpus_[static_cast<std::size_t>(cpu)];
+  if (cs.running != kNoPid) return;
+  Process* p = sched_->pick_next(cpu);
+  if (p == nullptr) p = sched_->steal(cpu);  // idle balancing
+  if (p == nullptr) return;
+  TOCTTOU_CHECK(p->state_ == ProcState::ready, "picked a non-ready process");
+  p->state_ = ProcState::running;
+  p->cpu_ = cpu;
+  p->last_cpu_ = cpu;
+  cs.running = p->pid_;
+  cs.busy_since = now();
+  if (p->slice_left_ <= Duration::zero()) {
+    p->slice_left_ = sched_->fresh_slice(*p);
+  }
+  if (spec_.context_switch_cost > Duration::zero()) {
+    begin_segment(*p, Process::SegKind::ctxsw,
+                  spec_.effective(spec_.context_switch_cost, rng_), "ctxsw");
+  } else {
+    continue_process(*p);
+  }
+}
+
+void Kernel::free_cpu(Process& p) {
+  if (p.cpu_ == kNoCpu) return;
+  auto& cs = cpus_[static_cast<std::size_t>(p.cpu_)];
+  TOCTTOU_CHECK(cs.running == p.pid_, "cpu/process bookkeeping mismatch");
+  cs.running = kNoPid;
+  const CpuId cpu = p.cpu_;
+  p.cpu_ = kNoCpu;
+  dispatch(cpu);
+}
+
+void Kernel::preempt(Process& p, bool requeue_front) {
+  TOCTTOU_CHECK(p.state_ == ProcState::running, "preempt on non-running proc");
+  ++p.preemptions_;
+  p.need_resched_ = false;
+  p.state_ = ProcState::ready;
+  const CpuId cpu = p.cpu_;
+  auto& cs = cpus_[static_cast<std::size_t>(cpu)];
+  cs.running = kNoPid;
+  p.cpu_ = kNoCpu;
+  if (p.slice_left_ <= Duration::zero()) {
+    p.slice_left_ = sched_->fresh_slice(p);
+  }
+  // A task preempted by a wakeup resumes at the head of its priority
+  // level; a task whose slice expired goes to the tail.
+  sched_->enqueue(p, cpu, requeue_front);
+  dispatch(cpu);
+}
+
+// ---------------------------------------------------------------------------
+// Action execution
+// ---------------------------------------------------------------------------
+
+void Kernel::continue_process(Process& p) {
+  if (p.state_ != ProcState::running) return;
+  if (p.need_resched_) {
+    preempt(p, /*requeue_front=*/true);
+    return;
+  }
+  if (p.op_) {
+    advance_service(p);
+    return;
+  }
+  if (p.compute_left_ > Duration::zero()) {
+    // Resume an interrupted computation; cap the segment at the slice.
+    const Duration seg = (p.slice_left_ > Duration::zero())
+                             ? min(p.compute_left_, p.slice_left_)
+                             : p.compute_left_;
+    begin_segment(p, Process::SegKind::user_compute, seg, p.compute_label_);
+    return;
+  }
+  start_next_action(p);
+}
+
+void Kernel::start_next_action(Process& p) {
+  while (true) {
+    if (p.state_ != ProcState::running) return;
+    if (p.need_resched_) {
+      preempt(p, /*requeue_front=*/true);
+      return;
+    }
+    ProgramContext ctx{*this, p, rng_, now()};
+    Action a = p.program_->next(ctx);
+    switch (a.kind) {
+      case Action::Kind::compute: {
+        p.compute_left_ = spec_.effective(a.dur, rng_);
+        p.compute_label_ = a.label.empty() ? "comp" : a.label;
+        if (p.compute_left_ <= Duration::zero()) continue;
+        const Duration seg = (p.slice_left_ > Duration::zero())
+                                 ? min(p.compute_left_, p.slice_left_)
+                                 : p.compute_left_;
+        begin_segment(p, Process::SegKind::user_compute, seg,
+                      p.compute_label_);
+        return;
+      }
+      case Action::Kind::service: {
+        p.op_ = std::move(a.op);
+        const int page = p.op_->libc_page();
+        if (page != ServiceOp::kNoLibcPage &&
+            !p.mapped_libc_pages_.contains(page)) {
+          p.mapped_libc_pages_.insert(page);
+          begin_segment(p, Process::SegKind::trap,
+                        spec_.effective(spec_.libc_fault_cost, rng_), "trap");
+          return;
+        }
+        p.op_enter_ = now();
+        advance_service(p);
+        return;
+      }
+      case Action::Kind::sleep_for: {
+        p.state_ = ProcState::sleeping;
+        p.block_start_ = now();
+        const Pid pid = p.pid_;
+        queue_.schedule_at(now() + a.dur, [this, pid] {
+          wake(pid, /*from_io=*/false);
+        });
+        free_cpu(p);
+        return;
+      }
+      case Action::Kind::wait_flag: {
+        TOCTTOU_CHECK(a.flag != nullptr, "wait_flag needs a flag");
+        if (a.flag->set_) continue;
+        p.state_ = ProcState::blocked_flag;
+        p.block_start_ = now();
+        p.block_label_ = "flag:" + a.flag->name();
+        a.flag->waiters_.push_back(p.pid_);
+        free_cpu(p);
+        return;
+      }
+      case Action::Kind::set_flag: {
+        TOCTTOU_CHECK(a.flag != nullptr, "set_flag needs a flag");
+        a.flag->set_ = true;
+        for (Pid w : a.flag->waiters_) {
+          queue_.schedule_at(now() + spec_.wakeup_latency, [this, w] {
+            wake(w, /*from_io=*/false);
+          });
+        }
+        a.flag->waiters_.clear();
+        continue;
+      }
+      case Action::Kind::mark: {
+        mark(p.pid_, a.label);
+        continue;
+      }
+      case Action::Kind::exit_proc: {
+        handle_exit(p);
+        return;
+      }
+    }
+  }
+}
+
+void Kernel::advance_service(Process& p) {
+  TOCTTOU_CHECK(p.op_ != nullptr, "advance_service without an op");
+  while (true) {
+    if (p.state_ != ProcState::running) return;
+    ServiceContext ctx{*this, p, rng_, now()};
+    const Step step = p.op_->advance(ctx);
+    switch (step.kind) {
+      case Step::Kind::work: {
+        begin_segment(p, Process::SegKind::kernel_work,
+                      spec_.effective(step.dur, rng_),
+                      std::string(p.op_->name()));
+        return;
+      }
+      case Step::Kind::acquire: {
+        TOCTTOU_CHECK(step.sem != nullptr, "acquire needs a semaphore");
+        Semaphore& sem = *step.sem;
+        if (sem.owner_ == kNoPid) {
+          sem.owner_ = p.pid_;
+          p.held_sems_.push_back(&sem);
+          continue;  // acquired without blocking
+        }
+        TOCTTOU_CHECK(sem.owner_ != p.pid_, "semaphore is not recursive");
+        block_on_sem(p, sem);
+        return;
+      }
+      case Step::Kind::release: {
+        TOCTTOU_CHECK(step.sem != nullptr, "release needs a semaphore");
+        release_sem(p, *step.sem);
+        continue;
+      }
+      case Step::Kind::block_io: {
+        p.state_ = ProcState::blocked_io;
+        p.block_start_ = now();
+        p.block_label_ = std::string(p.op_->name());
+        const Pid pid = p.pid_;
+        queue_.schedule_at(now() + step.dur, [this, pid] {
+          wake(pid, /*from_io=*/true);
+        });
+        free_cpu(p);
+        return;
+      }
+      case Step::Kind::done: {
+        complete_service(p, step.result);
+        // Syscall returned; pick the next action (checks need_resched).
+        start_next_action(p);
+        return;
+      }
+    }
+  }
+}
+
+void Kernel::complete_service(Process& p, Errno result) {
+  if (trace_) {
+    trace::SyscallRecord rec;
+    rec.pid = p.pid_;
+    rec.name = std::string(p.op_->name());
+    rec.enter = p.op_enter_;
+    rec.exit = now();
+    rec.result = result;
+    p.op_->fill_record(rec);
+    trace_->journal.add(std::move(rec));
+  }
+  p.op_.reset();
+}
+
+void Kernel::block_on_sem(Process& p, Semaphore& sem) {
+  p.state_ = ProcState::blocked_sem;
+  p.block_start_ = now();
+  p.block_label_ = "sem:" + sem.name_;
+  p.need_resched_ = false;
+  sem.waiters_.push_back(p.pid_);
+  free_cpu(p);
+}
+
+void Kernel::release_sem(Process& p, Semaphore& sem) {
+  TOCTTOU_CHECK(sem.owner_ == p.pid_, "releasing a semaphore not held");
+  auto it = std::find(p.held_sems_.begin(), p.held_sems_.end(), &sem);
+  TOCTTOU_CHECK(it != p.held_sems_.end(), "held-semaphore bookkeeping broken");
+  p.held_sems_.erase(it);
+  if (sem.waiters_.empty()) {
+    sem.owner_ = kNoPid;
+    return;
+  }
+  // Direct hand-off preserves FIFO order and prevents barging: the next
+  // waiter owns the semaphore from this instant even though it will only
+  // run after the wakeup latency.
+  const Pid next = sem.waiters_.front();
+  sem.waiters_.pop_front();
+  sem.owner_ = next;
+  Process& w = process(next);
+  w.held_sems_.push_back(&sem);
+  queue_.schedule_at(now() + spec_.wakeup_latency, [this, next] {
+    wake(next, /*from_io=*/false);
+  });
+}
+
+void Kernel::wake(Pid pid, bool from_io) {
+  Process& p = process(pid);
+  if (p.state_ == ProcState::exited) return;
+  trace::Category cat = trace::Category::sem_wait;
+  bool traced = true;
+  switch (p.state_) {
+    case ProcState::blocked_sem:
+      cat = trace::Category::sem_wait;
+      break;
+    case ProcState::blocked_io:
+      cat = trace::Category::io_wait;
+      break;
+    case ProcState::blocked_flag:
+      cat = trace::Category::sem_wait;
+      break;
+    case ProcState::sleeping:
+      traced = false;
+      break;
+    default:
+      TOCTTOU_CHECK(false, "wake on a process that is not blocked");
+  }
+  (void)from_io;
+  if (traced && trace_ && trace_->log_events) {
+    trace::TraceEvent ev;
+    ev.begin = p.block_start_;
+    ev.end = now();
+    ev.pid = p.pid_;
+    ev.cpu = kNoCpu;
+    ev.category = cat;
+    ev.label = p.block_label_;
+    trace_->log.add(std::move(ev));
+  }
+  p.state_ = ProcState::ready;
+  make_ready(p, /*just_woken=*/true);
+}
+
+void Kernel::handle_exit(Process& p) {
+  TOCTTOU_CHECK(p.held_sems_.empty(),
+                "process exited while holding a semaphore");
+  p.state_ = ProcState::exited;
+  ++p.seg_gen_;
+  free_cpu(p);
+}
+
+// ---------------------------------------------------------------------------
+// Segments (timed spans of CPU execution)
+// ---------------------------------------------------------------------------
+
+void Kernel::begin_segment(Process& p, Process::SegKind kind,
+                           Duration effective, std::string label) {
+  if (effective < Duration::zero()) effective = Duration::zero();
+  p.seg_kind_ = kind;
+  p.seg_start_ = now();
+  p.seg_len_ = effective;
+  p.compute_label_ =
+      (kind == Process::SegKind::user_compute) ? label : p.compute_label_;
+  if (kind != Process::SegKind::user_compute) p.block_label_ = label;
+  const std::uint64_t gen = ++p.seg_gen_;
+  const Pid pid = p.pid_;
+  queue_.schedule_at(now() + effective,
+                     [this, pid, gen] { on_segment_end(pid, gen); });
+}
+
+void Kernel::on_segment_end(Pid pid, std::uint64_t gen) {
+  Process& p = process(pid);
+  if (gen != p.seg_gen_ || p.state_ != ProcState::running) return;
+  finish_segment(p, p.seg_len_);
+}
+
+void Kernel::finish_segment(Process& p, Duration ran) {
+  const Process::SegKind kind = p.seg_kind_;
+  p.seg_kind_ = Process::SegKind::none;
+  charge(p, ran);
+  switch (kind) {
+    case Process::SegKind::user_compute: {
+      trace_segment(p, trace::Category::compute, p.compute_label_,
+                    p.seg_start_, now());
+      p.compute_left_ -= ran;
+      if (p.compute_left_ < Duration::zero()) {
+        p.compute_left_ = Duration::zero();
+      }
+      // Time-slice expiry is checked at segment boundaries (user mode).
+      if (p.slice_left_ <= Duration::zero()) {
+        if (sched_->should_yield_on_expiry(p, p.cpu_)) {
+          preempt(p, /*requeue_front=*/false);
+          return;
+        }
+        p.slice_left_ = sched_->fresh_slice(p);
+      }
+      continue_process(p);
+      return;
+    }
+    case Process::SegKind::trap: {
+      trace_segment(p, trace::Category::trap, "trap", p.seg_start_, now());
+      TOCTTOU_CHECK(p.op_ != nullptr, "trap must precede a service op");
+      p.op_enter_ = now();
+      if (p.need_resched_) {
+        preempt(p, /*requeue_front=*/true);
+        return;
+      }
+      advance_service(p);
+      return;
+    }
+    case Process::SegKind::kernel_work: {
+      trace_segment(p, trace::Category::syscall, p.block_label_, p.seg_start_,
+                    now());
+      // Kernel work steps are non-preemptible; honor deferred preemption
+      // and slice expiry at this safe point.
+      if (p.need_resched_) {
+        preempt(p, /*requeue_front=*/true);
+        return;
+      }
+      if (p.slice_left_ <= Duration::zero()) {
+        if (sched_->should_yield_on_expiry(p, p.cpu_)) {
+          preempt(p, /*requeue_front=*/false);
+          return;
+        }
+        p.slice_left_ = sched_->fresh_slice(p);
+      }
+      advance_service(p);
+      return;
+    }
+    case Process::SegKind::ctxsw: {
+      continue_process(p);
+      return;
+    }
+    case Process::SegKind::none:
+      TOCTTOU_CHECK(false, "segment end without an active segment");
+  }
+}
+
+void Kernel::charge(Process& p, Duration ran) {
+  p.cpu_time_ += ran;
+  p.slice_left_ -= ran;
+}
+
+void Kernel::trace_segment(const Process& p, trace::Category cat,
+                           const std::string& label, SimTime begin,
+                           SimTime end) {
+  if (!trace_ || !trace_->log_events || end == begin) return;
+  trace::TraceEvent ev;
+  ev.begin = begin;
+  ev.end = end;
+  ev.pid = p.pid_;
+  ev.cpu = p.cpu_;
+  ev.category = cat;
+  ev.label = label;
+  trace_->log.add(std::move(ev));
+}
+
+}  // namespace tocttou::sim

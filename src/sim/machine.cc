@@ -1,0 +1,40 @@
+#include "tocttou/sim/machine.h"
+
+#include <cmath>
+
+namespace tocttou::sim {
+
+Duration NoiseModel::inflate(Duration nominal, Rng& rng) const {
+  if (nominal <= Duration::zero()) return Duration::zero();
+  double ns = static_cast<double>(nominal.ns());
+  if (rel_sigma > 0.0) {
+    const double mult = std::max(0.25, rng.normal(1.0, rel_sigma));
+    ns *= mult;
+  }
+  if (tick_period > Duration::zero() &&
+      (tick_cost_mean > Duration::zero() || softirq_prob > 0.0)) {
+    const double expected_ticks = ns / static_cast<double>(tick_period.ns());
+    auto hits = static_cast<int>(expected_ticks);
+    if (rng.bernoulli(expected_ticks - static_cast<double>(hits))) ++hits;
+    for (int i = 0; i < hits; ++i) {
+      ns += static_cast<double>(
+          rng.normal_duration(tick_cost_mean, tick_cost_stdev).ns());
+      if (rng.bernoulli(softirq_prob)) {
+        ns += static_cast<double>(
+            rng.normal_duration(softirq_cost_mean, softirq_cost_stdev).ns());
+      }
+    }
+  }
+  return Duration::nanos(static_cast<std::int64_t>(ns));
+}
+
+NoiseModel NoiseModel::none() {
+  NoiseModel n;
+  n.rel_sigma = 0.0;
+  n.tick_cost_mean = Duration::zero();
+  n.tick_cost_stdev = Duration::zero();
+  n.softirq_prob = 0.0;
+  return n;
+}
+
+}  // namespace tocttou::sim

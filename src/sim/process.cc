@@ -1,0 +1,25 @@
+#include "tocttou/sim/process.h"
+
+namespace tocttou::sim {
+
+const char* to_string(ProcState s) {
+  switch (s) {
+    case ProcState::ready:
+      return "ready";
+    case ProcState::running:
+      return "running";
+    case ProcState::blocked_sem:
+      return "blocked_sem";
+    case ProcState::blocked_io:
+      return "blocked_io";
+    case ProcState::blocked_flag:
+      return "blocked_flag";
+    case ProcState::sleeping:
+      return "sleeping";
+    case ProcState::exited:
+      return "exited";
+  }
+  return "?";
+}
+
+}  // namespace tocttou::sim

@@ -1,0 +1,52 @@
+#include "tocttou/trace/journal.h"
+
+#include <algorithm>
+
+#include "tocttou/common/strings.h"
+
+namespace tocttou::trace {
+
+std::string SyscallJournal::to_csv() const {
+  std::string out =
+      "enter_us,exit_us,pid,name,result,path,path2,st_uid,st_gid,st_ino,"
+      "applied_ino\n";
+  auto opt = [](const auto& v) {
+    return v ? std::to_string(static_cast<unsigned long long>(*v))
+             : std::string();
+  };
+  for (const auto& r : records_) {
+    out += strfmt("%.3f,%.3f,%u,%s,%s,%s,%s,%s,%s,%s,%s\n", r.enter.us(),
+                  r.exit.us(), r.pid, r.name.c_str(), to_string(r.result),
+                  r.path.c_str(), r.path2.c_str(), opt(r.st_uid).c_str(),
+                  opt(r.st_gid).c_str(), opt(r.st_ino).c_str(),
+                  opt(r.applied_ino).c_str());
+  }
+  return out;
+}
+
+std::vector<SyscallRecord> SyscallJournal::for_pid(
+    Pid pid, std::string_view name) const {
+  std::vector<SyscallRecord> out;
+  for (const auto& r : records_) {
+    if (r.pid == pid && r.name == name) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SyscallRecord& a, const SyscallRecord& b) {
+              return a.enter < b.enter;
+            });
+  return out;
+}
+
+std::optional<SyscallRecord> SyscallJournal::first(Pid pid,
+                                                   std::string_view name,
+                                                   SimTime from) const {
+  std::optional<SyscallRecord> best;
+  for (const auto& r : records_) {
+    if (r.pid == pid && r.name == name && r.enter >= from) {
+      if (!best || r.enter < best->enter) best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace tocttou::trace

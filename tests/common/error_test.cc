@@ -1,0 +1,46 @@
+#include "tocttou/common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou {
+namespace {
+
+TEST(ErrnoTest, Strings) {
+  EXPECT_STREQ(to_string(Errno::ok), "OK");
+  EXPECT_STREQ(to_string(Errno::enoent), "ENOENT");
+  EXPECT_STREQ(to_string(Errno::eexist), "EEXIST");
+  EXPECT_STREQ(to_string(Errno::eloop), "ELOOP");
+  EXPECT_STREQ(to_string(Errno::eperm), "EPERM");
+}
+
+TEST(ResultTest, Value) {
+  Result<int> r(42);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.error(), Errno::ok);
+}
+
+TEST(ResultTest, Error) {
+  Result<int> r(Errno::enoent);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::enoent);
+  EXPECT_THROW(r.value(), SimError);
+}
+
+TEST(CheckTest, ThrowsWithMessage) {
+  try {
+    TOCTTOU_CHECK(false, "something broke");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("something broke"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, PassesSilently) {
+  EXPECT_NO_THROW(TOCTTOU_CHECK(1 + 1 == 2, "math"));
+}
+
+}  // namespace
+}  // namespace tocttou

@@ -1,0 +1,146 @@
+#include "tocttou/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tocttou/common/error.h"
+
+namespace tocttou {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, MixSeedDecorrelatesStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(mix_seed(7, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(RngTest, NextDoubleInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(-2, 3);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(RngTest, UniformIntBadRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), SimError);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ExponentialRequiresPositiveMean) {
+  Rng rng(9);
+  EXPECT_THROW(rng.exponential(0.0), SimError);
+}
+
+TEST(RngTest, UniformDurationWithinBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d =
+        rng.uniform_duration(Duration::micros(2), Duration::micros(8));
+    EXPECT_GE(d, Duration::micros(2));
+    EXPECT_LE(d, Duration::micros(8));
+  }
+}
+
+TEST(RngTest, NormalDurationRespectsFloor) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = rng.normal_duration(Duration::micros(1),
+                                       Duration::micros(10));
+    EXPECT_GE(d, Duration::zero());
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(12);
+  Rng b = a.fork();
+  // The fork advanced `a`; the streams must not mirror each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace tocttou

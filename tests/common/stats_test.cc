@@ -1,0 +1,122 @@
+#include "tocttou/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tocttou/common/error.h"
+#include "tocttou/common/rng.h"
+
+namespace tocttou {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SamplesTest, Quantiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.quantile(0.9), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(SamplesTest, QuantileValidatesRange) {
+  Samples s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), SimError);
+}
+
+TEST(SamplesTest, MeanStdev) {
+  Samples s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SuccessCounterTest, RateAndInterval) {
+  SuccessCounter c;
+  for (int i = 0; i < 83; ++i) c.record(true);
+  for (int i = 0; i < 17; ++i) c.record(false);
+  EXPECT_EQ(c.trials(), 100u);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.83);
+  const auto [lo, hi] = c.wilson95();
+  EXPECT_LT(lo, 0.83);
+  EXPECT_GT(hi, 0.83);
+  EXPECT_GT(lo, 0.70);
+  EXPECT_LT(hi, 0.92);
+}
+
+TEST(SuccessCounterTest, EmptyIntervalIsVacuous) {
+  SuccessCounter c;
+  const auto [lo, hi] = c.wilson95();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(TextTableTest, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), SimError);
+}
+
+TEST(TextTableTest, Formatting) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.831, 1), "83.1%");
+}
+
+}  // namespace
+}  // namespace tocttou

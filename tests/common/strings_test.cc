@@ -1,0 +1,57 @@
+#include "tocttou/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou {
+namespace {
+
+TEST(SplitPathTest, Basic) {
+  EXPECT_EQ(split_path("/etc/passwd"),
+            (std::vector<std::string>{"etc", "passwd"}));
+  EXPECT_EQ(split_path("/home/alice/x.txt"),
+            (std::vector<std::string>{"home", "alice", "x.txt"}));
+}
+
+TEST(SplitPathTest, CollapsesSlashesAndDots) {
+  EXPECT_EQ(split_path("//etc///passwd/"),
+            (std::vector<std::string>{"etc", "passwd"}));
+  EXPECT_EQ(split_path("/./etc/./passwd"),
+            (std::vector<std::string>{"etc", "passwd"}));
+}
+
+TEST(SplitPathTest, PreservesDotDot) {
+  EXPECT_EQ(split_path("/a/../b"),
+            (std::vector<std::string>{"a", "..", "b"}));
+}
+
+TEST(SplitPathTest, RootAndEmpty) {
+  EXPECT_TRUE(split_path("/").empty());
+  EXPECT_TRUE(split_path("").empty());
+}
+
+TEST(IsAbsolutePathTest, Basic) {
+  EXPECT_TRUE(is_absolute_path("/etc"));
+  EXPECT_FALSE(is_absolute_path("etc"));
+  EXPECT_FALSE(is_absolute_path(""));
+}
+
+TEST(JoinPathTest, RoundTrip) {
+  EXPECT_EQ(join_path({"etc", "passwd"}), "/etc/passwd");
+  EXPECT_EQ(join_path({}), "/");
+}
+
+TEST(StrfmtTest, Formats) {
+  EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(PaddingTest, PadsAndTruncatesNothing) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 4), "abcdef");
+}
+
+}  // namespace
+}  // namespace tocttou

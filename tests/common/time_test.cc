@@ -1,0 +1,80 @@
+#include "tocttou/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou {
+namespace {
+
+using namespace tocttou::literals;
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::micros(5).ns(), 5000);
+  EXPECT_EQ(Duration::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::micros_f(1.5).ns(), 1500);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+  EXPECT_TRUE(Duration::zero().is_zero());
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ((5_us).ns(), 5000);
+  EXPECT_EQ((1.5_us).ns(), 1500);
+  EXPECT_EQ((3_ms).ns(), 3'000'000);
+  EXPECT_EQ((42_ns).ns(), 42);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((5_us + 3_us).ns(), 8000);
+  EXPECT_EQ((5_us - 8_us).ns(), -3000);
+  EXPECT_TRUE((5_us - 8_us).is_negative());
+  EXPECT_EQ((5_us * 3).ns(), 15000);
+  EXPECT_EQ((3 * 5_us).ns(), 15000);
+  EXPECT_EQ((5_us * 0.5).ns(), 2500);
+  EXPECT_EQ((10_us / 4).ns(), 2500);
+  EXPECT_DOUBLE_EQ(10_us / 4_us, 2.5);
+  Duration d = 1_us;
+  d += 2_us;
+  EXPECT_EQ(d.ns(), 3000);
+  d -= 1_us;
+  EXPECT_EQ(d.ns(), 2000);
+  EXPECT_EQ((-d).ns(), -2000);
+}
+
+TEST(DurationTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ((1500_ns).us(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::millis(2).ms(), 2.0);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_EQ(1_us, 1000_ns);
+  EXPECT_GT(Duration::infinite(), Duration::seconds(1000000));
+  EXPECT_EQ(min(3_us, 5_us), 3_us);
+  EXPECT_EQ(max(3_us, 5_us), 5_us);
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ((500_ns).to_string(), "500ns");
+  EXPECT_EQ((43_us).to_string(), "43.0us");
+  EXPECT_EQ(Duration::millis(2).to_string(), "2.000ms");
+}
+
+TEST(SimTimeTest, PointArithmetic) {
+  const SimTime t0 = SimTime::origin();
+  const SimTime t1 = t0 + 5_us;
+  EXPECT_EQ((t1 - t0).ns(), 5000);
+  EXPECT_EQ((t1 - 2_us).ns(), 3000);
+  EXPECT_LT(t0, t1);
+  SimTime t = t0;
+  t += 7_us;
+  EXPECT_EQ(t.ns(), 7000);
+  EXPECT_EQ(min(t0, t1), t0);
+  EXPECT_EQ(max(t0, t1), t1);
+}
+
+TEST(SimTimeTest, Never) {
+  EXPECT_GT(SimTime::never(), SimTime::origin() + Duration::seconds(100000));
+}
+
+}  // namespace
+}  // namespace tocttou

@@ -1,0 +1,151 @@
+// Experiment harness: staging, success judgement, determinism,
+// campaign aggregation.
+#include "tocttou/core/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou::core {
+namespace {
+
+ScenarioConfig smp_vi() {
+  ScenarioConfig c;
+  c.profile = programs::testbed_smp_dual_xeon();
+  c.victim = VictimKind::vi;
+  c.attacker = AttackerKind::naive;
+  c.file_bytes = 50 * 1024;
+  c.seed = 42;
+  return c;
+}
+
+TEST(HarnessTest, RoundIsDeterministicForSeed) {
+  ScenarioConfig c = smp_vi();
+  c.record_journal = true;
+  const RoundResult a = run_round(c);
+  const RoundResult b = run_round(c);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.trace.journal.records().size(),
+            b.trace.journal.records().size());
+  for (std::size_t i = 0; i < a.trace.journal.records().size(); ++i) {
+    EXPECT_EQ(a.trace.journal.records()[i].enter,
+              b.trace.journal.records()[i].enter);
+  }
+}
+
+TEST(HarnessTest, SeedsChangeTheSchedule) {
+  ScenarioConfig a = smp_vi(), b = smp_vi();
+  b.seed = 43;
+  EXPECT_NE(run_round(a).end_time, run_round(b).end_time);
+}
+
+TEST(HarnessTest, SuccessfulRoundHandsOverPasswd) {
+  // On the SMP with a 50KB file the vi attack is essentially certain.
+  const RoundResult r = run_round(smp_vi());
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.victim_completed);
+  EXPECT_TRUE(r.attacker_finished);
+  EXPECT_GT(r.attacker_iterations, 0);
+}
+
+TEST(HarnessTest, NoAttackerMeansNoSuccess) {
+  ScenarioConfig c = smp_vi();
+  c.attacker = AttackerKind::none;
+  const RoundResult r = run_round(c);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.victim_completed);
+  EXPECT_EQ(r.attacker_pid, 0u);
+}
+
+TEST(HarnessTest, JournalOffByDefault) {
+  const RoundResult r = run_round(smp_vi());
+  EXPECT_TRUE(r.trace.journal.empty());
+  EXPECT_FALSE(r.window.has_value());
+}
+
+TEST(HarnessTest, JournalAndAnalysisWhenRequested) {
+  ScenarioConfig c = smp_vi();
+  c.record_journal = true;
+  const RoundResult r = run_round(c);
+  EXPECT_FALSE(r.trace.journal.empty());
+  ASSERT_TRUE(r.window.has_value());
+  EXPECT_TRUE(r.window->window_found);
+  EXPECT_TRUE(r.window->detected);
+  EXPECT_TRUE(r.trace.log.empty());  // events only with record_events
+}
+
+TEST(HarnessTest, EventsOnlyWithRecordEvents) {
+  ScenarioConfig c = smp_vi();
+  c.record_journal = true;
+  c.record_events = true;
+  const RoundResult r = run_round(c);
+  EXPECT_FALSE(r.trace.log.empty());
+}
+
+TEST(HarnessTest, CampaignAggregates) {
+  ScenarioConfig c = smp_vi();
+  const CampaignStats s = run_campaign(c, 10, /*measure_ld=*/true);
+  EXPECT_EQ(s.success.trials(), 10u);
+  EXPECT_GE(s.success.successes(), 8u);  // near-certain scenario
+  EXPECT_FALSE(s.laxity_us.empty());
+  EXPECT_FALSE(s.detection_us.empty());
+  EXPECT_GT(s.total_events, 0u);
+  EXPECT_EQ(s.anomalies, 0);
+  EXPECT_NE(s.summary().find("success"), std::string::npos);
+}
+
+TEST(HarnessTest, CampaignIsDeterministic) {
+  ScenarioConfig c = smp_vi();
+  const CampaignStats a = run_campaign(c, 5);
+  const CampaignStats b = run_campaign(c, 5);
+  EXPECT_EQ(a.success.successes(), b.success.successes());
+  EXPECT_EQ(a.total_events, b.total_events);
+}
+
+TEST(HarnessTest, SendmailScenario) {
+  ScenarioConfig c;
+  c.profile = programs::testbed_smp_dual_xeon();
+  c.victim = VictimKind::sendmail;
+  c.attacker = AttackerKind::naive;
+  c.watched_path = "/home/alice/report.txt";
+  c.seed = 7;
+  // The sendmail victim appends through the swapped symlink only if the
+  // attacker wins; either way the round must complete cleanly.
+  const RoundResult r = run_round(c);
+  EXPECT_TRUE(r.victim_completed);
+}
+
+TEST(HarnessTest, SuspendingScenarioNearCertainEverywhere) {
+  for (auto profile : {programs::testbed_uniprocessor_xeon(),
+                       programs::testbed_smp_dual_xeon()}) {
+    ScenarioConfig c;
+    c.profile = profile;
+    c.victim = VictimKind::suspending;
+    c.attacker = AttackerKind::naive;
+    c.seed = 21;
+    const CampaignStats s = run_campaign(c, 10);
+    EXPECT_GE(s.success.rate(), 0.9) << profile.name;
+  }
+}
+
+TEST(HarnessTest, ConventionAndSpecSelection) {
+  EXPECT_EQ(d_convention_for(VictimKind::vi), DConvention::loop_iteration);
+  EXPECT_EQ(d_convention_for(VictimKind::gedit),
+            DConvention::stat_to_unlink);
+  ScenarioConfig c = smp_vi();
+  EXPECT_EQ(window_spec_for(c).check_call, "open");
+  c.victim = VictimKind::gedit;
+  EXPECT_EQ(window_spec_for(c).check_call, "rename");
+  EXPECT_TRUE(window_spec_for(c).check_on_path2);
+}
+
+TEST(HarnessTest, ToStringCoverage) {
+  EXPECT_STREQ(to_string(VictimKind::vi), "vi");
+  EXPECT_STREQ(to_string(VictimKind::gedit), "gedit");
+  EXPECT_STREQ(to_string(AttackerKind::naive), "naive");
+  EXPECT_STREQ(to_string(AttackerKind::prefaulted), "prefaulted");
+  EXPECT_STREQ(to_string(AttackerKind::pipelined), "pipelined");
+}
+
+}  // namespace
+}  // namespace tocttou::core

@@ -1,0 +1,152 @@
+// Probabilistic model (Section 3): Equation 1 and the laxity formula.
+#include "tocttou/core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tocttou/common/error.h"
+
+namespace tocttou::core {
+namespace {
+
+using namespace tocttou::literals;
+
+TEST(LaxityFormulaTest, ThreeRegimes) {
+  // Formula (1): 0 if L<0, L/D if 0<=L<D, 1 if L>=D.
+  EXPECT_DOUBLE_EQ(laxity_success_rate(-1_us, 10_us), 0.0);
+  EXPECT_DOUBLE_EQ(laxity_success_rate(0_us, 10_us), 0.0);
+  EXPECT_DOUBLE_EQ(laxity_success_rate(5_us, 10_us), 0.5);
+  EXPECT_DOUBLE_EQ(laxity_success_rate(10_us, 10_us), 1.0);
+  EXPECT_DOUBLE_EQ(laxity_success_rate(100_us, 10_us), 1.0);
+}
+
+TEST(LaxityFormulaTest, PaperTable2Prediction) {
+  // Table 2: L=11.6, D=32.7 -> ~35% ("overly conservative" vs 83%).
+  EXPECT_NEAR(laxity_success_rate(11.6_us, 32.7_us), 0.3547, 0.001);
+}
+
+TEST(LaxityFormulaTest, RatioOverload) {
+  EXPECT_DOUBLE_EQ(laxity_success_rate(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(laxity_success_rate(0.42), 0.42);
+  EXPECT_DOUBLE_EQ(laxity_success_rate(1.7), 1.0);
+}
+
+TEST(LaxityFormulaTest, RequiresPositiveD) {
+  EXPECT_THROW(laxity_success_rate(1_us, 0_us), SimError);
+}
+
+TEST(LaxityFormulaTest, MonotoneInLAndAntitoneInD) {
+  double prev = -1.0;
+  for (int l = -10; l <= 50; l += 5) {
+    const double r = laxity_success_rate(Duration::micros(l), 20_us);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  prev = 2.0;
+  for (int d = 5; d <= 60; d += 5) {
+    const double r = laxity_success_rate(10_us, Duration::micros(d));
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(NoisyLaxityTest, CollapsesToDeterministicWithoutNoise) {
+  const double noisy =
+      noisy_laxity_success_rate(10_us, 0_us, 20_us, 0_us, 10000);
+  EXPECT_NEAR(noisy, 0.5, 1e-9);
+}
+
+TEST(NoisyLaxityTest, NoiseSoftensTheCliff) {
+  // At L slightly below 0 the deterministic rate is 0, but noise gives
+  // the attack a fighting chance (and vice versa above D).
+  const double below =
+      noisy_laxity_success_rate(-2_us, 5_us, 30_us, 3_us, 20000);
+  EXPECT_GT(below, 0.0);
+  EXPECT_LT(below, 0.5);
+  const double above =
+      noisy_laxity_success_rate(35_us, 5_us, 30_us, 3_us, 20000);
+  EXPECT_LT(above, 1.0);
+  EXPECT_GT(above, 0.8);
+}
+
+TEST(NoisyLaxityTest, DeterministicForSeed) {
+  const double a = noisy_laxity_success_rate(10_us, 3_us, 30_us, 3_us, 5000, 7);
+  const double b = noisy_laxity_success_rate(10_us, 3_us, 30_us, 3_us, 5000, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Equation1Test, UniprocessorSecondTermDead) {
+  // Section 3.2: P(sched | victim running) = 0 on a uniprocessor.
+  const auto e = Equation1::uniprocessor(0.2, 0.9, 0.95);
+  EXPECT_NEAR(e.success(), 0.2 * 0.9 * 0.95, 1e-12);
+  EXPECT_DOUBLE_EQ(e.p_sched_given_running, 0.0);
+}
+
+TEST(Equation1Test, UniprocessorBoundedByPSuspended) {
+  // "P(attack succeeds) <= P(victim suspended)".
+  for (double ps : {0.0, 0.1, 0.5, 1.0}) {
+    EXPECT_LE(Equation1::uniprocessor(ps).success(), ps + 1e-12);
+  }
+}
+
+TEST(Equation1Test, MultiprocessorGainsWhenRarelySuspended) {
+  // Section 3.3: the MP gain is maximal when P(susp) ~ 0.
+  const Duration l = 20_us, d = 25_us;
+  const double up = Equation1::uniprocessor(0.01).success();
+  const double mp = Equation1::multiprocessor(0.01, l, d).success();
+  EXPECT_LT(up, 0.02);
+  EXPECT_GT(mp, 0.75);
+}
+
+TEST(Equation1Test, ValidatesProbabilityRanges) {
+  Equation1 e;
+  e.p_victim_suspended = 1.5;
+  EXPECT_THROW(e.success(), SimError);
+}
+
+TEST(SuspensionHelpersTest, TimesliceFraction) {
+  EXPECT_DOUBLE_EQ(p_suspended_timeslice(1_ms, Duration::millis(100)), 0.01);
+  EXPECT_DOUBLE_EQ(p_suspended_timeslice(Duration::millis(200),
+                                         Duration::millis(100)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(p_suspended_timeslice(Duration::zero(),
+                                         Duration::millis(100)),
+                   0.0);
+}
+
+TEST(SuspensionHelpersTest, IoStalls) {
+  EXPECT_DOUBLE_EQ(p_suspended_io(0.0, 100), 0.0);
+  EXPECT_NEAR(p_suspended_io(2e-4, 125), 1.0 - std::pow(1.0 - 2e-4, 125),
+              1e-12);
+  EXPECT_DOUBLE_EQ(p_suspended_io(1.0, 1), 1.0);
+}
+
+TEST(SuspensionHelpersTest, CombineIndependentSources) {
+  EXPECT_NEAR(combine_suspension({0.1, 0.2}), 1.0 - 0.9 * 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(combine_suspension({}), 0.0);
+  EXPECT_DOUBLE_EQ(combine_suspension({1.0, 0.0}), 1.0);
+}
+
+TEST(ViModelTest, UniprocessorPredictionTracksFigure6) {
+  // The analytic model should reproduce Figure 6's envelope: ~2% at
+  // 100KB rising to ~18-20% at 1MB.
+  ViModelParams p;
+  const double at_100kb = vi_uniprocessor_prediction(p, 100 * 1024);
+  const double at_1mb = vi_uniprocessor_prediction(p, 1024 * 1024);
+  EXPECT_GT(at_100kb, 0.01);
+  EXPECT_LT(at_100kb, 0.04);
+  EXPECT_GT(at_1mb, 0.14);
+  EXPECT_LT(at_1mb, 0.25);
+  EXPECT_GT(at_1mb, at_100kb);
+}
+
+TEST(ViModelTest, MultiprocessorPredictionIsNearCertain) {
+  ViModelParams p;
+  // Even a 1-byte file gives L > D on the SMP (Section 5).
+  EXPECT_GT(vi_multiprocessor_prediction(p, 1), 0.99);
+  EXPECT_DOUBLE_EQ(vi_multiprocessor_prediction(p, 1024 * 1024), 1.0);
+}
+
+}  // namespace
+}  // namespace tocttou::core

@@ -1,0 +1,166 @@
+// fd-based operations (fstat/fchmod/fchown) and link(): semantics and
+// their TOCTTOU immunity.
+#include <gtest/gtest.h>
+
+#include "../testing/programs.h"
+#include "tocttou/fs/vfs.h"
+#include "tocttou/sched/linux_sched.h"
+#include "tocttou/sim/kernel.h"
+
+namespace tocttou::fs {
+namespace {
+
+using namespace tocttou::literals;
+using sim::Action;
+using sim::Kernel;
+using tocttou::testing::ScriptProgram;
+
+class FdOpsTest : public ::testing::Test {
+ protected:
+  FdOpsTest() : vfs_(SyscallCosts::xeon()) {
+    vfs_.mkdir_p("/etc", 0, 0, 0755);
+    passwd_ = vfs_.create_file("/etc/passwd", 0, 0, 0644, 1536);
+    vfs_.mkdir_p("/d", 500, 500, 0777);
+    file_ = vfs_.create_file("/d/f", 0, 0, 0600, 4096);
+    sim::MachineSpec m;
+    m.n_cpus = 2;
+    m.noise = sim::NoiseModel::none();
+    m.background.enabled = false;
+    m.context_switch_cost = Duration::zero();
+    m.wakeup_latency = Duration::zero();
+    kernel_ = std::make_unique<Kernel>(
+        m, std::make_unique<sched::LinuxLikeScheduler>(), 1, &trace_);
+  }
+
+  sim::Pid spawn(std::vector<Action> actions, sim::Uid uid,
+                 std::string name = "p") {
+    sim::SpawnOptions opts;
+    opts.name = std::move(name);
+    opts.uid = uid;
+    opts.gid = uid;
+    return kernel_->spawn(
+        std::make_unique<ScriptProgram>(std::move(actions)), opts);
+  }
+
+  Vfs vfs_;
+  Ino passwd_ = kNoIno;
+  Ino file_ = kNoIno;
+  trace::RoundTrace trace_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(FdOpsTest, FstatReadsTheOpenInode) {
+  const int fd = vfs_.fd_alloc(1, file_, OpenFlags::read_only());
+  StatBuf out;
+  Errno err = Errno::einval;
+  std::vector<Action> a;
+  a.push_back(Action::service(vfs_.fstat_op(fd, &out, &err)));
+  spawn(std::move(a), 0);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(err, Errno::ok);
+  EXPECT_EQ(out.ino, file_);
+  EXPECT_EQ(out.size_bytes, 4096u);
+}
+
+TEST_F(FdOpsTest, FstatBadFd) {
+  Errno err = Errno::ok;
+  std::vector<Action> a;
+  a.push_back(Action::service(vfs_.fstat_op(99, nullptr, &err)));
+  spawn(std::move(a), 0);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(err, Errno::ebadf);
+}
+
+TEST_F(FdOpsTest, FchownImmuneToNameRedirection) {
+  // The core defense property: the victim holds an fd; the attacker
+  // swaps the NAME for a symlink to /etc/passwd; fchown still applies to
+  // the original inode and the passwd file is untouched.
+  const int fd = vfs_.fd_alloc(2, file_, OpenFlags::write_create_trunc());
+  Errno uerr = Errno::einval, serr = Errno::einval, ferr = Errno::einval;
+  std::vector<Action> attacker, victim;
+  attacker.push_back(Action::service(vfs_.unlink_op("/d/f", &uerr)));
+  attacker.push_back(
+      Action::service(vfs_.symlink_op("/etc/passwd", "/d/f", &serr)));
+  victim.push_back(Action::compute(200_us));  // attack completes first
+  victim.push_back(Action::service(vfs_.fchown_op(fd, 500, 500, &ferr)));
+  spawn(std::move(attacker), 500, "attacker");
+  spawn(std::move(victim), 0, "victim");
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(uerr, Errno::ok);
+  EXPECT_EQ(serr, Errno::ok);
+  EXPECT_EQ(ferr, Errno::ok);
+  EXPECT_EQ(vfs_.inode(file_).uid(), 500u);    // orphan got chowned
+  EXPECT_EQ(vfs_.inode(passwd_).uid(), 0u);    // passwd untouched!
+}
+
+TEST_F(FdOpsTest, FchmodByOwnerAndPermissions) {
+  const Ino mine = vfs_.create_file("/d/mine", 500, 500, 0600, 1);
+  const int fd = vfs_.fd_alloc(1, mine, OpenFlags::read_only());
+  Errno e1 = Errno::einval;
+  std::vector<Action> a;
+  a.push_back(Action::service(vfs_.fchmod_op(fd, 0640, &e1)));
+  spawn(std::move(a), 500);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(e1, Errno::ok);
+  EXPECT_EQ(vfs_.inode(mine).mode(), 0640);
+
+  // A third user may not fchmod someone else's file.
+  const int fd2 = vfs_.fd_alloc(2, mine, OpenFlags::read_only());
+  Errno e2 = Errno::ok;
+  std::vector<Action> b;
+  b.push_back(Action::service(vfs_.fchmod_op(fd2, 0777, &e2)));
+  spawn(std::move(b), 42, "other");
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(e2, Errno::eperm);
+}
+
+TEST_F(FdOpsTest, FchownRequiresRoot) {
+  const int fd = vfs_.fd_alloc(1, file_, OpenFlags::read_only());
+  Errno err = Errno::ok;
+  std::vector<Action> a;
+  a.push_back(Action::service(vfs_.fchown_op(fd, 500, 500, &err)));
+  spawn(std::move(a), 500);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(err, Errno::eperm);
+}
+
+TEST_F(FdOpsTest, LinkCreatesSecondName) {
+  Errno err = Errno::einval;
+  std::vector<Action> a;
+  a.push_back(Action::service(vfs_.link_op("/d/f", "/d/g", &err)));
+  spawn(std::move(a), 500);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(err, Errno::ok);
+  EXPECT_EQ(vfs_.lookup("/d/g").value(), file_);
+  EXPECT_EQ(vfs_.inode(file_).nlink(), 2);
+}
+
+TEST_F(FdOpsTest, LinkErrors) {
+  vfs_.create_file("/d/exists", 500, 500);
+  Errno e1 = Errno::ok, e2 = Errno::ok, e3 = Errno::ok;
+  std::vector<Action> a;
+  a.push_back(Action::service(vfs_.link_op("/d/missing", "/d/x", &e1)));
+  a.push_back(Action::service(vfs_.link_op("/d/f", "/d/exists", &e2)));
+  a.push_back(Action::service(vfs_.link_op("/d", "/d/y", &e3)));
+  spawn(std::move(a), 500);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(e1, Errno::enoent);
+  EXPECT_EQ(e2, Errno::eexist);
+  EXPECT_EQ(e3, Errno::eisdir);
+}
+
+TEST_F(FdOpsTest, LinkDoesNotFollowSymlinkFinal) {
+  vfs_.create_symlink("/d/sl", "/etc/passwd", 500, 500);
+  Errno err = Errno::einval;
+  std::vector<Action> a;
+  a.push_back(Action::service(vfs_.link_op("/d/sl", "/d/sl2", &err)));
+  spawn(std::move(a), 500);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(err, Errno::ok);
+  const auto l = vfs_.lookup("/d/sl2", false);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(vfs_.inode(l.value()).is_symlink());  // linked the link
+}
+
+}  // namespace
+}  // namespace tocttou::fs

@@ -1,0 +1,178 @@
+// Pure Vfs API tests (setup helpers, path resolution, permissions).
+#include "tocttou/fs/vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou::fs {
+namespace {
+
+SyscallCosts costs() { return SyscallCosts::xeon(); }
+
+TEST(VfsTest, RootExists) {
+  Vfs v(costs());
+  EXPECT_NE(v.root(), kNoIno);
+  EXPECT_TRUE(v.inode(v.root()).is_dir());
+  EXPECT_EQ(v.inode(v.root()).uid(), 0u);
+}
+
+TEST(VfsTest, MkdirPCreatesChain) {
+  Vfs v(costs());
+  const Ino deep = v.mkdir_p("/home/alice/docs", 500, 500);
+  EXPECT_TRUE(v.inode(deep).is_dir());
+  EXPECT_EQ(v.inode(deep).uid(), 500u);
+  EXPECT_TRUE(v.exists("/home"));
+  EXPECT_TRUE(v.exists("/home/alice"));
+  // Idempotent.
+  EXPECT_EQ(v.mkdir_p("/home/alice/docs", 500, 500), deep);
+}
+
+TEST(VfsTest, CreateFileAndLookup) {
+  Vfs v(costs());
+  v.mkdir_p("/etc", 0, 0);
+  const Ino pw = v.create_file("/etc/passwd", 0, 0, 0644, 1536);
+  const auto found = v.lookup("/etc/passwd");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), pw);
+  EXPECT_EQ(v.inode(pw).size_bytes(), 1536u);
+  EXPECT_EQ(v.inode(pw).nlink(), 1);
+}
+
+TEST(VfsTest, LookupErrors) {
+  Vfs v(costs());
+  v.mkdir_p("/etc", 0, 0);
+  v.create_file("/etc/passwd", 0, 0);
+  EXPECT_EQ(v.lookup("/nope").error(), Errno::enoent);
+  EXPECT_EQ(v.lookup("/etc/nope").error(), Errno::enoent);
+  EXPECT_EQ(v.lookup("/etc/passwd/deeper").error(), Errno::enotdir);
+  EXPECT_EQ(v.lookup("relative/path").error(), Errno::einval);
+  EXPECT_EQ(v.lookup("/etc/../etc/passwd").error(), Errno::einval);
+}
+
+TEST(VfsTest, SymlinkFollowAndNoFollow) {
+  Vfs v(costs());
+  v.mkdir_p("/etc", 0, 0);
+  v.mkdir_p("/home/alice", 500, 500);
+  const Ino pw = v.create_file("/etc/passwd", 0, 0);
+  const Ino link =
+      v.create_symlink("/home/alice/evil", "/etc/passwd", 500, 500);
+  EXPECT_EQ(v.lookup("/home/alice/evil", true).value(), pw);
+  EXPECT_EQ(v.lookup("/home/alice/evil", false).value(), link);
+}
+
+TEST(VfsTest, SymlinkThroughIntermediateDirectory) {
+  Vfs v(costs());
+  v.mkdir_p("/data/real", 0, 0);
+  v.create_file("/data/real/f", 0, 0);
+  v.create_symlink("/data/alias", "/data/real", 0, 0);
+  const auto via = v.lookup("/data/alias/f");
+  ASSERT_TRUE(via.ok());
+  EXPECT_EQ(via.value(), v.lookup("/data/real/f").value());
+}
+
+TEST(VfsTest, SymlinkLoopDetected) {
+  Vfs v(costs());
+  v.mkdir_p("/d", 0, 0);
+  v.create_symlink("/d/a", "/d/b", 0, 0);
+  v.create_symlink("/d/b", "/d/a", 0, 0);
+  EXPECT_EQ(v.lookup("/d/a").error(), Errno::eloop);
+}
+
+TEST(VfsTest, DanglingSymlinkFollowFails) {
+  Vfs v(costs());
+  v.mkdir_p("/d", 0, 0);
+  v.create_symlink("/d/dangling", "/nowhere", 0, 0);
+  EXPECT_EQ(v.lookup("/d/dangling", true).error(), Errno::enoent);
+  EXPECT_TRUE(v.lookup("/d/dangling", false).ok());
+}
+
+TEST(VfsTest, WalkPrefix) {
+  Vfs v(costs());
+  v.mkdir_p("/home/alice", 500, 500);
+  v.create_file("/home/alice/f", 500, 500);
+  const auto w = v.walk_prefix("/home/alice/f");
+  EXPECT_EQ(w.err, Errno::ok);
+  EXPECT_EQ(w.parent, v.lookup("/home/alice").value());
+  EXPECT_EQ(w.final_name, "f");
+  EXPECT_EQ(w.target, v.lookup("/home/alice/f").value());
+  // Final component missing is not an error for walk_prefix.
+  const auto w2 = v.walk_prefix("/home/alice/missing");
+  EXPECT_EQ(w2.err, Errno::ok);
+  EXPECT_EQ(w2.target, kNoIno);
+}
+
+TEST(VfsTest, WalkPrefixOperatingOnRootRejected) {
+  Vfs v(costs());
+  EXPECT_EQ(v.walk_prefix("/").err, Errno::einval);
+}
+
+TEST(VfsTest, LinkUnlinkEntryMaintainsNlink) {
+  Vfs v(costs());
+  v.mkdir_p("/d", 0, 0);
+  const Ino f = v.create_file("/d/f", 0, 0);
+  EXPECT_EQ(v.inode(f).nlink(), 1);
+  v.link_entry(v.lookup("/d").value(), "g", f);
+  EXPECT_EQ(v.inode(f).nlink(), 2);
+  v.unlink_entry(v.lookup("/d").value(), "f");
+  EXPECT_EQ(v.inode(f).nlink(), 1);
+  EXPECT_FALSE(v.exists("/d/f"));
+  EXPECT_TRUE(v.exists("/d/g"));
+}
+
+TEST(VfsTest, ComponentCount) {
+  EXPECT_EQ(Vfs::component_count("/etc/passwd"), 2u);
+  EXPECT_EQ(Vfs::component_count("/a/b/c/d"), 4u);
+  EXPECT_EQ(Vfs::component_count("/"), 0u);
+}
+
+TEST(VfsPermTest, RootBypassesEverything) {
+  Vfs v(costs());
+  v.mkdir_p("/d", 500, 500, 0700);
+  const Inode& d = v.inode(v.lookup("/d").value());
+  const Creds root{0, 0};
+  EXPECT_TRUE(Vfs::may_read(d, root));
+  EXPECT_TRUE(Vfs::may_write(d, root));
+  EXPECT_TRUE(Vfs::may_exec(d, root));
+}
+
+TEST(VfsPermTest, OwnerGroupOtherBits) {
+  Vfs v(costs());
+  v.mkdir_p("/d", 0, 0);
+  const Ino f = v.create_file("/d/f", 500, 600, 0640);
+  const Inode& n = v.inode(f);
+  EXPECT_TRUE(Vfs::may_read(n, Creds{500, 500}));   // owner
+  EXPECT_TRUE(Vfs::may_write(n, Creds{500, 500}));
+  EXPECT_TRUE(Vfs::may_read(n, Creds{7, 600}));     // group
+  EXPECT_FALSE(Vfs::may_write(n, Creds{7, 600}));
+  EXPECT_FALSE(Vfs::may_read(n, Creds{7, 7}));      // other
+  EXPECT_FALSE(Vfs::may_exec(n, Creds{500, 500}));
+}
+
+TEST(VfsFdTest, AllocGetClose) {
+  Vfs v(costs());
+  v.mkdir_p("/d", 0, 0);
+  const Ino f = v.create_file("/d/f", 0, 0);
+  const int fd = v.fd_alloc(1, f, OpenFlags::write_create_trunc());
+  EXPECT_GE(fd, 3);
+  EXPECT_EQ(v.inode(f).open_refs(), 1);
+  const auto got = v.fd_get(1, fd);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().ino, f);
+  EXPECT_EQ(v.fd_get(2, fd).error(), Errno::ebadf);  // wrong pid
+  EXPECT_EQ(v.fd_close(1, fd), Errno::ok);
+  EXPECT_EQ(v.inode(f).open_refs(), 0);
+  EXPECT_EQ(v.fd_close(1, fd), Errno::ebadf);  // double close
+  EXPECT_EQ(v.open_fd_count(1), 0u);
+}
+
+TEST(VfsFdTest, DistinctFdsPerProcess) {
+  Vfs v(costs());
+  v.mkdir_p("/d", 0, 0);
+  const Ino f = v.create_file("/d/f", 0, 0);
+  const int a = v.fd_alloc(1, f, {});
+  const int b = v.fd_alloc(1, f, {});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.inode(f).open_refs(), 2);
+}
+
+}  // namespace
+}  // namespace tocttou::fs

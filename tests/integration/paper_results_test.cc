@@ -1,0 +1,193 @@
+// Integration tests asserting the paper's headline results hold in the
+// simulation (with loose bounds — these are statistical properties; the
+// benches reproduce the precise tables).
+#include <gtest/gtest.h>
+
+#include "tocttou/core/harness.h"
+#include "tocttou/core/model.h"
+#include "tocttou/core/pairs.h"
+
+namespace tocttou::core {
+namespace {
+
+ScenarioConfig base(programs::TestbedProfile profile, VictimKind v,
+                    AttackerKind a, std::uint64_t bytes, std::uint64_t seed) {
+  ScenarioConfig c;
+  c.profile = std::move(profile);
+  c.victim = v;
+  c.attacker = a;
+  c.file_bytes = bytes;
+  c.seed = seed;
+  return c;
+}
+
+TEST(PaperResults, ViUniprocessorLowSingleDigitsForNormalFiles) {
+  // Section 4.1 / Figure 6: ~1.5-4% at 100KB.
+  const auto s = run_campaign(
+      base(programs::testbed_uniprocessor_xeon(), VictimKind::vi,
+           AttackerKind::naive, 100 * 1024, 101),
+      150);
+  EXPECT_LT(s.success.rate(), 0.08);
+}
+
+TEST(PaperResults, ViUniprocessorRisesWithFileSize) {
+  const auto small = run_campaign(
+      base(programs::testbed_uniprocessor_xeon(), VictimKind::vi,
+           AttackerKind::naive, 100 * 1024, 102),
+      150);
+  const auto large = run_campaign(
+      base(programs::testbed_uniprocessor_xeon(), VictimKind::vi,
+           AttackerKind::naive, 1024 * 1024, 103),
+      150);
+  EXPECT_GT(large.success.rate(), small.success.rate() + 0.05);
+  EXPECT_GT(large.success.rate(), 0.10);  // ~18% in the paper
+  EXPECT_LT(large.success.rate(), 0.30);
+}
+
+TEST(PaperResults, GeditUniprocessorEssentiallyZero) {
+  // Section 4.2: no successes.
+  const auto s = run_campaign(
+      base(programs::testbed_uniprocessor_xeon(), VictimKind::gedit,
+           AttackerKind::naive, 16 * 1024, 104),
+      150);
+  EXPECT_LE(s.success.successes(), 1u);
+}
+
+TEST(PaperResults, ViSmpNearCertainAcrossSizes) {
+  // Section 5: 100% for 20KB..1MB.
+  for (std::uint64_t kb : {20, 200, 1000}) {
+    const auto s = run_campaign(
+        base(programs::testbed_smp_dual_xeon(), VictimKind::vi,
+             AttackerKind::naive, kb * 1024, 105 + kb),
+        40);
+    EXPECT_GE(s.success.rate(), 0.95) << kb << "KB";
+  }
+}
+
+TEST(PaperResults, ViSmpOneByteAboutNinetySix) {
+  // Section 5: ~96% for 1-byte files; failures exist (kernel threads).
+  const auto s = run_campaign(
+      base(programs::testbed_smp_dual_xeon(), VictimKind::vi,
+           AttackerKind::naive, 1, 106),
+      300);
+  EXPECT_GE(s.success.rate(), 0.90);
+  EXPECT_LT(s.success.rate(), 1.00);  // not guaranteed (Section 5)
+}
+
+TEST(PaperResults, ViSmpOneByteLaxityMatchesTableOne) {
+  // Table 1: L = 61.6us (sd 3.78), D = 41.1us (sd 2.73). We assert the
+  // means land in the right neighbourhood and L > D (the 96% regime).
+  const auto s = run_campaign(
+      base(programs::testbed_smp_dual_xeon(), VictimKind::vi,
+           AttackerKind::naive, 1, 107),
+      100, /*measure_ld=*/true);
+  EXPECT_NEAR(s.laxity_us.mean(), 61.6, 15.0);
+  EXPECT_NEAR(s.detection_us.mean(), 41.1, 6.0);
+  EXPECT_GT(s.laxity_us.mean(), s.detection_us.mean());
+}
+
+TEST(PaperResults, ViSmpLaxityGrowsWithFileSize) {
+  // Figure 7: L ~ 16,000us at 1MB while D stays flat around 41us.
+  const auto s = run_campaign(
+      base(programs::testbed_smp_dual_xeon(), VictimKind::vi,
+           AttackerKind::naive, 1024 * 1024, 108),
+      20, /*measure_ld=*/true);
+  EXPECT_GT(s.laxity_us.mean(), 10000.0);
+  EXPECT_LT(s.laxity_us.mean(), 26000.0);
+  EXPECT_NEAR(s.detection_us.mean(), 41.1, 8.0);
+}
+
+TEST(PaperResults, GeditSmpHighSuccess) {
+  // Section 6.1: roughly 83% on the SMP.
+  const auto s = run_campaign(
+      base(programs::testbed_smp_dual_xeon(), VictimKind::gedit,
+           AttackerKind::naive, 16 * 1024, 109),
+      200);
+  EXPECT_GE(s.success.rate(), 0.70);
+  EXPECT_LT(s.success.rate(), 0.99);
+}
+
+TEST(PaperResults, GeditSmpFormulaPredictionIsConservative) {
+  // Table 2's point: L/D predicts ~35% while the observed rate is ~83%.
+  const auto s = run_campaign(
+      base(programs::testbed_smp_dual_xeon(), VictimKind::gedit,
+           AttackerKind::naive, 16 * 1024, 110),
+      150, /*measure_ld=*/true);
+  const double predicted =
+      laxity_success_rate(Duration::micros_f(s.laxity_us.mean()),
+                          Duration::micros_f(s.detection_us.mean()));
+  EXPECT_LT(predicted, s.success.rate());
+}
+
+TEST(PaperResults, GeditMulticoreNaiveFails) {
+  // Section 6.2.1 / Figure 8: the 11us comp + 6us trap lose the race.
+  const auto s = run_campaign(
+      base(programs::testbed_multicore_pentium_d(), VictimKind::gedit,
+           AttackerKind::naive, 16 * 1024, 111),
+      200, /*measure_ld=*/true);
+  EXPECT_LE(s.success.rate(), 0.02);
+  // D ~ 22us and L negative, as in the paper's event analysis.
+  EXPECT_NEAR(s.detection_us.mean(), 22.0, 4.0);
+  EXPECT_LT(s.laxity_us.mean(), 0.0);
+}
+
+TEST(PaperResults, GeditMulticorePrefaultedSeesManySuccesses) {
+  // Section 6.2.2 / Figure 9-10: removing the trap turns ~0% into many.
+  const auto v1 = run_campaign(
+      base(programs::testbed_multicore_pentium_d(), VictimKind::gedit,
+           AttackerKind::naive, 16 * 1024, 112),
+      150);
+  const auto v2 = run_campaign(
+      base(programs::testbed_multicore_pentium_d(), VictimKind::gedit,
+           AttackerKind::prefaulted, 16 * 1024, 112),
+      150);
+  EXPECT_LE(v1.success.rate(), 0.02);
+  EXPECT_GE(v2.success.rate(), 0.15);
+  EXPECT_GT(v2.success.rate(), v1.success.rate() + 0.10);
+}
+
+TEST(PaperResults, PipelinedAttackerAlsoWorks) {
+  // Section 7's two-thread attacker completes the redirection.
+  const auto s = run_campaign(
+      base(programs::testbed_smp_dual_xeon(), VictimKind::vi,
+           AttackerKind::pipelined, 100 * 1024, 113),
+      30);
+  EXPECT_GE(s.success.rate(), 0.9);
+}
+
+TEST(PaperResults, OnlineDetectorFlagsSuccessfulRounds) {
+  // The interference detector (Section 8's dynamic-analysis tool class)
+  // must flag the attacker's unlink/symlink inside the victim's window
+  // in every successful round.
+  int flagged = 0, successes = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto cfg = base(programs::testbed_smp_dual_xeon(), VictimKind::vi,
+                    AttackerKind::naive, 64 * 1024, seed);
+    cfg.record_journal = true;
+    const auto r = run_round(cfg);
+    if (!r.success) continue;
+    ++successes;
+    const auto hits = find_interference(r.trace.journal, r.victim_pid);
+    bool saw_unlink = false;
+    for (const auto& h : hits) {
+      saw_unlink |= (h.intruder == r.attacker_pid &&
+                     h.intruder_call == "unlink");
+    }
+    if (saw_unlink) ++flagged;
+  }
+  ASSERT_GT(successes, 10);
+  EXPECT_EQ(flagged, successes);
+}
+
+TEST(PaperResults, SuspendedVictimIsTheUpperBoundCase) {
+  // Section 3.2: if the victim is always suspended in the window, the
+  // attack succeeds even on a uniprocessor (the rpm case).
+  const auto s = run_campaign(
+      base(programs::testbed_uniprocessor_xeon(), VictimKind::suspending,
+           AttackerKind::naive, 1024, 114),
+      50);
+  EXPECT_GE(s.success.rate(), 0.95);
+}
+
+}  // namespace
+}  // namespace tocttou::core

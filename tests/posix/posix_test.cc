@@ -1,0 +1,87 @@
+// Host-side helpers and the live race harness (kept small and fast —
+// the full race runs in bench_posix_live).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "tocttou/posix/live_race.h"
+#include "tocttou/posix/scratch.h"
+
+namespace tocttou::posix {
+namespace {
+
+TEST(ScratchDirTest, CreatesAndCleansUp) {
+  std::string path;
+  {
+    ScratchDir dir("tocttou-test");
+    path = dir.path();
+    struct stat st{};
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+    write_file(dir.file("inner"), 128);
+    struct stat fst{};
+    ASSERT_EQ(::stat(dir.file("inner").c_str(), &fst), 0);
+    EXPECT_EQ(fst.st_size, 128);
+  }
+  struct stat st{};
+  EXPECT_NE(::stat(path.c_str(), &st), 0);  // removed recursively
+}
+
+TEST(ScratchDirTest, FileJoinsPath) {
+  ScratchDir dir;
+  EXPECT_EQ(dir.file("x"), dir.path() + "/x");
+}
+
+TEST(ClockTest, Monotonic) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(CpuTest, OnlineCountPositive) {
+  EXPECT_GE(online_cpus(), 1);
+}
+
+TEST(CpuTest, PinToCpuZeroUsuallyWorks) {
+  // Best-effort: pinning to CPU 0 should succeed on any Linux host that
+  // permits affinity calls; accept failure in restricted sandboxes.
+  (void)pin_to_cpu(0);
+  SUCCEED();
+}
+
+TEST(HostCostsTest, MeasuresPlausibleValues) {
+  const auto costs = measure_host_syscall_costs(200);
+  EXPECT_GT(costs.stat_us, 0.0);
+  EXPECT_LT(costs.stat_us, 1000.0);
+  EXPECT_GE(costs.symlink_us, 0.0);
+  EXPECT_GE(costs.rename_us, 0.0);
+}
+
+TEST(LiveRaceTest, RunsAndJudges) {
+  LiveRaceConfig cfg;
+  cfg.rounds = 10;
+  cfg.victim_gap_spins = 1000;
+  const auto res = run_live_race(cfg);
+  EXPECT_EQ(res.rounds, 10);
+  EXPECT_GE(res.successes, 0);
+  EXPECT_LE(res.successes, res.rounds);
+  EXPECT_GE(res.detections, res.successes);  // success implies detection
+  EXPECT_EQ(res.window_us.count(), 10u);
+  EXPECT_GT(res.window_us.mean(), 0.0);
+}
+
+TEST(LiveRaceTest, WiderGapWidensTheWindow) {
+  LiveRaceConfig narrow;
+  narrow.rounds = 5;
+  narrow.victim_gap_spins = 0;
+  LiveRaceConfig wide = narrow;
+  wide.victim_gap_spins = 2'000'000;
+  const auto a = run_live_race(narrow);
+  const auto b = run_live_race(wide);
+  EXPECT_GT(b.window_us.mean(), a.window_us.mean());
+}
+
+}  // namespace
+}  // namespace tocttou::posix

@@ -1,0 +1,80 @@
+#include "tocttou/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "tocttou/common/error.h"
+
+namespace tocttou::sim {
+namespace {
+
+using namespace tocttou::literals;
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::origin() + 5_us, [&] { order.push_back(2); });
+  q.schedule_at(SimTime::origin() + 1_us, [&] { order.push_back(1); });
+  q.schedule_at(SimTime::origin() + 9_us, [&] { order.push_back(3); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), SimTime::origin() + 9_us);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(SimTime::origin() + 3_us, [&, i] { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow) {
+  EventQueue q;
+  SimTime seen;
+  q.schedule_at(SimTime::origin() + 2_us, [&] {
+    q.schedule_after(3_us, [&] { seen = q.now(); });
+  });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(seen, SimTime::origin() + 5_us);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_after(1_us, recurse);
+  };
+  q.schedule_at(SimTime::origin(), recurse);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueueTest, RejectsPast) {
+  EventQueue q;
+  q.schedule_at(SimTime::origin() + 5_us, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule_at(SimTime::origin() + 1_us, [] {}), SimError);
+}
+
+TEST(EventQueueTest, PeekTime) {
+  EventQueue q;
+  EXPECT_EQ(q.peek_time(), SimTime::never());
+  q.schedule_at(SimTime::origin() + 7_us, [] {});
+  EXPECT_EQ(q.peek_time(), SimTime::origin() + 7_us);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, EmptyRunReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+}
+
+}  // namespace
+}  // namespace tocttou::sim

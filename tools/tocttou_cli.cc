@@ -1,0 +1,199 @@
+// tocttou — command-line driver for the attack simulator.
+//
+// Runs any scenario from flags: single traced rounds with a Gantt
+// timeline and CSV dumps, or multi-round campaigns with success rates
+// and L/D statistics. Examples:
+//
+//   tocttou --testbed=smp --victim=vi --file-kb=100 --rounds=200
+//   tocttou --testbed=multicore --victim=gedit --attacker=prefaulted
+//           --rounds=300 --measure-ld            (one line)
+//   tocttou --testbed=smp --victim=gedit --gantt --seed=3
+//   tocttou --testbed=smp --victim=vi --defended --rounds=100
+//   tocttou --testbed=up --victim=vi --file-kb=1000 --journal-csv=out.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "tocttou/core/harness.h"
+#include "tocttou/core/model.h"
+#include "tocttou/core/pairs.h"
+#include "tocttou/trace/trace.h"
+
+namespace {
+
+using namespace tocttou;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: tocttou [options]\n"
+      "  --testbed=up|smp|multicore   machine profile (default smp)\n"
+      "  --victim=vi|gedit|suspending|sendmail   (default vi)\n"
+      "  --attacker=naive|prefaulted|pipelined|none   (default naive)\n"
+      "  --file-kb=N | --file-bytes=N   file size (default 100KB)\n"
+      "  --rounds=N                   campaign rounds (default 100)\n"
+      "  --seed=N                     base seed (default 1)\n"
+      "  --defended                   victim uses fchown/fchmod (Sec. 8)\n"
+      "  --no-background              disable kernel-thread load\n"
+      "  --measure-ld                 record journals; report L and D\n"
+      "  --gantt                      run ONE round and print the timeline\n"
+      "  --journal-csv=PATH           dump one round's syscall journal\n"
+      "  --events-csv=PATH            dump one round's event log\n"
+      "  --interference               report detected cross-process races\n"
+      "  --help\n");
+  std::exit(code);
+}
+
+bool take(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+void write_file_or_die(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << body;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), body.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ScenarioConfig cfg;
+  cfg.profile = programs::testbed_smp_dual_xeon();
+  int rounds = 100;
+  bool measure_ld = false, gantt = false, interference = false;
+  std::string journal_csv, events_csv;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--help") == 0) usage(0);
+    if (take(argv[i], "--testbed", &v)) {
+      if (v == "up" || v == "uniprocessor") {
+        cfg.profile = programs::testbed_uniprocessor_xeon();
+      } else if (v == "smp") {
+        cfg.profile = programs::testbed_smp_dual_xeon();
+      } else if (v == "multicore" || v == "mc") {
+        cfg.profile = programs::testbed_multicore_pentium_d();
+      } else {
+        usage(1);
+      }
+    } else if (take(argv[i], "--victim", &v)) {
+      if (v == "vi") cfg.victim = core::VictimKind::vi;
+      else if (v == "gedit") cfg.victim = core::VictimKind::gedit;
+      else if (v == "suspending") cfg.victim = core::VictimKind::suspending;
+      else if (v == "sendmail") cfg.victim = core::VictimKind::sendmail;
+      else usage(1);
+    } else if (take(argv[i], "--attacker", &v)) {
+      if (v == "naive") cfg.attacker = core::AttackerKind::naive;
+      else if (v == "prefaulted") cfg.attacker = core::AttackerKind::prefaulted;
+      else if (v == "pipelined") cfg.attacker = core::AttackerKind::pipelined;
+      else if (v == "none") cfg.attacker = core::AttackerKind::none;
+      else usage(1);
+    } else if (take(argv[i], "--file-kb", &v)) {
+      cfg.file_bytes = std::strtoull(v.c_str(), nullptr, 10) * 1024;
+    } else if (take(argv[i], "--file-bytes", &v)) {
+      cfg.file_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (take(argv[i], "--rounds", &v)) {
+      rounds = std::atoi(v.c_str());
+    } else if (take(argv[i], "--seed", &v)) {
+      cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (take(argv[i], "--journal-csv", &v)) {
+      journal_csv = v;
+    } else if (take(argv[i], "--events-csv", &v)) {
+      events_csv = v;
+    } else if (std::strcmp(argv[i], "--defended") == 0) {
+      cfg.defended_victim = true;
+    } else if (std::strcmp(argv[i], "--no-background") == 0) {
+      cfg.background_load = false;
+    } else if (std::strcmp(argv[i], "--measure-ld") == 0) {
+      measure_ld = true;
+    } else if (std::strcmp(argv[i], "--gantt") == 0) {
+      gantt = true;
+    } else if (std::strcmp(argv[i], "--interference") == 0) {
+      interference = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      usage(1);
+    }
+  }
+
+  std::printf("testbed=%s victim=%s attacker=%s file=%lluB seed=%llu%s\n",
+              cfg.profile.name.c_str(), core::to_string(cfg.victim),
+              core::to_string(cfg.attacker),
+              static_cast<unsigned long long>(cfg.file_bytes),
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.defended_victim ? " [defended]" : "");
+
+  const bool single_round =
+      gantt || interference || !journal_csv.empty() || !events_csv.empty();
+  if (single_round) {
+    cfg.record_journal = true;
+    cfg.record_events = gantt || !events_csv.empty();
+    const auto r = core::run_round(cfg);
+    std::printf("round: %s (victim %s, attacker %s, %llu events)\n",
+                r.success ? "ATTACK SUCCEEDED" : "attack failed",
+                r.victim_completed ? "completed" : "timed out",
+                r.attacker_finished ? "finished" : "still polling",
+                static_cast<unsigned long long>(r.events));
+    if (r.window && r.window->window_found) {
+      std::printf("window: %.1fus", r.window->victim_window().us());
+      if (r.window->laxity && r.window->d) {
+        std::printf("; L=%.1fus D=%.1fus -> formula(1) %.0f%%",
+                    r.window->laxity->us(), r.window->d->us(),
+                    *r.window->predicted_rate() * 100.0);
+      }
+      std::printf("\n");
+    }
+    if (gantt && r.window && r.window->window_found) {
+      trace::GanttOptions opts;
+      opts.width = 110;
+      opts.from = r.window->window_open - Duration::micros(50);
+      opts.to = r.window->t3 + Duration::micros(60);
+      std::printf("%s", trace::render_gantt(r.trace.log, opts).c_str());
+    } else if (gantt) {
+      std::printf("%s", trace::render_gantt(r.trace.log, {}).c_str());
+    }
+    if (interference) {
+      const auto hits =
+          core::find_interference(r.trace.journal, r.victim_pid);
+      std::printf("interference events inside the victim's windows: %zu\n",
+                  hits.size());
+      for (const auto& h : hits) {
+        std::printf("  t=%.1fus pid%u %s on %s inside <%s,%s>\n", h.at.us(),
+                    h.intruder, h.intruder_call.c_str(),
+                    h.window.path.c_str(), h.window.check_call.c_str(),
+                    h.window.use_call.c_str());
+      }
+    }
+    if (!journal_csv.empty()) {
+      write_file_or_die(journal_csv, r.trace.journal.to_csv());
+    }
+    if (!events_csv.empty()) {
+      write_file_or_die(events_csv, r.trace.log.to_csv());
+    }
+    return r.success ? 0 : 2;
+  }
+
+  const auto stats = core::run_campaign(cfg, rounds, measure_ld);
+  std::printf("campaign: %s\n", stats.summary().c_str());
+  if (measure_ld && !stats.laxity_us.empty()) {
+    const double pred = core::laxity_success_rate(
+        Duration::micros_f(stats.laxity_us.mean()),
+        Duration::micros_f(stats.detection_us.mean()));
+    std::printf(
+        "model: L/D = %.2f -> formula(1) predicts %.1f%% (observed %.1f%%)\n",
+        stats.laxity_us.mean() / stats.detection_us.mean(), pred * 100.0,
+        stats.success.rate() * 100.0);
+  }
+  return 0;
+}
