@@ -72,7 +72,7 @@ void BM_Ablation(benchmark::State& state) {
   const int rounds = rounds_or(300);
   core::CampaignStats stats;
   for (auto _ : state) {
-    stats = core::run_campaign(cfg, rounds);
+    stats = core::run_campaign(cfg, rounds, /*measure_ld=*/false, campaign_jobs());
   }
   state.counters["success_rate"] = stats.success.rate();
   state.SetLabel(name_of(state.range(0)));

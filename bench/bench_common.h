@@ -31,6 +31,18 @@ inline int rounds_or(int dflt) {
   return dflt;
 }
 
+/// Campaign worker threads: every core by default, overridable via
+/// TOCTTOU_JOBS (1 = serial). The campaign engine is deterministic, so
+/// the reproduced tables are identical at any job count — only the
+/// benches' wall-clock changes.
+inline int campaign_jobs() {
+  if (const char* env = std::getenv("TOCTTOU_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 0;  // run_campaign treats <= 0 as hardware concurrency
+}
+
 /// Collects the paper-style rows for end-of-run printing.
 class RowSink {
  public:

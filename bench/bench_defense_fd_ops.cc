@@ -42,7 +42,7 @@ void BM_Defense(benchmark::State& state) {
   const int rounds = rounds_or(200);
   core::CampaignStats stats;
   for (auto _ : state) {
-    stats = core::run_campaign(cfg, rounds);
+    stats = core::run_campaign(cfg, rounds, /*measure_ld=*/false, campaign_jobs());
   }
   state.counters["success_rate"] = stats.success.rate();
   state.SetLabel(c.label);

@@ -33,7 +33,7 @@ void BM_Fig10(benchmark::State& state) {
         scenario(programs::testbed_multicore_pentium_d(),
                  core::VictimKind::gedit, core::AttackerKind::prefaulted,
                  16 * 1024, /*seed=*/1010),
-        rounds, /*measure_ld=*/true);
+        rounds, /*measure_ld=*/true, campaign_jobs());
     rep = representative_success();
   }
   state.counters["success_rate"] = stats.success.rate();

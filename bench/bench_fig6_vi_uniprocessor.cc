@@ -18,7 +18,7 @@ void BM_Fig6(benchmark::State& state) {
     stats = core::run_campaign(
         scenario(programs::testbed_uniprocessor_xeon(), core::VictimKind::vi,
                  core::AttackerKind::naive, kb * 1024, /*seed=*/600 + kb),
-        rounds);
+        rounds, /*measure_ld=*/false, campaign_jobs());
   }
   state.counters["success_rate"] = stats.success.rate();
   state.counters["rounds"] = rounds;

@@ -17,7 +17,7 @@ void BM_Fig7(benchmark::State& state) {
         scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::vi,
                  core::AttackerKind::naive,
                  kb == 0 ? 1 : kb * 1024, /*seed=*/700 + kb),
-        rounds, /*measure_ld=*/true);
+        rounds, /*measure_ld=*/true, campaign_jobs());
   }
   state.counters["L_us"] = stats.laxity_us.mean();
   state.counters["D_us"] = stats.detection_us.mean();

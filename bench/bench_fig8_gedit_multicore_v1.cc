@@ -34,7 +34,7 @@ void BM_Fig8(benchmark::State& state) {
         scenario(programs::testbed_multicore_pentium_d(),
                  core::VictimKind::gedit, core::AttackerKind::naive,
                  16 * 1024, /*seed=*/808),
-        rounds, /*measure_ld=*/true);
+        rounds, /*measure_ld=*/true, campaign_jobs());
     rep = representative_failure();
   }
   state.counters["success_rate"] = stats.success.rate();

@@ -64,7 +64,7 @@ void BM_ModelVsSim(benchmark::State& state) {
     stats = core::run_campaign(
         scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::vi,
                  core::AttackerKind::naive, bytes, /*seed=*/3300 + bytes),
-        rounds, /*measure_ld=*/true);
+        rounds, /*measure_ld=*/true, campaign_jobs());
   }
   const double from_measured_ld = core::noisy_laxity_success_rate(
       Duration::micros_f(stats.laxity_us.mean()),

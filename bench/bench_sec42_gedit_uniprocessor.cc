@@ -15,7 +15,7 @@ void BM_GeditUniprocessor(benchmark::State& state) {
         scenario(programs::testbed_uniprocessor_xeon(),
                  core::VictimKind::gedit, core::AttackerKind::naive,
                  kb * 1024, /*seed=*/420 + kb),
-        rounds);
+        rounds, /*measure_ld=*/false, campaign_jobs());
   }
   state.counters["success_rate"] = stats.success.rate();
   state.counters["successes"] = static_cast<double>(stats.success.successes());

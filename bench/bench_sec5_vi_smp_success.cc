@@ -15,7 +15,7 @@ void BM_ViSmp(benchmark::State& state) {
     stats = core::run_campaign(
         scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::vi,
                  core::AttackerKind::naive, bytes, /*seed=*/500 + bytes),
-        rounds);
+        rounds, /*measure_ld=*/false, campaign_jobs());
   }
   state.counters["success_rate"] = stats.success.rate();
   const std::string label =

@@ -33,7 +33,7 @@ void BM_Sec62(benchmark::State& state) {
     stats = core::run_campaign(
         scenario(c.profile(), core::VictimKind::gedit, c.attacker, 16 * 1024,
                  /*seed=*/620 + static_cast<std::uint64_t>(state.range(0))),
-        rounds);
+        rounds, /*measure_ld=*/false, campaign_jobs());
   }
   state.counters["success_rate"] = stats.success.rate();
   state.SetLabel(c.label);

@@ -16,7 +16,7 @@ void BM_Table1(benchmark::State& state) {
     stats = core::run_campaign(
         scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::vi,
                  core::AttackerKind::naive, /*file_bytes=*/1, /*seed=*/1001),
-        rounds, /*measure_ld=*/true);
+        rounds, /*measure_ld=*/true, campaign_jobs());
   }
   state.counters["L_us"] = stats.laxity_us.mean();
   state.counters["L_stdev"] = stats.laxity_us.stdev();

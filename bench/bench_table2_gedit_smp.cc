@@ -17,7 +17,7 @@ void BM_Table2(benchmark::State& state) {
         scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::gedit,
                  core::AttackerKind::naive, /*file_bytes=*/16 * 1024,
                  /*seed=*/2002),
-        rounds, /*measure_ld=*/true);
+        rounds, /*measure_ld=*/true, campaign_jobs());
   }
   const double predicted = core::laxity_success_rate(
       Duration::micros_f(stats.laxity_us.mean()),

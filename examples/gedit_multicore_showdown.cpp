@@ -56,11 +56,14 @@ void show_timeline(const char* title, core::AttackerKind attacker,
 
 int main(int argc, char** argv) {
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 200;
+  // All cores; the campaign engine is deterministic at any job count.
+  const int jobs = argc > 2 ? std::atoi(argv[2]) : 0;
 
-  const auto v1 =
-      core::run_campaign(make_cfg(core::AttackerKind::naive, 7), rounds);
+  const auto v1 = core::run_campaign(make_cfg(core::AttackerKind::naive, 7),
+                                     rounds, /*measure_ld=*/false, jobs);
   const auto v2 =
-      core::run_campaign(make_cfg(core::AttackerKind::prefaulted, 7), rounds);
+      core::run_campaign(make_cfg(core::AttackerKind::prefaulted, 7), rounds,
+                         /*measure_ld=*/false, jobs);
 
   std::printf("gedit <rename, chown> attack on the multi-core, %d rounds:\n",
               rounds);

@@ -2,7 +2,7 @@
 // same attack against the same victim is a coin-flip-with-bad-odds on a
 // uniprocessor and near-certain on an SMP.
 //
-//   ./build/examples/vi_attack_campaign [rounds]
+//   ./build/examples/vi_attack_campaign [rounds] [jobs]
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,6 +13,8 @@
 int main(int argc, char** argv) {
   using namespace tocttou;
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 100;
+  // All cores by default; same numbers at any job count.
+  const int jobs = argc > 2 ? std::atoi(argv[2]) : 0;
 
   TextTable table({"file size", "uniprocessor", "SMP (2 CPUs)",
                    "Eq.1 UP prediction"});
@@ -28,9 +30,11 @@ int main(int argc, char** argv) {
     cfg.seed = 90 + kb;
 
     cfg.profile = programs::testbed_uniprocessor_xeon();
-    const auto up = core::run_campaign(cfg, rounds);
+    const auto up =
+        core::run_campaign(cfg, rounds, /*measure_ld=*/false, jobs);
     cfg.profile = programs::testbed_smp_dual_xeon();
-    const auto mp = core::run_campaign(cfg, rounds);
+    const auto mp =
+        core::run_campaign(cfg, rounds, /*measure_ld=*/false, jobs);
 
     table.add_row({kb == 1 ? "1 byte" : std::to_string(kb) + "KB",
                    TextTable::pct(up.success.rate()),

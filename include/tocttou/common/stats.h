@@ -49,12 +49,15 @@ class Samples {
   /// q in [0,1]; linear interpolation between order statistics.
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
+  /// Samples in insertion order, regardless of any quantile/min/max
+  /// calls (order statistics sort a private scratch copy).
   const std::vector<double>& values() const { return values_; }
 
  private:
-  mutable std::vector<double> values_;
-  mutable bool sorted_ = true;
-  void ensure_sorted() const;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = true;
+  const std::vector<double>& sorted() const;
 };
 
 /// Bernoulli success counter with a Wilson confidence interval — used to
@@ -67,6 +70,9 @@ class SuccessCounter {
   double rate() const;
   /// Wilson score interval at ~95% confidence. Returns {lo, hi}.
   std::pair<double, double> wilson95() const;
+
+  /// Merges another counter into this one (parallel-combinable).
+  void merge(const SuccessCounter& other);
 
  private:
   std::size_t trials_ = 0;

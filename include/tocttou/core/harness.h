@@ -62,6 +62,10 @@ struct ScenarioConfig {
 struct RoundResult {
   bool success = false;         // /etc/passwd handed to the attacker
   bool victim_completed = false;
+  /// The round stopped at `round_limit` with events still pending.
+  /// (A victim can also fail to complete because the event queue
+  /// drained — that is a stall, not a time-limit hit.)
+  bool hit_time_limit = false;
   bool attacker_finished = false;
   int attacker_iterations = 0;
   std::uint64_t events = 0;
@@ -87,15 +91,36 @@ struct CampaignStats {
   RunningStats detection_us;   // D over rounds where measurable
   RunningStats victim_window_us;
   std::uint64_t total_events = 0;
-  int anomalies = 0;  // rounds hitting the time limit
+  /// Rounds hitting the `round_limit` time cap (plus any round that
+  /// threw — see `failed_rounds`, a subset of this count).
+  int anomalies = 0;
+  /// Rounds that threw out of run_round; the campaign records them and
+  /// carries on instead of aborting.
+  int failed_rounds = 0;
+  /// Rounds where the victim stalled: the event queue drained before
+  /// the victim exited, with simulated time still under `round_limit`.
+  int victim_incomplete = 0;
+  /// Rounds with an attacker that never completed its attack.
+  int attacker_unfinished = 0;
+
+  /// Folds `other` into this accumulator. Merging per-block stats in
+  /// fixed block order reproduces the single-threaded reduction exactly,
+  /// which is what makes the parallel campaign engine deterministic.
+  void merge(const CampaignStats& other);
 
   std::string summary() const;
 };
 
 /// Runs `rounds` rounds with seeds mix(cfg.seed, i); enables the journal
 /// iff `measure_ld` (slower but yields L/D stats).
+///
+/// `jobs` sizes the worker pool: 1 runs everything on the calling
+/// thread, N > 1 shards rounds across N threads, and jobs <= 0 uses the
+/// hardware concurrency. Rounds are independently seeded and reduced in
+/// fixed block order, so the returned stats are byte-identical for any
+/// `jobs` value (same seed => same numbers at any job count).
 CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
-                           bool measure_ld = false);
+                           bool measure_ld = false, int jobs = 1);
 
 /// The DConvention the paper uses for each victim.
 DConvention d_convention_for(VictimKind v);

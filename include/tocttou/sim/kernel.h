@@ -44,6 +44,10 @@ class Kernel {
   bool run_to_exit(SimTime limit = SimTime::never());
 
   SimTime now() const { return queue_.now(); }
+  /// True when the event queue has drained — nothing can ever run again.
+  /// Distinguishes a starved/deadlocked round from one that hit a time
+  /// limit with work still pending.
+  bool idle() const { return queue_.empty(); }
   const MachineSpec& spec() const { return spec_; }
   Rng& rng() { return rng_; }
   trace::RoundTrace* trace() const { return trace_; }

@@ -58,14 +58,18 @@ std::string RunningStats::summary() const {
 
 void Samples::add(double x) {
   values_.push_back(x);
-  sorted_ = false;
+  sorted_valid_ = false;
 }
 
-void Samples::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+// Order statistics work on a scratch copy so `values()` keeps returning
+// the samples in insertion order.
+const std::vector<double>& Samples::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
   }
+  return sorted_;
 }
 
 double Samples::mean() const {
@@ -84,30 +88,33 @@ double Samples::stdev() const {
 }
 
 double Samples::min() const {
-  ensure_sorted();
-  return values_.empty() ? 0.0 : values_.front();
+  return values_.empty() ? 0.0 : sorted().front();
 }
 
 double Samples::max() const {
-  ensure_sorted();
-  return values_.empty() ? 0.0 : values_.back();
+  return values_.empty() ? 0.0 : sorted().back();
 }
 
 double Samples::quantile(double q) const {
   TOCTTOU_CHECK(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
   if (values_.empty()) return 0.0;
-  ensure_sorted();
-  if (values_.size() == 1) return values_[0];
-  const double pos = q * static_cast<double>(values_.size() - 1);
+  const std::vector<double>& v = sorted();
+  if (v.size() == 1) return v[0];
+  const double pos = q * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const auto hi = std::min(lo + 1, v.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
 
 void SuccessCounter::record(bool success) {
   ++trials_;
   if (success) ++successes_;
+}
+
+void SuccessCounter::merge(const SuccessCounter& other) {
+  trials_ += other.trials_;
+  successes_ += other.successes_;
 }
 
 double SuccessCounter::rate() const {

@@ -1,6 +1,11 @@
 #include "tocttou/core/harness.h"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "tocttou/common/strings.h"
 #include "tocttou/fs/vfs.h"
@@ -215,6 +220,9 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   const bool victim_done = kernel.run_until(
       [&] { return kernel.process(victim_pid).exited(); }, limit);
   res.victim_completed = victim_done;
+  // run_until returns false for both "limit exceeded" and "queue
+  // drained"; only the former is a time-limit hit.
+  res.hit_time_limit = !victim_done && !kernel.idle();
   if (cfg.attacker != AttackerKind::none) {
     kernel.run_until(
         [&] {
@@ -253,18 +261,40 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   return res;
 }
 
-CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
-                           bool measure_ld) {
+namespace {
+
+// Rounds are sharded into fixed-size blocks whose boundaries depend only
+// on the round count — never on the worker count. Each block accumulates
+// a private CampaignStats in round-index order, and the blocks merge in
+// block-index order, so the reduction performs the identical arithmetic
+// for any `jobs` value and the result is byte-for-byte reproducible.
+constexpr int kBlockRounds = 8;
+
+CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
+                        bool measure_ld) {
   CampaignStats stats;
-  for (int i = 0; i < rounds; ++i) {
+  for (int i = begin; i < end; ++i) {
     ScenarioConfig round_cfg = cfg;
     round_cfg.seed = mix_seed(cfg.seed, static_cast<std::uint64_t>(i));
     round_cfg.record_journal = measure_ld;
     round_cfg.record_events = false;
-    const RoundResult r = run_round(round_cfg);
+    RoundResult r;
+    try {
+      r = run_round(round_cfg);
+    } catch (const std::exception&) {
+      // A round that blows an internal invariant is an anomaly to
+      // report, not a reason to lose the rest of the campaign.
+      ++stats.failed_rounds;
+      ++stats.anomalies;
+      continue;
+    }
     stats.success.record(r.success);
     stats.total_events += r.events;
-    if (!r.victim_completed) ++stats.anomalies;
+    if (r.hit_time_limit) ++stats.anomalies;
+    if (!r.victim_completed && !r.hit_time_limit) ++stats.victim_incomplete;
+    if (cfg.attacker != AttackerKind::none && !r.attacker_finished) {
+      ++stats.attacker_unfinished;
+    }
     if (r.window) {
       stats.detected.record(r.window->detected);
       if (r.window->window_found) {
@@ -277,6 +307,56 @@ CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
   return stats;
 }
 
+}  // namespace
+
+void CampaignStats::merge(const CampaignStats& other) {
+  success.merge(other.success);
+  detected.merge(other.detected);
+  laxity_us.merge(other.laxity_us);
+  detection_us.merge(other.detection_us);
+  victim_window_us.merge(other.victim_window_us);
+  total_events += other.total_events;
+  anomalies += other.anomalies;
+  failed_rounds += other.failed_rounds;
+  victim_incomplete += other.victim_incomplete;
+  attacker_unfinished += other.attacker_unfinished;
+}
+
+CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
+                           bool measure_ld, int jobs) {
+  CampaignStats stats;
+  if (rounds <= 0) return stats;
+
+  const int n_blocks = (rounds + kBlockRounds - 1) / kBlockRounds;
+  int workers = jobs > 0
+                    ? jobs
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::clamp(workers, 1, n_blocks);
+
+  std::vector<CampaignStats> blocks(static_cast<std::size_t>(n_blocks));
+  std::atomic<int> next_block{0};
+  const auto work = [&] {
+    for (int b = next_block.fetch_add(1, std::memory_order_relaxed);
+         b < n_blocks;
+         b = next_block.fetch_add(1, std::memory_order_relaxed)) {
+      const int begin = b * kBlockRounds;
+      blocks[static_cast<std::size_t>(b)] = run_block(
+          cfg, begin, std::min(rounds, begin + kBlockRounds), measure_ld);
+    }
+  };
+  if (workers == 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+
+  for (const CampaignStats& b : blocks) stats.merge(b);
+  return stats;
+}
+
 std::string CampaignStats::summary() const {
   const auto [lo, hi] = success.wilson95();
   std::string out = strfmt(
@@ -284,11 +364,17 @@ std::string CampaignStats::summary() const {
       success.successes(), success.trials(), success.rate() * 100.0,
       lo * 100.0, hi * 100.0);
   if (!laxity_us.empty()) {
-    out += strfmt("; L=%.1f±%.2fus D=%.1f±%.2fus", laxity_us.mean(),
-                  laxity_us.stdev(), detection_us.mean(),
-                  detection_us.stdev());
+    out += strfmt("; L=%.1f±%.2fus", laxity_us.mean(), laxity_us.stdev());
+  }
+  if (!detection_us.empty()) {
+    out += strfmt("%sD=%.1f±%.2fus", laxity_us.empty() ? "; " : " ",
+                  detection_us.mean(), detection_us.stdev());
   }
   if (anomalies > 0) out += strfmt("; anomalies=%d", anomalies);
+  if (failed_rounds > 0) out += strfmt(" (failed=%d)", failed_rounds);
+  if (victim_incomplete > 0) {
+    out += strfmt("; victim-incomplete=%d", victim_incomplete);
+  }
   return out;
 }
 

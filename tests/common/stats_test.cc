@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "tocttou/common/error.h"
 #include "tocttou/common/rng.h"
@@ -45,6 +47,51 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStatsTest, MultiWayMergeMatchesSingleStream) {
+  // Property: splitting a stream across k accumulators and merging them
+  // in order matches single-stream accumulation (within FP tolerance).
+  Rng rng(7);
+  for (int k : {2, 3, 4, 8}) {
+    RunningStats all;
+    std::vector<RunningStats> parts(static_cast<std::size_t>(k));
+    for (int i = 0; i < 500; ++i) {
+      const double x = rng.normal(-2.0, 4.0);
+      all.add(x);
+      parts[static_cast<std::size_t>(rng.uniform_int(0, k - 1))].add(x);
+    }
+    RunningStats merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.count(), all.count()) << "k=" << k;
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-9) << "k=" << k;
+    EXPECT_NEAR(merged.variance(), all.variance(), 1e-9) << "k=" << k;
+    EXPECT_DOUBLE_EQ(merged.min(), all.min()) << "k=" << k;
+    EXPECT_DOUBLE_EQ(merged.max(), all.max()) << "k=" << k;
+  }
+}
+
+TEST(RunningStatsTest, MergeOfSamePartitionIsBitwiseRepeatable) {
+  // Determinism: the identical partition merged twice yields the
+  // identical result, bit for bit — the parallel campaign relies on it.
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  auto reduce = [&xs] {
+    RunningStats total;
+    for (std::size_t b = 0; b < xs.size(); b += 8) {
+      RunningStats block;
+      for (std::size_t i = b; i < std::min(xs.size(), b + 8); ++i) {
+        block.add(xs[i]);
+      }
+      total.merge(block);
+    }
+    return total;
+  };
+  const RunningStats a = reduce(), b = reduce();
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
 TEST(RunningStatsTest, MergeWithEmpty) {
   RunningStats a, b;
   a.add(1.0);
@@ -72,6 +119,22 @@ TEST(SamplesTest, QuantileValidatesRange) {
   EXPECT_THROW(s.quantile(1.5), SimError);
 }
 
+TEST(SamplesTest, ValuesKeepInsertionOrder) {
+  // Regression: order statistics used to sort the stored vector in
+  // place, silently destroying the insertion order values() returns.
+  Samples s;
+  const std::vector<double> inserted = {5.0, 1.0, 4.0, 2.0, 3.0};
+  for (double v : inserted) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.values(), inserted);
+  s.add(0.5);  // order statistics stay correct after more inserts
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.values().back(), 0.5);
+  EXPECT_DOUBLE_EQ(s.values().front(), 5.0);
+}
+
 TEST(SamplesTest, MeanStdev) {
   Samples s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
@@ -90,6 +153,35 @@ TEST(SuccessCounterTest, RateAndInterval) {
   EXPECT_GT(hi, 0.83);
   EXPECT_GT(lo, 0.70);
   EXPECT_LT(hi, 0.92);
+}
+
+TEST(SuccessCounterTest, MergeMatchesSingleStream) {
+  Rng rng(3);
+  SuccessCounter all;
+  std::vector<SuccessCounter> parts(4);
+  for (int i = 0; i < 1000; ++i) {
+    const bool s = rng.bernoulli(0.3);
+    all.record(s);
+    parts[static_cast<std::size_t>(rng.uniform_int(0, 3))].record(s);
+  }
+  SuccessCounter merged;
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.trials(), all.trials());
+  EXPECT_EQ(merged.successes(), all.successes());
+  EXPECT_DOUBLE_EQ(merged.rate(), all.rate());
+  EXPECT_EQ(merged.wilson95(), all.wilson95());
+}
+
+TEST(SuccessCounterTest, MergeWithEmpty) {
+  SuccessCounter a, b;
+  a.record(true);
+  a.record(false);
+  a.merge(b);
+  EXPECT_EQ(a.trials(), 2u);
+  EXPECT_EQ(a.successes(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.trials(), 2u);
+  EXPECT_EQ(b.successes(), 1u);
 }
 
 TEST(SuccessCounterTest, EmptyIntervalIsVacuous) {

@@ -1,0 +1,117 @@
+// Determinism suite for the parallel campaign engine: the same seed must
+// produce the same CampaignStats — bit for bit — at any job count,
+// because rounds are independently seeded, sharded into fixed blocks,
+// and reduced in fixed block order.
+#include <gtest/gtest.h>
+
+#include "tocttou/core/harness.h"
+
+namespace tocttou::core {
+namespace {
+
+ScenarioConfig vi_smp() {
+  ScenarioConfig c;
+  c.profile = programs::testbed_smp_dual_xeon();
+  c.victim = VictimKind::vi;
+  c.attacker = AttackerKind::naive;
+  c.file_bytes = 50 * 1024;
+  c.seed = 42;
+  return c;
+}
+
+ScenarioConfig gedit_multicore() {
+  ScenarioConfig c;
+  c.profile = programs::testbed_multicore_pentium_d();
+  c.victim = VictimKind::gedit;
+  c.attacker = AttackerKind::prefaulted;
+  c.file_bytes = 16 * 1024;
+  c.seed = 7;
+  return c;
+}
+
+// EXPECT_EQ on the doubles deliberately: the engine promises identical
+// arithmetic, not merely close results.
+void expect_identical(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+void expect_identical(const CampaignStats& a, const CampaignStats& b) {
+  EXPECT_EQ(a.success.trials(), b.success.trials());
+  EXPECT_EQ(a.success.successes(), b.success.successes());
+  EXPECT_EQ(a.detected.trials(), b.detected.trials());
+  EXPECT_EQ(a.detected.successes(), b.detected.successes());
+  expect_identical(a.laxity_us, b.laxity_us);
+  expect_identical(a.detection_us, b.detection_us);
+  expect_identical(a.victim_window_us, b.victim_window_us);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.anomalies, b.anomalies);
+  EXPECT_EQ(a.failed_rounds, b.failed_rounds);
+  EXPECT_EQ(a.victim_incomplete, b.victim_incomplete);
+  EXPECT_EQ(a.attacker_unfinished, b.attacker_unfinished);
+  EXPECT_EQ(a.summary(), b.summary());
+}
+
+TEST(CampaignParallelTest, ViSmpIdenticalAtAnyJobCount) {
+  const ScenarioConfig c = vi_smp();
+  // 20 rounds spans two full 8-round blocks plus an uneven tail block.
+  const CampaignStats serial = run_campaign(c, 20, /*measure_ld=*/true, 1);
+  EXPECT_EQ(serial.success.trials(), 20u);
+  EXPECT_FALSE(serial.laxity_us.empty());
+  for (int jobs : {2, 3, 4, 0 /* hardware concurrency */}) {
+    const CampaignStats par = run_campaign(c, 20, /*measure_ld=*/true, jobs);
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    expect_identical(serial, par);
+  }
+}
+
+TEST(CampaignParallelTest, GeditMulticoreIdenticalAtAnyJobCount) {
+  const ScenarioConfig c = gedit_multicore();
+  const CampaignStats serial = run_campaign(c, 20, /*measure_ld=*/true, 1);
+  const CampaignStats par = run_campaign(c, 20, /*measure_ld=*/true, 4);
+  EXPECT_EQ(serial.success.trials(), 20u);
+  expect_identical(serial, par);
+}
+
+TEST(CampaignParallelTest, MoreJobsThanRounds) {
+  const ScenarioConfig c = vi_smp();
+  const CampaignStats serial = run_campaign(c, 5, /*measure_ld=*/false, 1);
+  const CampaignStats par = run_campaign(c, 5, /*measure_ld=*/false, 64);
+  EXPECT_EQ(par.success.trials(), 5u);
+  expect_identical(serial, par);
+}
+
+TEST(CampaignParallelTest, ParallelRunIsRepeatable) {
+  const ScenarioConfig c = gedit_multicore();
+  const CampaignStats a = run_campaign(c, 16, /*measure_ld=*/false, 4);
+  const CampaignStats b = run_campaign(c, 16, /*measure_ld=*/false, 4);
+  expect_identical(a, b);
+}
+
+TEST(CampaignParallelTest, ZeroRounds) {
+  const CampaignStats s = run_campaign(vi_smp(), 0, /*measure_ld=*/false, 4);
+  EXPECT_EQ(s.success.trials(), 0u);
+  EXPECT_EQ(s.anomalies, 0);
+}
+
+TEST(CampaignParallelTest, TimeLimitAnomaliesSurviveParallelRun) {
+  // Rounds that hit the round_limit are recorded as anomalies and do not
+  // kill the campaign — with identical counts at any job count.
+  ScenarioConfig c = vi_smp();
+  c.profile = programs::testbed_uniprocessor_xeon();
+  c.file_bytes = 1024 * 1024;
+  c.round_limit = Duration::micros(50);
+  const CampaignStats serial = run_campaign(c, 12, /*measure_ld=*/false, 1);
+  const CampaignStats par = run_campaign(c, 12, /*measure_ld=*/false, 4);
+  EXPECT_EQ(serial.anomalies, 12);
+  EXPECT_EQ(serial.failed_rounds, 0);
+  EXPECT_EQ(serial.victim_incomplete, 0);  // timed out, didn't stall
+  expect_identical(serial, par);
+}
+
+}  // namespace
+}  // namespace tocttou::core

@@ -1,0 +1,39 @@
+// Standalone (gtest-free) determinism check for the parallel campaign
+// engine. CI builds exactly this binary under -fsanitize=thread: a
+// vi/SMP campaign runs serially and with 4 workers, and the two results
+// must be identical. Exits non-zero on divergence.
+#include <cstdio>
+#include <string>
+
+#include "tocttou/core/harness.h"
+
+int main() {
+  using namespace tocttou;
+  core::ScenarioConfig cfg;
+  cfg.profile = programs::testbed_smp_dual_xeon();
+  cfg.victim = core::VictimKind::vi;
+  cfg.attacker = core::AttackerKind::naive;
+  cfg.file_bytes = 50 * 1024;
+  cfg.seed = 42;
+
+  const auto serial = core::run_campaign(cfg, 40, /*measure_ld=*/true, 1);
+  const auto parallel = core::run_campaign(cfg, 40, /*measure_ld=*/true, 4);
+  const std::string a = serial.summary();
+  const std::string b = parallel.summary();
+  std::printf("jobs=1: %s\njobs=4: %s\n", a.c_str(), b.c_str());
+
+  bool ok = a == b;
+  ok = ok && serial.success.trials() == parallel.success.trials();
+  ok = ok && serial.success.successes() == parallel.success.successes();
+  ok = ok && serial.total_events == parallel.total_events;
+  ok = ok && serial.anomalies == parallel.anomalies;
+  ok = ok && serial.laxity_us.count() == parallel.laxity_us.count();
+  ok = ok && serial.laxity_us.mean() == parallel.laxity_us.mean();
+  ok = ok && serial.detection_us.mean() == parallel.detection_us.mean();
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: parallel campaign diverged from serial\n");
+    return 1;
+  }
+  std::printf("OK: parallel campaign identical to serial run\n");
+  return 0;
+}

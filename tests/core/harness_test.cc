@@ -102,6 +102,53 @@ TEST(HarnessTest, CampaignIsDeterministic) {
   EXPECT_EQ(a.total_events, b.total_events);
 }
 
+TEST(HarnessTest, SummaryGuardsLAndDIndependently) {
+  // Regression: a campaign with laxity samples but no detection samples
+  // used to print a bogus "D=0.0±0.00us".
+  CampaignStats only_l;
+  only_l.success.record(true);
+  only_l.laxity_us.add(10.0);
+  EXPECT_NE(only_l.summary().find("L=10.0"), std::string::npos);
+  EXPECT_EQ(only_l.summary().find("D="), std::string::npos);
+
+  CampaignStats only_d;
+  only_d.success.record(false);
+  only_d.detection_us.add(5.0);
+  EXPECT_NE(only_d.summary().find("; D=5.0"), std::string::npos);
+  EXPECT_EQ(only_d.summary().find("L="), std::string::npos);
+
+  CampaignStats both;
+  both.success.record(true);
+  both.laxity_us.add(10.0);
+  both.detection_us.add(5.0);
+  EXPECT_NE(both.summary().find("L=10.0±0.00us D=5.0±0.00us"),
+            std::string::npos);
+}
+
+TEST(HarnessTest, CampaignStatsMerge) {
+  CampaignStats a, b;
+  a.success.record(true);
+  a.laxity_us.add(1.0);
+  a.total_events = 10;
+  a.anomalies = 1;
+  b.success.record(false);
+  b.detection_us.add(2.0);
+  b.total_events = 5;
+  b.victim_incomplete = 2;
+  b.attacker_unfinished = 1;
+  b.failed_rounds = 1;
+  a.merge(b);
+  EXPECT_EQ(a.success.trials(), 2u);
+  EXPECT_EQ(a.success.successes(), 1u);
+  EXPECT_EQ(a.laxity_us.count(), 1u);
+  EXPECT_EQ(a.detection_us.count(), 1u);
+  EXPECT_EQ(a.total_events, 15u);
+  EXPECT_EQ(a.anomalies, 1);
+  EXPECT_EQ(a.victim_incomplete, 2);
+  EXPECT_EQ(a.attacker_unfinished, 1);
+  EXPECT_EQ(a.failed_rounds, 1);
+}
+
 TEST(HarnessTest, SendmailScenario) {
   ScenarioConfig c;
   c.profile = programs::testbed_smp_dual_xeon();

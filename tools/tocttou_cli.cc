@@ -34,6 +34,9 @@ using namespace tocttou;
       "  --attacker=naive|prefaulted|pipelined|none   (default naive)\n"
       "  --file-kb=N | --file-bytes=N   file size (default 100KB)\n"
       "  --rounds=N                   campaign rounds (default 100)\n"
+      "  --jobs=N                     campaign worker threads (default: all\n"
+      "                               cores; 1 = serial; results are\n"
+      "                               identical at any job count)\n"
       "  --seed=N                     base seed (default 1)\n"
       "  --defended                   victim uses fchown/fchmod (Sec. 8)\n"
       "  --no-background              disable kernel-thread load\n"
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   core::ScenarioConfig cfg;
   cfg.profile = programs::testbed_smp_dual_xeon();
   int rounds = 100;
+  int jobs = 0;  // <= 0: one worker per hardware thread
   bool measure_ld = false, gantt = false, interference = false;
   std::string journal_csv, events_csv;
 
@@ -105,6 +109,8 @@ int main(int argc, char** argv) {
       cfg.file_bytes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (take(argv[i], "--rounds", &v)) {
       rounds = std::atoi(v.c_str());
+    } else if (take(argv[i], "--jobs", &v)) {
+      jobs = std::atoi(v.c_str());
     } else if (take(argv[i], "--seed", &v)) {
       cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (take(argv[i], "--journal-csv", &v)) {
@@ -184,9 +190,9 @@ int main(int argc, char** argv) {
     return r.success ? 0 : 2;
   }
 
-  const auto stats = core::run_campaign(cfg, rounds, measure_ld);
+  const auto stats = core::run_campaign(cfg, rounds, measure_ld, jobs);
   std::printf("campaign: %s\n", stats.summary().c_str());
-  if (measure_ld && !stats.laxity_us.empty()) {
+  if (measure_ld && !stats.laxity_us.empty() && !stats.detection_us.empty()) {
     const double pred = core::laxity_success_rate(
         Duration::micros_f(stats.laxity_us.mean()),
         Duration::micros_f(stats.detection_us.mean()));
