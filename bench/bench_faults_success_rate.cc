@@ -1,0 +1,104 @@
+// Robustness sweep: attack success rate vs fault-injection rate.
+//
+// Not a paper table — this probes how resilient the reproduced attacks
+// are when the environment misbehaves: syscalls fail spuriously with
+// EINTR (victim and attacker both retry with bounded backoff), and the
+// kernel's service completions pick up latency spikes. Two scenarios:
+//
+//  * SMP / vi / naive / 100KB   — the paper's 100%-success baseline
+//  * multicore / gedit / prefaulted / 16KB — the Figure 10 attack
+//
+// Every campaign uses the same deterministic fault plan machinery as
+// the tests, so rows are byte-identical at any TOCTTOU_JOBS value.
+#include "bench_common.h"
+
+#include "tocttou/sim/faults.h"
+
+namespace tocttou::bench {
+namespace {
+
+const double kRates[] = {0.0, 0.001, 0.005, 0.02, 0.05, 0.1};
+
+core::CampaignStats run_with_rate(core::ScenarioConfig cfg, double rate,
+                                  int rounds) {
+  if (rate > 0.0) {
+    sim::FaultSpec err;
+    err.kind = sim::FaultKind::syscall_error;
+    err.rate = rate;
+    err.error = Errno::eintr;
+    cfg.faults.specs.push_back(err);
+
+    sim::FaultSpec spike;
+    spike.kind = sim::FaultKind::latency_spike;
+    spike.rate = rate / 2.0;
+    spike.magnitude = Duration::micros(80);
+    cfg.faults.specs.push_back(spike);
+  }
+  return core::run_campaign(cfg, rounds, /*measure_ld=*/false,
+                            campaign_jobs());
+}
+
+void add_row(const char* scenario_name, double rate,
+             const core::CampaignStats& stats) {
+  RowSink::get().add_row(
+      {scenario_name, TextTable::pct(rate),
+       std::to_string(stats.success.successes()) + "/" +
+           std::to_string(stats.success.trials()),
+       TextTable::pct(stats.success.rate()),
+       std::to_string(stats.faults.errors_injected),
+       std::to_string(stats.faults.retries),
+       std::to_string(stats.anomalies),
+       std::to_string(stats.faults.invariant_violations)});
+}
+
+void BM_ViSmpFaults(benchmark::State& state) {
+  const double rate = kRates[state.range(0)];
+  const int rounds = rounds_or(60);
+  core::CampaignStats stats;
+  for (auto _ : state) {
+    stats = run_with_rate(
+        scenario(programs::testbed_smp_dual_xeon(), core::VictimKind::vi,
+                 core::AttackerKind::naive, 100 * 1024, /*seed=*/7100),
+        rate, rounds);
+  }
+  state.counters["success_rate"] = stats.success.rate();
+  add_row("smp/vi/naive", rate, stats);
+}
+
+void BM_GeditMulticoreFaults(benchmark::State& state) {
+  const double rate = kRates[state.range(0)];
+  const int rounds = rounds_or(60);
+  core::CampaignStats stats;
+  for (auto _ : state) {
+    stats = run_with_rate(
+        scenario(programs::testbed_multicore_pentium_d(),
+                 core::VictimKind::gedit, core::AttackerKind::prefaulted,
+                 16 * 1024, /*seed=*/7200),
+        rate, rounds);
+  }
+  state.counters["success_rate"] = stats.success.rate();
+  add_row("mc/gedit/prefaulted", rate, stats);
+}
+
+BENCHMARK(BM_ViSmpFaults)
+    ->DenseRange(0, 5, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GeditMulticoreFaults)
+    ->DenseRange(0, 5, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+const bool kInit = [] {
+  RowSink::get().set_table({"scenario", "fault rate", "successes", "rate",
+                            "errors", "retries", "anomalies", "violations"});
+  return true;
+}();
+
+}  // namespace
+}  // namespace tocttou::bench
+
+TOCTTOU_BENCH_MAIN(
+    "Robustness - attack success vs fault-injection rate",
+    "not a paper table: EINTR + latency-spike injection; bounded retries "
+    "keep the attacks alive at low rates, heavy rates starve them")

@@ -25,6 +25,9 @@ enum class Errno {
   emfile,        // Too many open files
   enametoolong,  // File name too long
   exdev,         // Cross-device link (unused single-volume, kept for API parity)
+  eintr,         // Interrupted system call (fault injection only)
+  enospc,        // No space left on device (fault injection only)
+  eio,           // I/O error (fault injection only)
 };
 
 const char* to_string(Errno e);

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "tocttou/common/stats.h"
 #include "tocttou/core/analysis.h"
 #include "tocttou/programs/testbeds.h"
+#include "tocttou/sim/faults.h"
 #include "tocttou/sim/ids.h"
 #include "tocttou/trace/journal.h"
 
@@ -57,6 +59,12 @@ struct ScenarioConfig {
 
   /// Hard stop for one round of simulated time.
   Duration round_limit = Duration::seconds(30);
+
+  /// Deterministic fault plan (empty = no injection, zero overhead). The
+  /// injector draws from its own Rng stream seeded off the round seed,
+  /// so the kernel's noise stream — and every no-fault statistic — is
+  /// untouched by adding or removing a plan.
+  sim::FaultPlan faults;
 };
 
 struct RoundResult {
@@ -80,6 +88,13 @@ struct RoundResult {
   trace::Pid victim_pid = 0;
   trace::Pid attacker_pid = 0;
   trace::Pid attacker_pid2 = 0;  // pipelined helper thread
+
+  /// Fault accounting for the round (all-zero when no plan was set),
+  /// including program retries and post-round audit findings.
+  sim::FaultStats faults;
+  /// Post-round VFS invariant audit (runs after every round; empty =
+  /// healthy). Recorded, not thrown: a corrupted round is data.
+  std::vector<std::string> audit_violations;
 };
 
 RoundResult run_round(const ScenarioConfig& cfg);
@@ -102,6 +117,9 @@ struct CampaignStats {
   int victim_incomplete = 0;
   /// Rounds with an attacker that never completed its attack.
   int attacker_unfinished = 0;
+  /// Aggregated fault-injection accounting (all-zero without a plan;
+  /// summary() omits it then, keeping no-fault output byte-identical).
+  sim::FaultStats faults;
 
   /// Folds `other` into this accumulator. Merging per-block stats in
   /// fixed block order reproduces the single-threaded reduction exactly,

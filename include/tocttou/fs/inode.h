@@ -61,6 +61,9 @@ class Inode {
   void set_size_bytes(std::uint64_t n) { size_bytes_ = n; }
   void add_size_bytes(std::uint64_t n) { size_bytes_ += n; }
   void set_symlink_target(std::string t) { symlink_target_ = std::move(t); }
+  /// Test-only back door: plants link-count corruption so the VFS audit
+  /// fixture can prove the auditor detects it. Never used by ops.
+  void set_nlink(int n) { nlink_ = n; }
 
   StatBuf to_stat() const {
     StatBuf s;

@@ -22,6 +22,10 @@
 #include "tocttou/sim/ids.h"
 #include "tocttou/sim/service.h"
 
+namespace tocttou::sim {
+class FaultInjector;
+}  // namespace tocttou::sim
+
 namespace tocttou::fs {
 
 /// Credentials of a syscall issuer.
@@ -167,13 +171,26 @@ class Vfs {
   /// Symlink-follow limit, as in Linux.
   static constexpr int kMaxSymlinkDepth = 8;
 
+  /// Attaches the round's fault injector (nullptr = none). Consulted by
+  /// the op factories to decide whether syscalls should fail at entry;
+  /// must outlive the Vfs.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
+
+  /// Post-round invariant auditor. Cross-checks every inode's nlink
+  /// against the directory entries referencing it, open_refs against the
+  /// fd tables, entry targets against the inode table, and symlink
+  /// well-formedness. Returns one human-readable line per violation
+  /// (empty = healthy).
+  std::vector<std::string> audit() const;
+
  private:
   Ino next_ino_ = 1;
   SyscallCosts costs_;
   std::map<Ino, std::unique_ptr<Inode>> inodes_;
   Ino root_ = kNoIno;
   std::map<sim::Pid, std::map<int, OpenFile>> fd_tables_;
-  std::map<sim::Pid, int> next_fd_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace tocttou::fs

@@ -16,6 +16,7 @@
 //    asynchronously so it can overlap unlink's truncate phase.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "tocttou/fs/vfs.h"
@@ -37,6 +38,7 @@ struct AttackerStatus {
   bool detected = false;    // saw st_uid==0 && st_gid==0
   bool attack_done = false; // issued unlink+symlink on the watched path
   int iterations = 0;       // detection-loop iterations executed
+  int retries = 0;          // bounded EINTR retries (fault injection only)
   Errno unlink_err = Errno::ok;
   Errno symlink_err = Errno::ok;
 };
@@ -48,43 +50,56 @@ class NaiveAttacker final : public sim::Program {
   /// `post_detect_comp` the computation between the positive stat and
   /// the unlink call.
   NaiveAttacker(fs::Vfs& vfs, AttackTarget target, Duration loop_comp,
-                Duration post_detect_comp);
+                Duration post_detect_comp, RetryPolicy retry = {});
 
   sim::Action next(sim::ProgramContext& ctx) override;
   const AttackerStatus& status() const { return status_; }
 
  private:
   enum class Phase { stat, judge, post_detect, unlink, symlink, done };
+
+  /// EINTR retry with busy-wait backoff (attackers spin, they never
+  /// yield the CPU inside the window).
+  std::optional<sim::Action> retry_eintr(Errno e, Phase redo);
+
   fs::Vfs& vfs_;
   AttackTarget target_;
   Duration loop_comp_;
   Duration post_detect_comp_;
+  RetryPolicy retry_;
   Phase phase_ = Phase::stat;
   fs::StatBuf stat_out_;
   Errno stat_err_ = Errno::ok;
   AttackerStatus status_;
+  int attempt_ = 0;
 };
 
 /// Figure 9: unlink/symlink run every iteration (on a dummy when the
 /// window is closed), removing the in-window page-fault trap.
 class PrefaultedAttacker final : public sim::Program {
  public:
-  PrefaultedAttacker(fs::Vfs& vfs, AttackTarget target, Duration select_comp);
+  PrefaultedAttacker(fs::Vfs& vfs, AttackTarget target, Duration select_comp,
+                     RetryPolicy retry = {});
 
   sim::Action next(sim::ProgramContext& ctx) override;
   const AttackerStatus& status() const { return status_; }
 
  private:
   enum class Phase { stat, select, unlink, symlink, maybe_exit, done };
+
+  std::optional<sim::Action> retry_eintr(Errno e, Phase redo);
+
   fs::Vfs& vfs_;
   AttackTarget target_;
   Duration select_comp_;
+  RetryPolicy retry_;
   Phase phase_ = Phase::stat;
   bool window_now_ = false;
   std::string fname_;
   fs::StatBuf stat_out_;
   Errno stat_err_ = Errno::ok;
   AttackerStatus status_;
+  int attempt_ = 0;
 };
 
 /// Section 7: shared state of the two pipelined attack threads.
@@ -100,20 +115,26 @@ struct PipelinedAttackState {
 class PipelinedAttackerMain final : public sim::Program {
  public:
   PipelinedAttackerMain(fs::Vfs& vfs, AttackTarget target, Duration loop_comp,
-                        Duration handoff_comp, PipelinedAttackState* state);
+                        Duration handoff_comp, PipelinedAttackState* state,
+                        RetryPolicy retry = {});
 
   sim::Action next(sim::ProgramContext& ctx) override;
 
  private:
   enum class Phase { stat, judge, signal, unlink, done };
+
+  std::optional<sim::Action> retry_eintr(Errno e, Phase redo);
+
   fs::Vfs& vfs_;
   AttackTarget target_;
   Duration loop_comp_;
   Duration handoff_comp_;
   PipelinedAttackState* state_;
+  RetryPolicy retry_;
   Phase phase_ = Phase::stat;
   fs::StatBuf stat_out_;
   Errno stat_err_ = Errno::ok;
+  int attempt_ = 0;
 };
 
 /// Thread 2: waits for the flag, then issues the symlink, retrying on

@@ -15,6 +15,24 @@
 
 namespace tocttou::programs {
 
+/// Bounded retry-with-backoff for EINTR, as a well-written program would
+/// do around interruptible syscalls. The backoff is user-mode busy
+/// computation (victims sleep; attackers spin), so it shows up in traces
+/// as ordinary comp segments.
+struct RetryPolicy {
+  /// Total tries, including the first. 1 = never retry.
+  int max_attempts = 4;
+  Duration initial_backoff = Duration::micros(50);
+  double backoff_mult = 2.0;
+
+  /// Backoff before retry number `attempt` (1-based).
+  Duration backoff_for(int attempt) const {
+    Duration d = initial_backoff;
+    for (int i = 1; i < attempt; ++i) d = d * backoff_mult;
+    return d;
+  }
+};
+
 struct ProgramTimings {
   // --- vi victim (Figure 1: rename, open/creat, write*, close, chown) ---
   Duration vi_pre_open = Duration::micros(25);   // rename return -> open
@@ -47,6 +65,9 @@ struct ProgramTimings {
   Duration atk_v2_comp = Duration::micros(2);
   /// Pipelined attacker: flag hand-off and retry pacing.
   Duration atk_thread_handoff = Duration::micros(1);
+
+  /// EINTR retry policy shared by the hardened victims and attackers.
+  RetryPolicy retry;
 
   static ProgramTimings xeon();
   static ProgramTimings pentium_d();

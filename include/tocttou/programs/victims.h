@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "tocttou/fs/vfs.h"
@@ -45,20 +46,32 @@ class ViVictim final : public sim::Program {
   ViVictim(fs::Vfs& vfs, ViVictimConfig cfg);
   sim::Action next(sim::ProgramContext& ctx) override;
 
+  /// Bounded EINTR retries performed so far (cfg.t.retry policy).
+  int retries() const { return retries_; }
+
  private:
   enum class Phase {
     load_open, load_read, load_close,  // startup: read the file into the
                                        // buffer (pre-faults libc pages)
     think, rename, pre_open, open, prep_write, write_chunk, between_chunks,
-    pre_close, fchown_fd, close, pre_chown, chown, done,
+    pre_close, fchown_fd, close, pre_chown, chown, chown_ret, done,
   };
+
+  /// If `e` is EINTR and the retry budget allows, backs off (sleep) and
+  /// redoes phase `redo`; otherwise resets the attempt counter and lets
+  /// the caller proceed (success, hard error, or budget exhausted).
+  std::optional<sim::Action> retry_eintr(Errno e, Phase redo);
+
   fs::Vfs& vfs_;
   ViVictimConfig cfg_;
   Phase phase_ = Phase::load_open;
   std::uint64_t written_ = 0;
+  std::uint64_t pending_chunk_ = 0;  // issued but not yet committed write
   fs::OpenResult open_out_;
   fs::OpenResult load_out_;
   Errno err_ = Errno::ok;
+  int attempt_ = 0;
+  int retries_ = 0;
 };
 
 /// gedit 2.8.3 save path (Figure 3): the <rename, chown> pair. The
@@ -92,21 +105,31 @@ class GeditVictim final : public sim::Program {
   GeditVictim(fs::Vfs& vfs, GeditVictimConfig cfg);
   sim::Action next(sim::ProgramContext& ctx) override;
 
+  /// Bounded EINTR retries performed so far (cfg.t.retry policy).
+  int retries() const { return retries_; }
+
  private:
   enum class Phase {
     load_open, load_read, load_close,  // startup: read the file
-    think, prep, open_temp, write_chunk, between_chunks,
+    think, prep, open_temp, open_ret, write_chunk, between_chunks,
     fchmod_fd, fchown_fd,  // fd_attr_remedy only
-    close_temp, pre_backup, backup, pre_rename, rename, comp_gap, chmod,
-    chmod_chown_gap, chown, done,
+    close_temp, pre_backup, backup, pre_rename, rename, rename_ret,
+    comp_gap, chmod, chmod_chown_gap, chown, chown_ret, done,
   };
+
+  /// Same contract as ViVictim::retry_eintr.
+  std::optional<sim::Action> retry_eintr(Errno e, Phase redo);
+
   fs::Vfs& vfs_;
   GeditVictimConfig cfg_;
   Phase phase_ = Phase::load_open;
   std::uint64_t written_ = 0;
+  std::uint64_t pending_chunk_ = 0;  // issued but not yet committed write
   fs::OpenResult open_out_;
   fs::OpenResult load_out_;
   Errno err_ = Errno::ok;
+  int attempt_ = 0;
+  int retries_ = 0;
 };
 
 /// A victim in the style of the paper's rpm example (Section 3.2): the

@@ -19,6 +19,8 @@
 
 namespace tocttou::sim {
 
+class FaultInjector;
+
 class Kernel {
  public:
   /// `sched` supplies policy; `trace` may be nullptr to disable tracing
@@ -67,6 +69,12 @@ class Kernel {
   /// per CPU) per spec().background. Call at most once.
   void start_background_load();
 
+  /// Attaches a fault injector for this round (nullptr = none). The
+  /// injector is consulted at service completion, wakeup delivery, and
+  /// syscall return; it must outlive the kernel. The no-fault fast path
+  /// is a single null check at each site.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   struct CpuState {
     Pid running = kNoPid;
@@ -87,9 +95,12 @@ class Kernel {
   void preempt(Process& p, bool requeue_front);
   void block_on_sem(Process& p, Semaphore& sem);
   void release_sem(Process& p, Semaphore& sem);
-  void wake(Pid pid, bool from_io);
+  void wake(Pid pid, bool from_io, bool faultable = true);
   void handle_exit(Process& p);
   void complete_service(Process& p, Errno result);
+  /// Journals the completed syscall, then either kills the process (an
+  /// injected mid-round death) or lets it pick its next action.
+  void finish_syscall(Process& p, Errno result);
   void free_cpu(Process& p);
   void charge(Process& p, Duration ran);
   void trace_segment(const Process& p, trace::Category cat,
@@ -101,6 +112,7 @@ class Kernel {
   std::unique_ptr<Scheduler> sched_;
   Rng rng_;
   trace::RoundTrace* trace_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 
   EventQueue queue_;
   std::vector<std::unique_ptr<Process>> procs_;  // index = pid - 1

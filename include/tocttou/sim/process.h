@@ -96,9 +96,12 @@ class Process {
   std::set<int> mapped_libc_pages_;
   // Generation counter to invalidate stale scheduled segment events.
   std::uint64_t seg_gen_ = 0;
+  // Syscall result held across an injected completion latency spike.
+  Errno pending_result_ = Errno::ok;
   // Segment bookkeeping while running.
   SimTime seg_start_;
-  enum class SegKind { none, user_compute, kernel_work, trap, ctxsw };
+  enum class SegKind { none, user_compute, kernel_work, trap, ctxsw,
+                       fault_spike };
   SegKind seg_kind_ = SegKind::none;
   Duration seg_len_ = Duration::zero();
   // Blocked-span bookkeeping (semaphore / I/O / flag waits).

@@ -32,6 +32,12 @@ const char* to_string(Errno e) {
       return "ENAMETOOLONG";
     case Errno::exdev:
       return "EXDEV";
+    case Errno::eintr:
+      return "EINTR";
+    case Errno::enospc:
+      return "ENOSPC";
+    case Errno::eio:
+      return "EIO";
   }
   return "E???";
 }

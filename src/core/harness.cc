@@ -106,6 +106,13 @@ RoundResult run_round(const ScenarioConfig& cfg) {
                   cfg.file_bytes);
   vfs.create_file(cfg.dummy_path, cfg.attacker_uid, cfg.attacker_gid, 0644, 0);
 
+  // --- fault injector (its own Rng stream; kernel noise untouched) ---
+  std::optional<sim::FaultInjector> injector;
+  if (!cfg.faults.empty()) {
+    injector.emplace(cfg.faults, mix_seed(cfg.seed, 0xFA017));
+    vfs.set_fault_injector(&*injector);
+  }
+
   // --- kernel ---
   const bool tracing = cfg.record_journal || cfg.record_events;
   res.trace.log_events = cfg.record_events;
@@ -114,6 +121,7 @@ RoundResult run_round(const ScenarioConfig& cfg) {
                               /*wake_preempts_equal_priority=*/true});
   sim::Kernel kernel(cfg.profile.machine, std::move(sched),
                      mix_seed(cfg.seed, 0x5EED), tracing ? &res.trace : nullptr);
+  if (injector) kernel.set_fault_injector(&*injector);
   if (cfg.background_load) kernel.start_background_load();
 
   // --- attacker(s): spawned first — they are waiting for the admin ---
@@ -133,21 +141,22 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   switch (cfg.attacker) {
     case AttackerKind::naive: {
       auto prog = std::make_unique<programs::NaiveAttacker>(
-          vfs, target, loop_comp, t.atk_post_detect_comp);
+          vfs, target, loop_comp, t.atk_post_detect_comp, t.retry);
       naive = prog.get();
       res.attacker_pid = kernel.spawn(std::move(prog), aopts);
       break;
     }
     case AttackerKind::prefaulted: {
       auto prog = std::make_unique<programs::PrefaultedAttacker>(
-          vfs, target, t.atk_v2_comp);
+          vfs, target, t.atk_v2_comp, t.retry);
       prefaulted = prog.get();
       res.attacker_pid = kernel.spawn(std::move(prog), aopts);
       break;
     }
     case AttackerKind::pipelined: {
       auto main = std::make_unique<programs::PipelinedAttackerMain>(
-          vfs, target, loop_comp, t.atk_thread_handoff, pipeline_state.get());
+          vfs, target, loop_comp, t.atk_thread_handoff, pipeline_state.get(),
+          t.retry);
       auto helper = std::make_unique<programs::PipelinedAttackerSymlinker>(
           vfs, target, t.atk_thread_handoff, pipeline_state.get());
       res.attacker_pid = kernel.spawn(std::move(main), aopts);
@@ -159,6 +168,14 @@ RoundResult run_round(const ScenarioConfig& cfg) {
     case AttackerKind::none:
       break;
   }
+  if (injector) {
+    if (res.attacker_pid != 0) {
+      injector->set_role(res.attacker_pid, sim::FaultRole::attacker);
+    }
+    if (res.attacker_pid2 != 0) {
+      injector->set_role(res.attacker_pid2, sim::FaultRole::attacker);
+    }
+  }
 
   // --- victim (root) ---
   const Duration think = default_think(cfg, setup_rng);
@@ -167,6 +184,8 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   vopts.uid = 0;
   vopts.gid = 0;
   std::unique_ptr<sim::Program> vic;
+  const programs::ViVictim* vi_vic = nullptr;
+  const programs::GeditVictim* gedit_vic = nullptr;
   switch (cfg.victim) {
     case VictimKind::vi: {
       programs::ViVictimConfig vc;
@@ -178,7 +197,9 @@ RoundResult run_round(const ScenarioConfig& cfg) {
       vc.think_time = think;
       vc.fd_attr_remedy = cfg.defended_victim;
       vc.t = t;
-      vic = std::make_unique<programs::ViVictim>(vfs, vc);
+      auto prog = std::make_unique<programs::ViVictim>(vfs, vc);
+      vi_vic = prog.get();
+      vic = std::move(prog);
       break;
     }
     case VictimKind::gedit: {
@@ -192,7 +213,9 @@ RoundResult run_round(const ScenarioConfig& cfg) {
       gc.think_time = think;
       gc.fd_attr_remedy = cfg.defended_victim;
       gc.t = t;
-      vic = std::make_unique<programs::GeditVictim>(vfs, gc);
+      auto prog = std::make_unique<programs::GeditVictim>(vfs, gc);
+      gedit_vic = prog.get();
+      vic = std::move(prog);
       break;
     }
     case VictimKind::suspending: {
@@ -214,6 +237,7 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   }
   const sim::Pid victim_pid = kernel.spawn(std::move(vic), vopts);
   res.victim_pid = victim_pid;
+  if (injector) injector->set_role(victim_pid, sim::FaultRole::victim);
 
   // --- run: until the victim exits, then drain the attack briefly ---
   const SimTime limit = SimTime::origin() + cfg.round_limit;
@@ -258,6 +282,30 @@ RoundResult run_round(const ScenarioConfig& cfg) {
         analyze_window(res.trace.journal, victim_pid, res.attacker_pid,
                        window_spec_for(cfg), d_convention_for(cfg.victim));
   }
+
+  // --- post-round robustness accounting ---
+  res.audit_violations = vfs.audit();
+  if (injector) {
+    res.faults = injector->stats();
+    int retries = 0;
+    if (vi_vic != nullptr) retries += vi_vic->retries();
+    if (gedit_vic != nullptr) retries += gedit_vic->retries();
+    if (naive != nullptr) {
+      retries += naive->status().retries;
+    } else if (prefaulted != nullptr) {
+      retries += prefaulted->status().retries;
+    } else if (cfg.attacker == AttackerKind::pipelined) {
+      retries += pipeline_state->status.retries;
+    }
+    res.faults.retries += static_cast<std::uint64_t>(retries);
+    // A fault-killed victim also "exits", but it did not survive: keep
+    // it out of the survived-the-fault accounting.
+    if (res.faults.total_injected() > 0 && res.victim_completed &&
+        !injector->was_killed(victim_pid)) {
+      res.faults.degraded_rounds = 1;  // survived the injected faults
+    }
+  }
+  res.faults.invariant_violations += res.audit_violations.size();
   return res;
 }
 
@@ -290,6 +338,7 @@ CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
     }
     stats.success.record(r.success);
     stats.total_events += r.events;
+    stats.faults.merge(r.faults);
     if (r.hit_time_limit) ++stats.anomalies;
     if (!r.victim_completed && !r.hit_time_limit) ++stats.victim_incomplete;
     if (cfg.attacker != AttackerKind::none && !r.attacker_finished) {
@@ -320,6 +369,7 @@ void CampaignStats::merge(const CampaignStats& other) {
   failed_rounds += other.failed_rounds;
   victim_incomplete += other.victim_incomplete;
   attacker_unfinished += other.attacker_unfinished;
+  faults.merge(other.faults);
 }
 
 CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
@@ -374,6 +424,12 @@ std::string CampaignStats::summary() const {
   if (failed_rounds > 0) out += strfmt(" (failed=%d)", failed_rounds);
   if (victim_incomplete > 0) {
     out += strfmt("; victim-incomplete=%d", victim_incomplete);
+  }
+  // Only mention faults when something actually happened, so no-fault
+  // campaign output stays byte-identical to builds without this feature.
+  if (faults.total_injected() > 0 || faults.retries > 0 ||
+      faults.invariant_violations > 0) {
+    out += "; " + faults.summary();
   }
   return out;
 }

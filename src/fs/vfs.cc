@@ -249,9 +249,13 @@ bool Vfs::may_exec(const Inode& n, const Creds& c) {
 
 int Vfs::fd_alloc(sim::Pid pid, Ino ino, OpenFlags flags) {
   auto& table = fd_tables_[pid];
-  int& next = next_fd_[pid];
-  if (next < 3) next = 3;  // 0..2 notionally stdio
-  const int fd = next++;
+  // POSIX: the lowest free descriptor. 0..2 are notionally stdio; the
+  // table is ordered, so the first gap at or above 3 is the answer.
+  int fd = 3;
+  for (auto it = table.lower_bound(3); it != table.end() && it->first == fd;
+       ++it) {
+    ++fd;
+  }
   table[fd] = OpenFile{ino, flags};
   ++inode_mut(ino).open_refs_;
   return fd;
@@ -278,6 +282,72 @@ Errno Vfs::fd_close(sim::Pid pid, int fd) {
 std::size_t Vfs::open_fd_count(sim::Pid pid) const {
   auto t = fd_tables_.find(pid);
   return t == fd_tables_.end() ? 0 : t->second.size();
+}
+
+std::vector<std::string> Vfs::audit() const {
+  std::vector<std::string> violations;
+  const auto report = [&violations](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+
+  // Reference counts observed by walking every structure.
+  std::map<Ino, int> entry_refs;   // directory entries naming each inode
+  std::map<Ino, int> fd_refs;      // fd-table entries referencing each inode
+  entry_refs[root_] = 1;  // the root is self-anchored (nlink 1, no entry)
+
+  for (const auto& [ino, node] : inodes_) {
+    if (!node->is_dir()) continue;
+    for (const auto& [name, target] : node->entries()) {
+      if (!inodes_.contains(target)) {
+        report(strfmt("dangling entry: dir %llu '%s' -> unknown inode %llu",
+                      static_cast<unsigned long long>(ino), name.c_str(),
+                      static_cast<unsigned long long>(target)));
+        continue;
+      }
+      ++entry_refs[target];
+    }
+  }
+  for (const auto& [pid, table] : fd_tables_) {
+    for (const auto& [fd, file] : table) {
+      if (!inodes_.contains(file.ino)) {
+        report(strfmt("dangling fd: pid %d fd %d -> unknown inode %llu",
+                      static_cast<int>(pid), fd,
+                      static_cast<unsigned long long>(file.ino)));
+        continue;
+      }
+      ++fd_refs[file.ino];
+    }
+  }
+
+  for (const auto& [ino, node] : inodes_) {
+    const int expect_nlink = entry_refs.contains(ino) ? entry_refs[ino] : 0;
+    if (node->nlink() != expect_nlink) {
+      report(strfmt("nlink mismatch: inode %llu has nlink %d but %d "
+                    "directory entr%s reference it",
+                    static_cast<unsigned long long>(ino), node->nlink(),
+                    expect_nlink, expect_nlink == 1 ? "y" : "ies"));
+    }
+    const int expect_refs = fd_refs.contains(ino) ? fd_refs[ino] : 0;
+    if (node->open_refs() != expect_refs) {
+      report(strfmt("open_refs mismatch: inode %llu has open_refs %d but "
+                    "%d fd-table entr%s reference it",
+                    static_cast<unsigned long long>(ino), node->open_refs(),
+                    expect_refs, expect_refs == 1 ? "y" : "ies"));
+    }
+    if (node->nlink() < 0) {
+      report(strfmt("negative nlink on inode %llu",
+                    static_cast<unsigned long long>(ino)));
+    }
+    if (node->open_refs() < 0) {
+      report(strfmt("negative open_refs on inode %llu",
+                    static_cast<unsigned long long>(ino)));
+    }
+    if (node->is_symlink() && node->symlink_target().empty()) {
+      report(strfmt("symlink inode %llu has an empty target",
+                    static_cast<unsigned long long>(ino)));
+    }
+  }
+  return violations;
 }
 
 }  // namespace tocttou::fs

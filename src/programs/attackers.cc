@@ -16,11 +16,24 @@ bool window_open(Errno err, const fs::StatBuf& s) {
 // ---------------------------------------------------------------------------
 
 NaiveAttacker::NaiveAttacker(fs::Vfs& vfs, AttackTarget target,
-                             Duration loop_comp, Duration post_detect_comp)
+                             Duration loop_comp, Duration post_detect_comp,
+                             RetryPolicy retry)
     : vfs_(vfs),
       target_(std::move(target)),
       loop_comp_(loop_comp),
-      post_detect_comp_(post_detect_comp) {}
+      post_detect_comp_(post_detect_comp),
+      retry_(retry) {}
+
+std::optional<Action> NaiveAttacker::retry_eintr(Errno e, Phase redo) {
+  if (e != Errno::eintr || attempt_ + 1 >= retry_.max_attempts) {
+    attempt_ = 0;
+    return std::nullopt;
+  }
+  ++attempt_;
+  ++status_.retries;
+  phase_ = redo;
+  return Action::compute(retry_.backoff_for(attempt_), "retry");
+}
 
 Action NaiveAttacker::next(ProgramContext& ctx) {
   (void)ctx;
@@ -49,10 +62,16 @@ Action NaiveAttacker::next(ProgramContext& ctx) {
       return Action::service(
           vfs_.unlink_op(target_.watched_path, &status_.unlink_err));
     case Phase::symlink:
+      // The window is fleeting: an interrupted unlink is retried
+      // immediately (busy-wait backoff, no yield).
+      if (auto a = retry_eintr(status_.unlink_err, Phase::unlink)) return std::move(*a);
       phase_ = Phase::done;
       return Action::service(vfs_.symlink_op(
           target_.evil_target, target_.watched_path, &status_.symlink_err));
     case Phase::done:
+      if (auto a = retry_eintr(status_.symlink_err, Phase::symlink)) {
+        return std::move(*a);
+      }
       status_.attack_done = true;
       return Action::exit_proc();
   }
@@ -64,8 +83,22 @@ Action NaiveAttacker::next(ProgramContext& ctx) {
 // ---------------------------------------------------------------------------
 
 PrefaultedAttacker::PrefaultedAttacker(fs::Vfs& vfs, AttackTarget target,
-                                       Duration select_comp)
-    : vfs_(vfs), target_(std::move(target)), select_comp_(select_comp) {}
+                                       Duration select_comp, RetryPolicy retry)
+    : vfs_(vfs),
+      target_(std::move(target)),
+      select_comp_(select_comp),
+      retry_(retry) {}
+
+std::optional<Action> PrefaultedAttacker::retry_eintr(Errno e, Phase redo) {
+  if (e != Errno::eintr || attempt_ + 1 >= retry_.max_attempts) {
+    attempt_ = 0;
+    return std::nullopt;
+  }
+  ++attempt_;
+  ++status_.retries;
+  phase_ = redo;
+  return Action::compute(retry_.backoff_for(attempt_), "retry");
+}
 
 Action PrefaultedAttacker::next(ProgramContext& ctx) {
   (void)ctx;
@@ -88,11 +121,21 @@ Action PrefaultedAttacker::next(ProgramContext& ctx) {
       phase_ = Phase::symlink;
       return Action::service(vfs_.unlink_op(fname_, &status_.unlink_err));
     case Phase::symlink:
+      // Retry only inside the window; an interrupted dummy-cycle call
+      // self-heals on the next iteration anyway.
+      if (window_now_) {
+        if (auto a = retry_eintr(status_.unlink_err, Phase::unlink)) {
+          return std::move(*a);
+        }
+      }
       phase_ = Phase::maybe_exit;
       return Action::service(
           vfs_.symlink_op(target_.evil_target, fname_, &status_.symlink_err));
     case Phase::maybe_exit:
       if (window_now_) {
+        if (auto a = retry_eintr(status_.symlink_err, Phase::symlink)) {
+          return std::move(*a);
+        }
         status_.attack_done = true;
         phase_ = Phase::done;
         return Action::exit_proc();
@@ -112,12 +155,25 @@ Action PrefaultedAttacker::next(ProgramContext& ctx) {
 PipelinedAttackerMain::PipelinedAttackerMain(fs::Vfs& vfs, AttackTarget target,
                                              Duration loop_comp,
                                              Duration handoff_comp,
-                                             PipelinedAttackState* state)
+                                             PipelinedAttackState* state,
+                                             RetryPolicy retry)
     : vfs_(vfs),
       target_(std::move(target)),
       loop_comp_(loop_comp),
       handoff_comp_(handoff_comp),
-      state_(state) {}
+      state_(state),
+      retry_(retry) {}
+
+std::optional<Action> PipelinedAttackerMain::retry_eintr(Errno e, Phase redo) {
+  if (e != Errno::eintr || attempt_ + 1 >= retry_.max_attempts) {
+    attempt_ = 0;
+    return std::nullopt;
+  }
+  ++attempt_;
+  ++state_->status.retries;
+  phase_ = redo;
+  return Action::compute(retry_.backoff_for(attempt_), "retry");
+}
 
 Action PipelinedAttackerMain::next(ProgramContext& ctx) {
   (void)ctx;
@@ -146,6 +202,9 @@ Action PipelinedAttackerMain::next(ProgramContext& ctx) {
       return Action::service(
           vfs_.unlink_op(target_.watched_path, &state_->status.unlink_err));
     case Phase::done:
+      if (auto a = retry_eintr(state_->status.unlink_err, Phase::unlink)) {
+        return std::move(*a);
+      }
       return Action::exit_proc();
   }
   return Action::exit_proc();
@@ -171,10 +230,14 @@ Action PipelinedAttackerSymlinker::next(ProgramContext& ctx) {
       return Action::service(vfs_.symlink_op(
           target_.evil_target, target_.watched_path, &symlink_err_));
     case Phase::judge:
-      if (symlink_err_ == Errno::eexist && attempts_ < 64) {
-        // We beat the unlink into the directory; retry until the name
-        // is free (the unlink holds the semaphore, so the retry blocks
-        // right behind it — no spinning storm).
+      if ((symlink_err_ == Errno::eexist || symlink_err_ == Errno::eintr) &&
+          attempts_ < 64) {
+        // EEXIST: we beat the unlink into the directory; retry until the
+        // name is free (the unlink holds the semaphore, so the retry
+        // blocks right behind it — no spinning storm). EINTR: injected
+        // interruption, same recovery. Only the latter counts as a
+        // fault-driven retry.
+        if (symlink_err_ == Errno::eintr) ++state_->status.retries;
         phase_ = Phase::retry;
         return next(ctx);
       }

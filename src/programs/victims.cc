@@ -14,6 +14,17 @@ using sim::ProgramContext;
 ViVictim::ViVictim(fs::Vfs& vfs, ViVictimConfig cfg)
     : vfs_(vfs), cfg_(std::move(cfg)) {}
 
+std::optional<Action> ViVictim::retry_eintr(Errno e, Phase redo) {
+  if (e != Errno::eintr || attempt_ + 1 >= cfg_.t.retry.max_attempts) {
+    attempt_ = 0;
+    return std::nullopt;
+  }
+  ++attempt_;
+  ++retries_;
+  phase_ = redo;
+  return Action::sleep_for(cfg_.t.retry.backoff_for(attempt_));
+}
+
 Action ViVictim::next(ProgramContext& ctx) {
   (void)ctx;
   switch (phase_) {
@@ -44,6 +55,8 @@ Action ViVictim::next(ProgramContext& ctx) {
       return Action::service(
           vfs_.rename_op(cfg_.wfname, cfg_.backup_name, &err_));
     case Phase::pre_open:
+      // A real editor retries an interrupted rename before giving up.
+      if (auto a = retry_eintr(err_, Phase::rename)) return std::move(*a);
       phase_ = Phase::open;
       return Action::compute(cfg_.t.vi_pre_open, "comp");
     case Phase::open:
@@ -51,6 +64,7 @@ Action ViVictim::next(ProgramContext& ctx) {
       return Action::service(vfs_.open_op(
           cfg_.wfname, fs::OpenFlags::write_create_trunc(), 0644, &open_out_));
     case Phase::prep_write:
+      if (auto a = retry_eintr(open_out_.err, Phase::open)) return std::move(*a);
       if (open_out_.fd < 0) {  // editor would report an error and bail
         phase_ = Phase::done;
         return Action::exit_proc();
@@ -62,14 +76,19 @@ Action ViVictim::next(ProgramContext& ctx) {
         phase_ = Phase::pre_close;
         return next(ctx);
       }
-      const std::uint64_t n =
+      // The chunk commits to written_ only once between_chunks has seen
+      // the write succeed, so an EINTR'd write is reissued whole.
+      pending_chunk_ =
           std::min<std::uint64_t>(cfg_.t.vi_write_chunk_bytes,
                                   cfg_.file_bytes - written_);
-      written_ += n;
       phase_ = Phase::between_chunks;
-      return Action::service(vfs_.write_op(open_out_.fd, n, &err_));
+      return Action::service(vfs_.write_op(open_out_.fd, pending_chunk_,
+                                           &err_));
     }
     case Phase::between_chunks:
+      if (auto a = retry_eintr(err_, Phase::write_chunk)) return std::move(*a);
+      written_ += pending_chunk_;
+      pending_chunk_ = 0;
       phase_ = Phase::write_chunk;
       if (cfg_.t.vi_between_chunks > Duration::zero() &&
           written_ < cfg_.file_bytes) {
@@ -85,15 +104,24 @@ Action ViVictim::next(ProgramContext& ctx) {
       return Action::service(vfs_.fchown_op(open_out_.fd, cfg_.owner_uid,
                                             cfg_.owner_gid, &err_));
     case Phase::close:
+      if (cfg_.fd_attr_remedy) {
+        if (auto a = retry_eintr(err_, Phase::fchown_fd)) return std::move(*a);
+      }
+      // close(2) is never retried on EINTR: the fd state is unspecified
+      // and a retry could close an unrelated descriptor (POSIX).
       phase_ = cfg_.fd_attr_remedy ? Phase::done : Phase::pre_chown;
       return Action::service(vfs_.close_op(open_out_.fd, &err_));
     case Phase::pre_chown:
       phase_ = Phase::chown;
       return Action::compute(cfg_.t.vi_pre_chown, "comp");
     case Phase::chown:
-      phase_ = Phase::done;
+      phase_ = Phase::chown_ret;
       return Action::service(
           vfs_.chown_op(cfg_.wfname, cfg_.owner_uid, cfg_.owner_gid, &err_));
+    case Phase::chown_ret:
+      if (auto a = retry_eintr(err_, Phase::chown)) return std::move(*a);
+      phase_ = Phase::done;
+      return Action::exit_proc();
     case Phase::done:
       return Action::exit_proc();
   }
@@ -106,6 +134,17 @@ Action ViVictim::next(ProgramContext& ctx) {
 
 GeditVictim::GeditVictim(fs::Vfs& vfs, GeditVictimConfig cfg)
     : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+std::optional<Action> GeditVictim::retry_eintr(Errno e, Phase redo) {
+  if (e != Errno::eintr || attempt_ + 1 >= cfg_.t.retry.max_attempts) {
+    attempt_ = 0;
+    return std::nullopt;
+  }
+  ++attempt_;
+  ++retries_;
+  phase_ = redo;
+  return Action::sleep_for(cfg_.t.retry.backoff_for(attempt_));
+}
 
 Action GeditVictim::next(ProgramContext& ctx) {
   (void)ctx;
@@ -136,12 +175,16 @@ Action GeditVictim::next(ProgramContext& ctx) {
       phase_ = Phase::open_temp;
       return Action::compute(cfg_.t.gedit_prep, "comp");
     case Phase::open_temp: {
-      phase_ = Phase::write_chunk;
+      phase_ = Phase::open_ret;
       fs::OpenFlags flags = fs::OpenFlags::write_create_trunc();
       flags.excl = true;  // mkstemp-style: the scratch name is fresh
       return Action::service(
           vfs_.open_op(cfg_.temp_filename, flags, 0600, &open_out_));
     }
+    case Phase::open_ret:
+      if (auto a = retry_eintr(open_out_.err, Phase::open_temp)) return std::move(*a);
+      phase_ = Phase::write_chunk;
+      return next(ctx);
     case Phase::write_chunk: {
       if (open_out_.fd < 0) {
         phase_ = Phase::done;
@@ -151,14 +194,18 @@ Action GeditVictim::next(ProgramContext& ctx) {
         phase_ = cfg_.fd_attr_remedy ? Phase::fchmod_fd : Phase::close_temp;
         return next(ctx);
       }
-      const std::uint64_t n =
+      // As in ViVictim: commit to written_ only after the write succeeds.
+      pending_chunk_ =
           std::min<std::uint64_t>(cfg_.t.gedit_write_chunk_bytes,
                                   cfg_.file_bytes - written_);
-      written_ += n;
       phase_ = Phase::between_chunks;
-      return Action::service(vfs_.write_op(open_out_.fd, n, &err_));
+      return Action::service(vfs_.write_op(open_out_.fd, pending_chunk_,
+                                           &err_));
     }
     case Phase::between_chunks:
+      if (auto a = retry_eintr(err_, Phase::write_chunk)) return std::move(*a);
+      written_ += pending_chunk_;
+      pending_chunk_ = 0;
       phase_ = Phase::write_chunk;
       if (cfg_.t.gedit_between_chunks > Duration::zero() &&
           written_ < cfg_.file_bytes) {
@@ -170,10 +217,15 @@ Action GeditVictim::next(ProgramContext& ctx) {
       return Action::service(
           vfs_.fchmod_op(open_out_.fd, cfg_.owner_mode, &err_));
     case Phase::fchown_fd:
+      if (auto a = retry_eintr(err_, Phase::fchmod_fd)) return std::move(*a);
       phase_ = Phase::close_temp;
       return Action::service(vfs_.fchown_op(open_out_.fd, cfg_.owner_uid,
                                             cfg_.owner_gid, &err_));
     case Phase::close_temp:
+      if (cfg_.fd_attr_remedy) {
+        if (auto a = retry_eintr(err_, Phase::fchown_fd)) return std::move(*a);
+      }
+      // close(2) is never retried on EINTR (fd state unspecified).
       phase_ = Phase::pre_backup;
       return Action::service(vfs_.close_op(open_out_.fd, &err_));
     case Phase::pre_backup:
@@ -184,12 +236,17 @@ Action GeditVictim::next(ProgramContext& ctx) {
       return Action::service(
           vfs_.rename_op(cfg_.real_filename, cfg_.backup_name, &err_));
     case Phase::pre_rename:
+      if (auto a = retry_eintr(err_, Phase::backup)) return std::move(*a);
       phase_ = Phase::rename;
       return Action::compute(cfg_.t.gedit_pre_rename, "comp");
     case Phase::rename:
-      phase_ = cfg_.fd_attr_remedy ? Phase::done : Phase::comp_gap;
+      phase_ = Phase::rename_ret;
       return Action::service(
           vfs_.rename_op(cfg_.temp_filename, cfg_.real_filename, &err_));
+    case Phase::rename_ret:
+      if (auto a = retry_eintr(err_, Phase::rename)) return std::move(*a);
+      phase_ = cfg_.fd_attr_remedy ? Phase::done : Phase::comp_gap;
+      return next(ctx);
     case Phase::comp_gap:
       // The decisive gap: 43us on the SMP Xeon, 3us on the multi-core.
       phase_ = Phase::chmod;
@@ -199,15 +256,20 @@ Action GeditVictim::next(ProgramContext& ctx) {
       return Action::service(
           vfs_.chmod_op(cfg_.real_filename, cfg_.owner_mode, &err_));
     case Phase::chmod_chown_gap:
+      if (auto a = retry_eintr(err_, Phase::chmod)) return std::move(*a);
       phase_ = Phase::chown;
       if (cfg_.t.gedit_chmod_chown_gap > Duration::zero()) {
         return Action::compute(cfg_.t.gedit_chmod_chown_gap, "comp");
       }
       return next(ctx);
     case Phase::chown:
-      phase_ = Phase::done;
+      phase_ = Phase::chown_ret;
       return Action::service(vfs_.chown_op(cfg_.real_filename, cfg_.owner_uid,
                                            cfg_.owner_gid, &err_));
+    case Phase::chown_ret:
+      if (auto a = retry_eintr(err_, Phase::chown)) return std::move(*a);
+      phase_ = Phase::done;
+      return Action::exit_proc();
     case Phase::done:
       return Action::exit_proc();
   }

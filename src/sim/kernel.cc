@@ -4,6 +4,7 @@
 
 #include "tocttou/common/error.h"
 #include "tocttou/common/strings.h"
+#include "tocttou/sim/faults.h"
 
 namespace tocttou::sim {
 
@@ -399,13 +400,34 @@ void Kernel::advance_service(Process& p) {
         return;
       }
       case Step::Kind::done: {
-        complete_service(p, step.result);
-        // Syscall returned; pick the next action (checks need_resched).
-        start_next_action(p);
+        if (faults_ != nullptr) {
+          const Duration spike =
+              faults_->completion_spike(p.op_->name(), p.pid_);
+          if (spike > Duration::zero()) {
+            // Hold the result; the syscall returns only after the spike,
+            // so the journal exit time reflects the injected latency.
+            p.pending_result_ = step.result;
+            begin_segment(p, Process::SegKind::fault_spike, spike,
+                          "fault-spike");
+            return;
+          }
+        }
+        finish_syscall(p, step.result);
         return;
       }
     }
   }
+}
+
+void Kernel::finish_syscall(Process& p, Errno result) {
+  complete_service(p, result);
+  if (faults_ != nullptr && faults_->kill_at_syscall_return(p.pid_)) {
+    mark(p.pid_, "fault-kill");
+    handle_exit(p);
+    return;
+  }
+  // Syscall returned; pick the next action (checks need_resched).
+  start_next_action(p);
 }
 
 void Kernel::complete_service(Process& p, Errno result) {
@@ -453,9 +475,28 @@ void Kernel::release_sem(Process& p, Semaphore& sem) {
   });
 }
 
-void Kernel::wake(Pid pid, bool from_io) {
+void Kernel::wake(Pid pid, bool from_io, bool faultable) {
   Process& p = process(pid);
   if (p.state_ == ProcState::exited) return;
+  if (faultable && faults_ != nullptr) {
+    Duration delay = Duration::zero();
+    switch (faults_->wakeup_fault(pid, &delay)) {
+      case FaultInjector::WakeFault::drop:
+        // The wakeup is lost. Each blocked process has exactly one
+        // pending wake, so it stays blocked; a victim deadlocked this
+        // way surfaces as a time-limit anomaly — a modeled outcome.
+        return;
+      case FaultInjector::WakeFault::delay:
+        // Redeliver later; faultable=false so the late wake cannot be
+        // re-faulted into an unbounded delay chain.
+        queue_.schedule_at(now() + delay, [this, pid, from_io] {
+          wake(pid, from_io, /*faultable=*/false);
+        });
+        return;
+      case FaultInjector::WakeFault::none:
+        break;
+    }
+  }
   trace::Category cat = trace::Category::sem_wait;
   bool traced = true;
   switch (p.state_) {
@@ -577,6 +618,12 @@ void Kernel::finish_segment(Process& p, Duration ran) {
     }
     case Process::SegKind::ctxsw: {
       continue_process(p);
+      return;
+    }
+    case Process::SegKind::fault_spike: {
+      trace_segment(p, trace::Category::syscall, "fault-spike", p.seg_start_,
+                    now());
+      finish_syscall(p, p.pending_result_);
       return;
     }
     case Process::SegKind::none:

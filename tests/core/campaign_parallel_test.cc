@@ -40,7 +40,19 @@ void expect_identical(const RunningStats& a, const RunningStats& b) {
   EXPECT_EQ(a.sum(), b.sum());
 }
 
+void expect_identical(const sim::FaultStats& a, const sim::FaultStats& b) {
+  EXPECT_EQ(a.errors_injected, b.errors_injected);
+  EXPECT_EQ(a.latency_spikes, b.latency_spikes);
+  EXPECT_EQ(a.wakeups_delayed, b.wakeups_delayed);
+  EXPECT_EQ(a.wakeups_dropped, b.wakeups_dropped);
+  EXPECT_EQ(a.kills, b.kills);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.invariant_violations, b.invariant_violations);
+  EXPECT_EQ(a.degraded_rounds, b.degraded_rounds);
+}
+
 void expect_identical(const CampaignStats& a, const CampaignStats& b) {
+  expect_identical(a.faults, b.faults);
   EXPECT_EQ(a.success.trials(), b.success.trials());
   EXPECT_EQ(a.success.successes(), b.success.successes());
   EXPECT_EQ(a.detected.trials(), b.detected.trials());
@@ -96,6 +108,42 @@ TEST(CampaignParallelTest, ZeroRounds) {
   const CampaignStats s = run_campaign(vi_smp(), 0, /*measure_ld=*/false, 4);
   EXPECT_EQ(s.success.trials(), 0u);
   EXPECT_EQ(s.anomalies, 0);
+}
+
+TEST(CampaignParallelTest, FaultPlanIdenticalAtAnyJobCount) {
+  // The fault injector draws from its own per-round Rng stream, so a
+  // nonzero plan keeps the campaign byte-identical at any job count —
+  // including every FaultStats counter.
+  ScenarioConfig c = vi_smp();
+  std::string err;
+  ASSERT_TRUE(sim::FaultPlan::parse(
+      "error:0.05:errno=eintr,spike:0.05:us=80,wakeup-delay:0.02:us=40",
+      &c.faults, &err))
+      << err;
+  const CampaignStats serial = run_campaign(c, 20, /*measure_ld=*/true, 1);
+  EXPECT_GT(serial.faults.total_injected(), 0u);
+  for (int jobs : {2, 4, 8}) {
+    const CampaignStats par = run_campaign(c, 20, /*measure_ld=*/true, jobs);
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    expect_identical(serial, par);
+  }
+}
+
+TEST(CampaignParallelTest, ZeroRatePlanMatchesNoPlan) {
+  // An all-zero-rate plan instantiates the injector but never fires; the
+  // campaign must be byte-identical to running with no plan at all (the
+  // injector has its own Rng stream, so merely consulting it cannot
+  // perturb the kernel's noise).
+  const ScenarioConfig none = vi_smp();
+  ScenarioConfig zero = vi_smp();
+  std::string err;
+  ASSERT_TRUE(sim::FaultPlan::parse("error:0:errno=eintr,spike:0,kill:0",
+                                    &zero.faults, &err))
+      << err;
+  const CampaignStats a = run_campaign(none, 16, /*measure_ld=*/true, 1);
+  const CampaignStats b = run_campaign(zero, 16, /*measure_ld=*/true, 4);
+  EXPECT_EQ(b.faults.total_injected(), 0u);
+  expect_identical(a, b);
 }
 
 TEST(CampaignParallelTest, TimeLimitAnomaliesSurviveParallelRun) {

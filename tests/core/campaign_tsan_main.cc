@@ -1,11 +1,42 @@
 // Standalone (gtest-free) determinism check for the parallel campaign
 // engine. CI builds exactly this binary under -fsanitize=thread: a
-// vi/SMP campaign runs serially and with 4 workers, and the two results
-// must be identical. Exits non-zero on divergence.
+// vi/SMP campaign runs serially and with 4 workers — once without
+// faults and once with an active fault plan (per-round FaultInjectors
+// are the newest shared-nothing state worth proving race-free) — and
+// each pair of results must be identical. Exits non-zero on divergence.
 #include <cstdio>
 #include <string>
 
 #include "tocttou/core/harness.h"
+
+namespace {
+
+bool check_pair(const tocttou::core::ScenarioConfig& cfg, const char* label) {
+  using namespace tocttou;
+  const auto serial = core::run_campaign(cfg, 40, /*measure_ld=*/true, 1);
+  const auto parallel = core::run_campaign(cfg, 40, /*measure_ld=*/true, 4);
+  const std::string a = serial.summary();
+  const std::string b = parallel.summary();
+  std::printf("[%s] jobs=1: %s\n[%s] jobs=4: %s\n", label, a.c_str(), label,
+              b.c_str());
+
+  bool ok = a == b;
+  ok = ok && serial.success.trials() == parallel.success.trials();
+  ok = ok && serial.success.successes() == parallel.success.successes();
+  ok = ok && serial.total_events == parallel.total_events;
+  ok = ok && serial.anomalies == parallel.anomalies;
+  ok = ok && serial.laxity_us.count() == parallel.laxity_us.count();
+  ok = ok && serial.laxity_us.mean() == parallel.laxity_us.mean();
+  ok = ok && serial.detection_us.mean() == parallel.detection_us.mean();
+  ok = ok && serial.faults.errors_injected == parallel.faults.errors_injected;
+  ok = ok && serial.faults.latency_spikes == parallel.faults.latency_spikes;
+  ok = ok && serial.faults.retries == parallel.faults.retries;
+  ok = ok &&
+       serial.faults.invariant_violations == parallel.faults.invariant_violations;
+  return ok;
+}
+
+}  // namespace
 
 int main() {
   using namespace tocttou;
@@ -16,24 +47,20 @@ int main() {
   cfg.file_bytes = 50 * 1024;
   cfg.seed = 42;
 
-  const auto serial = core::run_campaign(cfg, 40, /*measure_ld=*/true, 1);
-  const auto parallel = core::run_campaign(cfg, 40, /*measure_ld=*/true, 4);
-  const std::string a = serial.summary();
-  const std::string b = parallel.summary();
-  std::printf("jobs=1: %s\njobs=4: %s\n", a.c_str(), b.c_str());
+  bool ok = check_pair(cfg, "no-faults");
 
-  bool ok = a == b;
-  ok = ok && serial.success.trials() == parallel.success.trials();
-  ok = ok && serial.success.successes() == parallel.success.successes();
-  ok = ok && serial.total_events == parallel.total_events;
-  ok = ok && serial.anomalies == parallel.anomalies;
-  ok = ok && serial.laxity_us.count() == parallel.laxity_us.count();
-  ok = ok && serial.laxity_us.mean() == parallel.laxity_us.mean();
-  ok = ok && serial.detection_us.mean() == parallel.detection_us.mean();
+  std::string err;
+  if (!sim::FaultPlan::parse("error:0.05:errno=eintr,spike:0.05:us=60",
+                             &cfg.faults, &err)) {
+    std::fprintf(stderr, "FAIL: fault plan did not parse: %s\n", err.c_str());
+    return 1;
+  }
+  ok = check_pair(cfg, "faults") && ok;
+
   if (!ok) {
     std::fprintf(stderr, "FAIL: parallel campaign diverged from serial\n");
     return 1;
   }
-  std::printf("OK: parallel campaign identical to serial run\n");
+  std::printf("OK: parallel campaigns identical to serial runs\n");
   return 0;
 }

@@ -124,6 +124,48 @@ TEST_F(FdOpsTest, FchownRequiresRoot) {
   EXPECT_EQ(err, Errno::eperm);
 }
 
+TEST_F(FdOpsTest, FdAllocReturnsLowestFreeDescriptor) {
+  // POSIX requires open() to return the lowest-numbered free descriptor.
+  // A regression here is observable: programs that close and reopen
+  // expect the same fd back.
+  const int fd3 = vfs_.fd_alloc(1, file_, OpenFlags::read_only());
+  const int fd4 = vfs_.fd_alloc(1, file_, OpenFlags::read_only());
+  const int fd5 = vfs_.fd_alloc(1, file_, OpenFlags::read_only());
+  EXPECT_EQ(fd3, 3);  // 0-2 are reserved for stdio
+  EXPECT_EQ(fd4, 4);
+  EXPECT_EQ(fd5, 5);
+
+  // Close a descriptor in the middle: the hole is refilled first.
+  EXPECT_EQ(vfs_.fd_close(1, fd4), Errno::ok);
+  EXPECT_EQ(vfs_.fd_alloc(1, file_, OpenFlags::read_only()), 4);
+  // No holes left: allocation resumes past the top.
+  EXPECT_EQ(vfs_.fd_alloc(1, file_, OpenFlags::read_only()), 6);
+
+  // Tables are per process: another pid starts from 3 regardless.
+  EXPECT_EQ(vfs_.fd_alloc(2, file_, OpenFlags::read_only()), 3);
+}
+
+TEST_F(FdOpsTest, OpenCloseOpenReusesTheFd) {
+  // End-to-end through the open/close ops rather than fd_alloc directly.
+  // The process has no other descriptors, so the first open must return
+  // fd 3 — which lets the script close it by number.
+  OpenResult r1, r2;
+  Errno cerr = Errno::einval;
+  std::vector<Action> a;
+  a.push_back(Action::service(
+      vfs_.open_op("/d/f", OpenFlags::read_only(), 0, &r1)));
+  a.push_back(Action::service(vfs_.close_op(3, &cerr)));
+  a.push_back(Action::service(
+      vfs_.open_op("/d/f", OpenFlags::read_only(), 0, &r2)));
+  spawn(std::move(a), 0);
+  ASSERT_TRUE(kernel_->run_to_exit());
+  EXPECT_EQ(r1.err, Errno::ok);
+  EXPECT_EQ(r1.fd, 3);
+  EXPECT_EQ(cerr, Errno::ok);
+  EXPECT_EQ(r2.err, Errno::ok);
+  EXPECT_EQ(r2.fd, 3);
+}
+
 TEST_F(FdOpsTest, LinkCreatesSecondName) {
   Errno err = Errno::einval;
   std::vector<Action> a;

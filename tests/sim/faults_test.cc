@@ -1,0 +1,208 @@
+// Unit tests for the fault-injection subsystem: plan parsing, filter
+// matching, nth-targeting, and — the property everything else rests on —
+// that two injectors built from the same (plan, seed) produce the same
+// decision sequence.
+#include <gtest/gtest.h>
+
+#include "tocttou/sim/faults.h"
+
+namespace tocttou::sim {
+namespace {
+
+FaultPlan parse_ok(const std::string& text) {
+  FaultPlan plan;
+  std::string err;
+  EXPECT_TRUE(FaultPlan::parse(text, &plan, &err)) << text << ": " << err;
+  return plan;
+}
+
+void parse_fail(const std::string& text) {
+  FaultPlan plan;
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse(text, &plan, &err)) << text;
+  EXPECT_FALSE(err.empty()) << text;
+}
+
+TEST(FaultPlanTest, ParsesSingleClause) {
+  const FaultPlan p = parse_ok("error:0.25");
+  ASSERT_EQ(p.specs.size(), 1u);
+  EXPECT_EQ(p.specs[0].kind, FaultKind::syscall_error);
+  EXPECT_DOUBLE_EQ(p.specs[0].rate, 0.25);
+  EXPECT_EQ(p.specs[0].error, Errno::eintr);  // default
+}
+
+TEST(FaultPlanTest, ParsesAllKindsAndKeys) {
+  const FaultPlan p = parse_ok(
+      "error:0.01:errno=enospc:op=write:role=victim,"
+      "spike:0.5:us=200:op=unlink,"
+      "wakeup-delay:0.1:us=75,"
+      "wakeup-drop:0:nth=3:role=attacker,"
+      "kill:0:nth=5:path=/etc");
+  ASSERT_EQ(p.specs.size(), 5u);
+  EXPECT_EQ(p.specs[0].kind, FaultKind::syscall_error);
+  EXPECT_EQ(p.specs[0].error, Errno::enospc);
+  EXPECT_EQ(p.specs[0].op, "write");
+  EXPECT_EQ(p.specs[0].role, FaultRole::victim);
+  EXPECT_EQ(p.specs[1].kind, FaultKind::latency_spike);
+  EXPECT_EQ(p.specs[1].magnitude, Duration::micros(200));
+  EXPECT_EQ(p.specs[2].kind, FaultKind::wakeup_delay);
+  EXPECT_EQ(p.specs[3].kind, FaultKind::wakeup_drop);
+  EXPECT_EQ(p.specs[3].nth, 3u);
+  EXPECT_EQ(p.specs[4].kind, FaultKind::kill_process);
+  EXPECT_EQ(p.specs[4].path_prefix, "/etc");
+  EXPECT_TRUE(p.has(FaultKind::kill_process));
+  EXPECT_FALSE(parse_ok("error:0.5").has(FaultKind::kill_process));
+}
+
+TEST(FaultPlanTest, RejectsMalformedInput) {
+  parse_fail("");                       // empty plan text
+  parse_fail("bogus:0.1");              // unknown kind
+  parse_fail("error");                  // missing rate
+  parse_fail("error:abc");              // non-numeric rate
+  parse_fail("error:1.5");              // rate out of [0,1]
+  parse_fail("error:-0.1");             // negative rate
+  parse_fail("error:0.1:errno=ebadf");  // unsupported errno
+  parse_fail("spike:0.1:errno=eintr");  // errno on a non-error clause
+  parse_fail("error:0.1:nth=0");        // nth must be >= 1
+  parse_fail("error:0.1:us=abc");       // non-numeric magnitude
+  parse_fail("error:0.1:frobnicate=1"); // unknown key
+  parse_fail("error:0.1,");             // trailing empty clause
+}
+
+TEST(FaultPlanTest, InertDetectsAllZeroRates) {
+  EXPECT_TRUE(parse_ok("error:0,spike:0").inert());
+  EXPECT_FALSE(parse_ok("error:0.01").inert());
+  EXPECT_FALSE(parse_ok("error:0:nth=2").inert());  // nth still fires
+  EXPECT_TRUE(FaultPlan{}.inert());
+}
+
+TEST(FaultPlanTest, DescribeRoundTrips) {
+  const FaultPlan p =
+      parse_ok("error:0.01:errno=eio:op=open:role=victim,spike:0.5:us=200");
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("error"), std::string::npos);
+  EXPECT_NE(d.find("EIO"), std::string::npos);
+  EXPECT_NE(d.find("open"), std::string::npos);
+  EXPECT_NE(d.find("spike"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, RateOneAlwaysFires) {
+  FaultInjector inj(parse_ok("error:1"), /*seed=*/1);
+  for (int i = 0; i < 5; ++i) {
+    const auto e = inj.syscall_error("open", "/tmp/x", /*pid=*/2);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(*e, Errno::eintr);
+  }
+  EXPECT_EQ(inj.stats().errors_injected, 5u);
+}
+
+TEST(FaultInjectorTest, RateZeroNeverFires) {
+  FaultInjector inj(parse_ok("error:0,spike:0"), /*seed=*/1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.syscall_error("open", "/tmp/x", 2).has_value());
+    EXPECT_EQ(inj.completion_spike("open", 2), Duration::zero());
+  }
+  EXPECT_EQ(inj.stats().total_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, OpFilterMatches) {
+  FaultInjector inj(parse_ok("error:1:op=rename"), /*seed=*/3);
+  EXPECT_FALSE(inj.syscall_error("open", "/a", 2).has_value());
+  EXPECT_TRUE(inj.syscall_error("rename", "/a", 2).has_value());
+}
+
+TEST(FaultInjectorTest, PathPrefixFilterMatches) {
+  FaultInjector inj(parse_ok("error:1:path=/etc"), /*seed=*/3);
+  EXPECT_FALSE(inj.syscall_error("open", "/home/alice/x", 2).has_value());
+  EXPECT_TRUE(inj.syscall_error("open", "/etc/passwd", 2).has_value());
+  // fd-based ops carry no path and never match a non-empty prefix.
+  EXPECT_FALSE(inj.syscall_error("write", "", 2).has_value());
+}
+
+TEST(FaultInjectorTest, RoleFilterMatches) {
+  FaultInjector inj(parse_ok("error:1:role=victim"), /*seed=*/3);
+  inj.set_role(10, FaultRole::victim);
+  inj.set_role(11, FaultRole::attacker);
+  EXPECT_TRUE(inj.syscall_error("open", "/a", 10).has_value());
+  EXPECT_FALSE(inj.syscall_error("open", "/a", 11).has_value());
+  // Unregistered pids (background kthreads) match only role=any specs.
+  EXPECT_FALSE(inj.syscall_error("open", "/a", 99).has_value());
+}
+
+TEST(FaultInjectorTest, NthTargetsExactOccurrence) {
+  FaultInjector inj(parse_ok("error:0:nth=3:op=open"), /*seed=*/3);
+  EXPECT_FALSE(inj.syscall_error("open", "/a", 2).has_value());
+  EXPECT_FALSE(inj.syscall_error("open", "/a", 2).has_value());
+  EXPECT_TRUE(inj.syscall_error("open", "/a", 2).has_value());   // 3rd
+  EXPECT_FALSE(inj.syscall_error("open", "/a", 2).has_value());  // 4th
+  EXPECT_EQ(inj.stats().errors_injected, 1u);
+}
+
+TEST(FaultInjectorTest, KillCountsSyscallReturnsPerProcess) {
+  FaultInjector inj(parse_ok("kill:0:nth=2"), /*seed=*/3);
+  EXPECT_FALSE(inj.kill_at_syscall_return(5));
+  EXPECT_FALSE(inj.kill_at_syscall_return(6));  // separate counter
+  EXPECT_TRUE(inj.kill_at_syscall_return(5));   // pid 5's 2nd return
+  EXPECT_TRUE(inj.kill_at_syscall_return(6));
+  EXPECT_EQ(inj.stats().kills, 2u);
+}
+
+TEST(FaultInjectorTest, WakeupFaultsReportDelay) {
+  FaultInjector drop(parse_ok("wakeup-drop:1"), /*seed=*/3);
+  Duration d = Duration::zero();
+  EXPECT_EQ(drop.wakeup_fault(2, &d), FaultInjector::WakeFault::drop);
+  EXPECT_EQ(drop.stats().wakeups_dropped, 1u);
+
+  FaultInjector delay(parse_ok("wakeup-delay:1:us=90"), /*seed=*/3);
+  EXPECT_EQ(delay.wakeup_fault(2, &d), FaultInjector::WakeFault::delay);
+  EXPECT_EQ(d, Duration::micros(90));
+  EXPECT_EQ(delay.stats().wakeups_delayed, 1u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  // The determinism contract in miniature: identical (plan, seed) and
+  // identical query sequence => identical decisions, across every hook.
+  const FaultPlan plan = parse_ok(
+      "error:0.3:errno=eio,spike:0.2:us=60,wakeup-delay:0.25:us=40,kill:0.1");
+  FaultInjector a(plan, /*seed=*/77);
+  FaultInjector b(plan, /*seed=*/77);
+  for (int i = 0; i < 200; ++i) {
+    const Pid pid = static_cast<Pid>(2 + i % 3);
+    EXPECT_EQ(a.syscall_error("open", "/x", pid),
+              b.syscall_error("open", "/x", pid));
+    EXPECT_EQ(a.completion_spike("open", pid),
+              b.completion_spike("open", pid));
+    Duration da = Duration::zero(), db = Duration::zero();
+    EXPECT_EQ(a.wakeup_fault(pid, &da), b.wakeup_fault(pid, &db));
+    EXPECT_EQ(da, db);
+    EXPECT_EQ(a.kill_at_syscall_return(pid), b.kill_at_syscall_return(pid));
+  }
+  EXPECT_GT(a.stats().total_injected(), 0u);
+  EXPECT_EQ(a.stats().errors_injected, b.stats().errors_injected);
+  EXPECT_EQ(a.stats().latency_spikes, b.stats().latency_spikes);
+  EXPECT_EQ(a.stats().wakeups_delayed, b.stats().wakeups_delayed);
+  EXPECT_EQ(a.stats().kills, b.stats().kills);
+}
+
+TEST(FaultStatsTest, MergeAndSummary) {
+  FaultStats a;
+  a.errors_injected = 2;
+  a.retries = 1;
+  FaultStats b;
+  b.errors_injected = 3;
+  b.latency_spikes = 4;
+  b.invariant_violations = 1;
+  a.merge(b);
+  EXPECT_EQ(a.errors_injected, 5u);
+  EXPECT_EQ(a.latency_spikes, 4u);
+  EXPECT_EQ(a.retries, 1u);
+  EXPECT_EQ(a.invariant_violations, 1u);
+  EXPECT_EQ(a.total_injected(), 9u);
+  const std::string s = a.summary();
+  EXPECT_NE(s.find("err=5"), std::string::npos);
+  EXPECT_NE(s.find("spike=4"), std::string::npos);
+  EXPECT_EQ(FaultStats{}.summary(), "faults[none]");
+}
+
+}  // namespace
+}  // namespace tocttou::sim

@@ -10,6 +10,7 @@
 //   tocttou --testbed=smp --victim=gedit --gantt --seed=3
 //   tocttou --testbed=smp --victim=vi --defended --rounds=100
 //   tocttou --testbed=up --victim=vi --file-kb=1000 --journal-csv=out.csv
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,7 @@
 #include "tocttou/core/harness.h"
 #include "tocttou/core/model.h"
 #include "tocttou/core/pairs.h"
+#include "tocttou/sim/faults.h"
 #include "tocttou/trace/trace.h"
 
 namespace {
@@ -38,6 +40,10 @@ using namespace tocttou;
       "                               cores; 1 = serial; results are\n"
       "                               identical at any job count)\n"
       "  --seed=N                     base seed (default 1)\n"
+      "  --faults=SPEC[,SPEC...]      deterministic fault plan, e.g.\n"
+      "                               error:0.01:errno=eintr:op=rename\n"
+      "                               (kinds: error, spike, wakeup-delay,\n"
+      "                               wakeup-drop, kill)\n"
       "  --defended                   victim uses fchown/fchmod (Sec. 8)\n"
       "  --no-background              disable kernel-thread load\n"
       "  --measure-ld                 record journals; report L and D\n"
@@ -56,6 +62,45 @@ bool take(const char* arg, const char* name, std::string* out) {
     return true;
   }
   return false;
+}
+
+[[noreturn]] void bad_value(const char* flag, const std::string& v,
+                            const char* want) {
+  std::fprintf(stderr, "tocttou: invalid value for %s: '%s' (expected %s)\n",
+               flag, v.c_str(), want);
+  std::exit(1);
+}
+
+/// Strict integer parsing: the whole string must be a number in range.
+/// atoi/strtoull silently turn "abc" into 0 and "12x" into 12 — a typo'd
+/// --rounds=1OO would quietly run a zero-round campaign.
+long long parse_int(const char* flag, const std::string& v, long long lo,
+                    long long hi) {
+  const char* s = v.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long n = std::strtoll(s, &end, 10);
+  if (v.empty() || end != s + v.size() || errno == ERANGE) {
+    bad_value(flag, v, "an integer");
+  }
+  if (n < lo || n > hi) {
+    std::fprintf(stderr,
+                 "tocttou: %s=%lld out of range (must be %lld..%lld)\n", flag,
+                 n, lo, hi);
+    std::exit(1);
+  }
+  return n;
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& v) {
+  const char* s = v.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long n = std::strtoull(s, &end, 10);
+  if (v.empty() || v[0] == '-' || end != s + v.size() || errno == ERANGE) {
+    bad_value(flag, v, "an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(n);
 }
 
 void write_file_or_die(const std::string& path, const std::string& body) {
@@ -104,15 +149,23 @@ int main(int argc, char** argv) {
       else if (v == "none") cfg.attacker = core::AttackerKind::none;
       else usage(1);
     } else if (take(argv[i], "--file-kb", &v)) {
-      cfg.file_bytes = std::strtoull(v.c_str(), nullptr, 10) * 1024;
+      cfg.file_bytes = parse_u64("--file-kb", v) * 1024;
     } else if (take(argv[i], "--file-bytes", &v)) {
-      cfg.file_bytes = std::strtoull(v.c_str(), nullptr, 10);
+      cfg.file_bytes = parse_u64("--file-bytes", v);
     } else if (take(argv[i], "--rounds", &v)) {
-      rounds = std::atoi(v.c_str());
+      rounds = static_cast<int>(parse_int("--rounds", v, 1, 100000000));
     } else if (take(argv[i], "--jobs", &v)) {
-      jobs = std::atoi(v.c_str());
+      // <= 0 means "one worker per hardware thread", so any integer is
+      // acceptable — but it must BE an integer.
+      jobs = static_cast<int>(parse_int("--jobs", v, -1000000, 1000000));
     } else if (take(argv[i], "--seed", &v)) {
-      cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
+      cfg.seed = parse_u64("--seed", v);
+    } else if (take(argv[i], "--faults", &v)) {
+      std::string err;
+      if (!sim::FaultPlan::parse(v, &cfg.faults, &err)) {
+        std::fprintf(stderr, "tocttou: bad --faults spec: %s\n", err.c_str());
+        std::exit(1);
+      }
     } else if (take(argv[i], "--journal-csv", &v)) {
       journal_csv = v;
     } else if (take(argv[i], "--events-csv", &v)) {
@@ -139,6 +192,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.file_bytes),
               static_cast<unsigned long long>(cfg.seed),
               cfg.defended_victim ? " [defended]" : "");
+  if (!cfg.faults.empty()) {
+    std::printf("faults: %s\n", cfg.faults.describe().c_str());
+  }
 
   const bool single_round =
       gantt || interference || !journal_csv.empty() || !events_csv.empty();
