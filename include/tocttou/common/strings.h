@@ -21,6 +21,11 @@ std::string join_path(const std::vector<std::string>& components);
 /// printf-style formatting into std::string.
 std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// RFC 4180 CSV field escaping: fields containing a comma, a double
+/// quote, or a line break are wrapped in double quotes, with embedded
+/// quotes doubled. Everything else passes through unchanged.
+std::string csv_escape(std::string_view field);
+
 /// Left/right padding for table rendering.
 std::string pad_left(std::string_view s, std::size_t width);
 std::string pad_right(std::string_view s, std::size_t width);

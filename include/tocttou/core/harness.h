@@ -5,16 +5,24 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tocttou/common/stats.h"
 #include "tocttou/core/analysis.h"
 #include "tocttou/programs/testbeds.h"
+#include "tocttou/sched/linux_sched.h"
 #include "tocttou/sim/faults.h"
 #include "tocttou/sim/ids.h"
 #include "tocttou/trace/journal.h"
+
+namespace tocttou::sim {
+class Scheduler;
+}
 
 namespace tocttou::core {
 
@@ -65,6 +73,14 @@ struct ScenarioConfig {
   /// so the kernel's noise stream — and every no-fault statistic — is
   /// untouched by adding or removing a plan.
   sim::FaultPlan faults;
+
+  /// Overrides the scheduler the round runs under (the explore
+  /// subsystem's hook for its choice-point shim). Null = the standard
+  /// LinuxLikeScheduler with default_sched_params(). Deliberately
+  /// excluded from scenario_fingerprint(): a shim that resolves every
+  /// choice the way the policy would IS the same scenario.
+  std::function<std::unique_ptr<sim::Scheduler>(const ScenarioConfig&)>
+      scheduler_factory;
 };
 
 struct RoundResult {
@@ -95,9 +111,18 @@ struct RoundResult {
   /// Post-round VFS invariant audit (runs after every round; empty =
   /// healthy). Recorded, not thrown: a corrupted round is data.
   std::vector<std::string> audit_violations;
+
+  /// Replay-ready schedule token ("st1:...") pinning the scenario
+  /// fingerprint, the round seed, and the victim think time actually
+  /// used. `tocttou_cli --replay=TOKEN` re-runs the round; the explore
+  /// subsystem appends explicit scheduling choices to the same format.
+  std::string schedule_token;
 };
 
 RoundResult run_round(const ScenarioConfig& cfg);
+
+/// Cap on anomaly replay tokens retained per campaign.
+inline constexpr int kMaxAnomalyTokens = 8;
 
 struct CampaignStats {
   SuccessCounter success;
@@ -121,6 +146,12 @@ struct CampaignStats {
   /// summary() omits it then, keeping no-fault output byte-identical).
   sim::FaultStats faults;
 
+  /// Replay tokens for the first few anomalous rounds — rounds that
+  /// threw out of run_round, hit the time limit, or stalled — capped at
+  /// kMaxAnomalyTokens so a pathological campaign stays bounded. Empty
+  /// for a healthy campaign.
+  std::vector<std::string> anomaly_tokens;
+
   /// Folds `other` into this accumulator. Merging per-block stats in
   /// fixed block order reproduces the single-threaded reduction exactly,
   /// which is what makes the parallel campaign engine deterministic.
@@ -139,6 +170,23 @@ struct CampaignStats {
 /// `jobs` value (same seed => same numbers at any job count).
 CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
                            bool measure_ld = false, int jobs = 1);
+
+/// The scheduler parameters every round runs under (exported so the
+/// explore subsystem can wrap the identical policy in its shim).
+sched::LinuxSchedParams default_sched_params(const ScenarioConfig& cfg);
+
+/// The [lo, hi] range the default victim think time is drawn from
+/// (exported so the explorer can quantize it into probability buckets).
+/// Matches default_think exactly when cfg.victim_think is unset.
+std::pair<Duration, Duration> victim_think_range(const ScenarioConfig& cfg);
+
+/// FNV-1a fingerprint over the scenario fields that shape the schedule
+/// space: testbed, machine/noise/background parameters, victim,
+/// attacker, file size, defenses, paths, fault plan, round limit.
+/// Excludes seed, victim_think, the record flags, and scheduler_factory
+/// — those vary across rounds of the SAME scenario (a schedule token
+/// pins seed and think itself).
+std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg);
 
 /// The DConvention the paper uses for each victim.
 DConvention d_convention_for(VictimKind v);

@@ -1,0 +1,138 @@
+// Schedule-space exploration: replace the campaign's random jitter with
+// systematic enumeration of the scheduling choice points.
+//
+// Under the canonical exploration config (noise model off, background
+// load off, no faults) a round is fully deterministic given (victim
+// think time, scheduling choices). The explorer exploits this two ways:
+//
+//  * exhaustive — the victim think time, the only stochastic input the
+//    harness draws, is quantized into `think_buckets` midpoint-quadrature
+//    buckets of mass 1/K over victim_think_range(); per bucket, a DFS
+//    with iterative preemption bounding (c = 0, 1, 2, ...) enumerates
+//    every schedule reachable with at most c non-policy choices,
+//    sleep-set-pruning alternatives that commute with the policy pick.
+//    The policy schedule of each bucket carries the bucket's mass, so
+//    summing mass * success over buckets yields the EXACT attack success
+//    probability under the calibrated think distribution — the number a
+//    Monte Carlo campaign and the paper's Equation 1 only estimate.
+//    Divergent schedules carry zero mass (they need jitter the canonical
+//    config turns off); they provide coverage and witnesses.
+//  * pct — PCT-style randomized priorities: each schedule draws a think
+//    time and random per-process priorities with `pct_depth - 1` change
+//    points, giving the classic >= 1/(n*k^(d-1)) chance of hitting any
+//    depth-d ordering bug per schedule. Cheap probabilistic coverage
+//    when the exhaustive space is too large.
+//
+// Every explored schedule yields a replay token (see token.h) that
+// replay_token() re-executes bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tocttou/common/stats.h"
+#include "tocttou/core/harness.h"
+#include "tocttou/explore/choice_source.h"
+#include "tocttou/explore/token.h"
+
+namespace tocttou::explore {
+
+enum class ExploreMode { exhaustive, pct };
+
+const char* to_string(ExploreMode m);
+
+struct ExploreConfig {
+  ExploreMode mode = ExploreMode::exhaustive;
+
+  /// Quantization of the victim think range (exhaustive mode). More
+  /// buckets = finer exact probability; cost scales linearly.
+  int think_buckets = 64;
+
+  /// Highest preemption bound the iterative deepening tries; -1 = keep
+  /// deepening until the space is fully enumerated or the round budget
+  /// runs out (on most scenarios every divergence exposes fresh wakeup
+  /// sites, so the space is unbounded in depth — expect the budget).
+  int preemption_bound = 2;
+
+  /// Cap on schedules per deepening iteration AND on total rounds
+  /// executed across iterations (the deepening stops once the running
+  /// total crosses it).
+  int max_schedules = 200000;
+
+  /// Sleep-set-style pruning of alternatives that commute with the
+  /// policy pick (per `oracle`). Off = enumerate them anyway.
+  bool use_sleep_sets = true;
+
+  /// Commutativity knowledge for the pruning; null = default oracle.
+  const IndependenceOracle* oracle = nullptr;
+
+  /// PCT mode knobs: bug depth d, schedules to run, expected choice
+  /// sites per schedule (the k the change points are drawn over).
+  int pct_depth = 3;
+  int pct_schedules = 1000;
+  int pct_expected_steps = 64;
+  std::uint64_t pct_seed = 1;
+};
+
+struct ExploreResult {
+  ExploreMode mode = ExploreMode::exhaustive;
+
+  /// Distinct schedules enumerated (final deepening iteration).
+  int schedules = 0;
+  /// Rounds actually executed, including iterative-deepening re-runs.
+  int rounds_executed = 0;
+  /// Schedules that followed the policy at every choice point (one per
+  /// think bucket when complete).
+  int policy_schedules = 0;
+  /// Every schedule within bound_reached was enumerated (bounded
+  /// completeness; no schedule-cap truncation). When bound_cutoffs is
+  /// also zero the bound covers the entire schedule space.
+  bool complete = false;
+  /// Final preemption bound the deepening reached.
+  int bound_reached = 0;
+  std::uint64_t pruned_by_sleep_set = 0;
+  std::uint64_t bound_cutoffs = 0;
+
+  /// Exact success probability: sum of bucket mass over succeeding
+  /// policy schedules. Meaningful in exhaustive mode only.
+  double exact_success = 0.0;
+  /// Total probability mass accounted for (≈ 1.0 when every bucket's
+  /// policy schedule completed).
+  double total_mass = 0.0;
+
+  /// Schedules (of any weight) where the attack succeeded.
+  int successes = 0;
+  /// Replay token of the best witness (fewest divergences from policy,
+  /// then earliest found); empty when no schedule succeeded.
+  std::optional<ScheduleToken> witness;
+  int witness_divergences = -1;
+  /// Schedules executed up to and including the first success; -1 if
+  /// none succeeded.
+  int schedules_to_first_hit = -1;
+
+  /// Victim race window (us) measured on policy schedules.
+  RunningStats window_us;
+
+  /// PCT mode: processes seen, max choice sites per schedule, and the
+  /// per-schedule hitting bound 1/(n*k^(d-1)) they imply.
+  int pct_procs = 0;
+  int pct_max_steps = 0;
+  double pct_bound = 0.0;
+
+  /// Rounds where a forced prefix failed to match the sites the kernel
+  /// reached (should stay 0; nonzero means nondeterminism crept in).
+  int divergence_errors = 0;
+};
+
+/// The deterministic base config exploration runs under: noise model
+/// off, background load off, fault plan cleared. Everything else (paths,
+/// victim, attacker, testbed timings, file size, defenses) is preserved,
+/// as are the record flags.
+core::ScenarioConfig canonical_explore_config(core::ScenarioConfig cfg);
+
+/// Explores the schedule space of `cfg` (canonicalized internally).
+ExploreResult explore(const core::ScenarioConfig& cfg,
+                      const ExploreConfig& ecfg);
+
+}  // namespace tocttou::explore

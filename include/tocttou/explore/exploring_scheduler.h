@@ -1,0 +1,58 @@
+// Scheduler shim that turns nondeterministic scheduling decisions into
+// explicit choice points.
+//
+// ExploringScheduler wraps the LinuxLikeScheduler policy and forwards
+// every decision to it, EXCEPT at sites where more than one outcome is
+// schedulable on real hardware:
+//
+//  * pick: >= 2 ready tasks share the highest priority level on a CPU —
+//    the run-queue order among them is an artifact of wakeup timing, so
+//    any of them may legitimately run next.
+//  * preempt: a task wakes while an EQUAL-priority task runs — whether
+//    the wakeup preempts depends on sub-tick timing (the paper's jitter).
+//    Strict priority preemption (kernel thread over user task) is NOT a
+//    choice point: it happens on every real kernel.
+//  * place: >= 2 idle CPUs can accept a waking task — which one takes
+//    the wakeup IPI first is timing-dependent.
+//
+// At each site the shim asks its ChoiceSource, passing the option the
+// underlying policy would take, so option index `policy` always
+// reproduces the un-instrumented scheduler exactly: a GuidedSource with
+// an empty prefix yields a byte-identical round.
+#pragma once
+
+#include <memory>
+
+#include "tocttou/explore/choice_source.h"
+#include "tocttou/sched/linux_sched.h"
+#include "tocttou/sim/scheduler.h"
+
+namespace tocttou::explore {
+
+class ExploringScheduler final : public sim::Scheduler {
+ public:
+  /// `source` must outlive the scheduler; it resolves every choice site.
+  ExploringScheduler(sched::LinuxSchedParams params, ChoiceSource* source);
+
+  void init(int n_cpus) override;
+  sim::CpuId place(const sim::Process& p,
+                   const std::vector<sim::CpuId>& idle_cpus,
+                   const std::vector<sim::CpuId>& allowed_cpus) override;
+  void enqueue(sim::Process& p, sim::CpuId cpu, bool front) override;
+  sim::Process* pick_next(sim::CpuId cpu) override;
+  sim::Process* steal(sim::CpuId thief) override;
+  void remove(const sim::Process& p) override;
+  bool should_preempt(const sim::Process& woken,
+                      const sim::Process& running) const override;
+  bool should_yield_on_expiry(const sim::Process& running,
+                              sim::CpuId cpu) const override;
+  Duration fresh_slice(const sim::Process& p) const override;
+  std::size_t queue_depth(sim::CpuId cpu) const override;
+
+ private:
+  sched::LinuxLikeScheduler inner_;
+  bool wake_preempts_equal_priority_;
+  ChoiceSource* source_;
+};
+
+}  // namespace tocttou::explore

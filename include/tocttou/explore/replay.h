@@ -1,0 +1,27 @@
+// Witness replay: re-execute any schedule token bit-for-bit.
+//
+// A token pins the scenario fingerprint, the round seed, optionally the
+// victim think time, and the full sequence of scheduling choices. Given
+// the same ScenarioConfig the token was minted from, replay regenerates
+// the identical round — same Gantt chart, same syscall journal, same
+// outcome — which is what makes an explorer witness or a campaign
+// anomaly debuggable.
+#pragma once
+
+#include <string>
+
+#include "tocttou/core/harness.h"
+#include "tocttou/explore/token.h"
+
+namespace tocttou::explore {
+
+/// Replays `tok` against `cfg`. The config must fingerprint-match the
+/// token either as given or after canonical_explore_config() (explorer
+/// tokens are minted under the canonical config; record flags don't
+/// affect the fingerprint, so set them freely). Returns false with a
+/// message in `*err` on fingerprint mismatch or if the round diverges
+/// from the token's choice sequence.
+bool replay_token(const core::ScenarioConfig& cfg, const ScheduleToken& tok,
+                  core::RoundResult* out, std::string* err);
+
+}  // namespace tocttou::explore

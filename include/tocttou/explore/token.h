@@ -1,0 +1,72 @@
+// Schedule tokens: serializable records of every nondeterministic
+// decision behind one simulated round.
+//
+// A round is a deterministic function of (scenario config, seed, victim
+// think time, scheduler choices). A ScheduleToken captures the last
+// three plus a fingerprint of the first, so any round — a campaign
+// anomaly, an explorer-enumerated interleaving, a minimal attack-success
+// witness — replays byte-identically from a one-line string:
+//
+//   st1:cfg=90f2a4b1:seed=1234:think=1500000:p1/2-w0/2
+//
+// `cfg` is the scenario fingerprint (validated on replay), `seed` the
+// round seed, `think` the victim think time in nanoseconds, and the tail
+// the explicit scheduler choices (kind, chosen option, option count) in
+// the order the kernel hit them. Rounds that never diverted the
+// scheduler serialize without the choice tail and replay purely from
+// (cfg, seed, think).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tocttou::explore {
+
+/// Where a scheduling decision branched. The letter is the serialized
+/// form.
+enum class ChoiceKind : char {
+  pick = 'p',     // which queued process runs next on a CPU
+  preempt = 'w',  // whether an equal-priority wakeup preempts (0=no,1=yes)
+  place = 'c',    // which idle CPU a runnable process lands on
+};
+
+const char* to_string(ChoiceKind k);
+
+/// One resolved decision: option `chosen` out of `n` at a site of `kind`.
+struct Choice {
+  ChoiceKind kind = ChoiceKind::pick;
+  std::uint16_t chosen = 0;
+  std::uint16_t n = 0;
+
+  bool operator==(const Choice&) const = default;
+};
+
+struct ScheduleToken {
+  /// Scenario fingerprint (core::scenario_fingerprint); replay refuses a
+  /// token minted under a different configuration.
+  std::uint32_t fingerprint = 0;
+  std::uint64_t seed = 0;
+  /// Victim think time actually used by the round, when known. Replay
+  /// pins cfg.victim_think to this instead of redrawing it.
+  std::optional<std::int64_t> think_ns;
+  /// Explicit scheduler choices, in kernel order. Empty = the round
+  /// followed the scheduling policy throughout.
+  std::vector<Choice> choices;
+
+  /// Number of choices that differ from the policy default (option 0 for
+  /// pick/place; for preempt the policy answer is site-dependent, so
+  /// divergence is tracked by the enumerator, not recomputed here).
+  std::string serialize() const;
+
+  /// Parses `text` (the serialize() format). On failure returns false
+  /// and, when `err` is non-null, stores a human-readable reason.
+  static bool parse(std::string_view text, ScheduleToken* out,
+                    std::string* err);
+
+  bool operator==(const ScheduleToken&) const = default;
+};
+
+}  // namespace tocttou::explore

@@ -53,6 +53,16 @@ class LinuxLikeScheduler final : public sim::Scheduler {
   Duration fresh_slice(const sim::Process& p) const override;
   std::size_t queue_depth(sim::CpuId cpu) const override;
 
+  /// The processes pick_next would choose among: the ready tasks of the
+  /// highest non-empty priority level on `cpu`, in FIFO order (index 0 is
+  /// what pick_next itself would return). Used by the explore subsystem
+  /// to branch the run-queue order at a genuine choice point.
+  std::vector<sim::Process*> pick_candidates(sim::CpuId cpu) const;
+
+  /// Dequeues a specific process previously returned by pick_candidates.
+  /// Returns false if `p` is not queued on `cpu` (the queue is unchanged).
+  bool take(sim::Process& p, sim::CpuId cpu);
+
  private:
   struct RunQueue {
     // priority -> FIFO of runnable tasks (greater priority first).

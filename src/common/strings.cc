@@ -53,6 +53,21 @@ std::string strfmt(const char* fmt, ...) {
   return out;
 }
 
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string pad_left(std::string_view s, std::size_t width) {
   if (s.size() >= width) return std::string(s);
   return std::string(width - s.size(), ' ') + std::string(s);

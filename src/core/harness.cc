@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "tocttou/common/strings.h"
+#include "tocttou/explore/token.h"
 #include "tocttou/fs/vfs.h"
 #include "tocttou/programs/attackers.h"
 #include "tocttou/programs/victims.h"
@@ -75,21 +76,86 @@ WindowSpec window_spec_for(const ScenarioConfig& cfg) {
   return WindowSpec::vi(cfg.watched_path);
 }
 
+std::pair<Duration, Duration> victim_think_range(const ScenarioConfig& cfg) {
+  if (cfg.profile.machine.n_cpus == 1) {
+    // Randomize where the save falls within the victim's time slice.
+    return {Duration::zero(), cfg.profile.machine.timeslice * 2.0};
+  }
+  return {Duration::micros(200), Duration::millis(1)};
+}
+
+sched::LinuxSchedParams default_sched_params(const ScenarioConfig& cfg) {
+  return sched::LinuxSchedParams{cfg.profile.machine.timeslice,
+                                 /*wake_preempts_equal_priority=*/true};
+}
+
 namespace {
 
 using programs::AttackTarget;
 
 Duration default_think(const ScenarioConfig& cfg, Rng& rng) {
   if (cfg.victim_think) return *cfg.victim_think;
-  if (cfg.profile.machine.n_cpus == 1) {
-    // Randomize where the save falls within the victim's time slice.
-    return rng.uniform_duration(Duration::zero(),
-                                cfg.profile.machine.timeslice * 2.0);
-  }
-  return rng.uniform_duration(Duration::micros(200), Duration::millis(1));
+  const auto [lo, hi] = victim_think_range(cfg);
+  return rng.uniform_duration(lo, hi);
 }
 
+/// FNV-1a (32-bit) accumulator.
+struct Fnv32 {
+  std::uint32_t h = 2166136261u;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 16777619u;
+    }
+  }
+  void str(const std::string& s) {
+    bytes(s.data(), s.size());
+    const char nul = '\0';  // keep ("ab","c") distinct from ("a","bc")
+    bytes(&nul, 1);
+  }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+};
+
 }  // namespace
+
+std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg) {
+  Fnv32 f;
+  const sim::MachineSpec& m = cfg.profile.machine;
+  f.str(cfg.profile.name);
+  f.i64(m.n_cpus);
+  f.f64(m.speed);
+  f.i64(m.timeslice.ns());
+  f.i64(m.context_switch_cost.ns());
+  f.i64(m.wakeup_latency.ns());
+  f.i64(m.libc_fault_cost.ns());
+  f.f64(m.noise.rel_sigma);
+  f.i64(m.noise.tick_period.ns());
+  f.i64(m.noise.tick_cost_mean.ns());
+  f.i64(m.noise.tick_cost_stdev.ns());
+  f.f64(m.noise.softirq_prob);
+  f.i64(m.noise.softirq_cost_mean.ns());
+  f.i64(m.noise.softirq_cost_stdev.ns());
+  f.i64(m.background.enabled ? 1 : 0);
+  f.i64(m.background.mean_interval.ns());
+  f.i64(m.background.burst_mean.ns());
+  f.i64(m.background.burst_stdev.ns());
+  f.i64(m.background.priority);
+  f.i64(static_cast<std::int64_t>(cfg.victim));
+  f.i64(static_cast<std::int64_t>(cfg.attacker));
+  f.i64(static_cast<std::int64_t>(cfg.file_bytes));
+  f.i64(cfg.background_load ? 1 : 0);
+  f.i64(cfg.defended_victim ? 1 : 0);
+  f.str(cfg.watched_path);
+  f.str(cfg.evil_target);
+  f.str(cfg.dummy_path);
+  f.i64(cfg.attacker_uid);
+  f.i64(cfg.attacker_gid);
+  f.i64(cfg.round_limit.ns());
+  f.str(cfg.faults.describe());
+  return f.h;
+}
 
 RoundResult run_round(const ScenarioConfig& cfg) {
   RoundResult res;
@@ -116,9 +182,13 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   // --- kernel ---
   const bool tracing = cfg.record_journal || cfg.record_events;
   res.trace.log_events = cfg.record_events;
-  auto sched = std::make_unique<sched::LinuxLikeScheduler>(
-      sched::LinuxSchedParams{cfg.profile.machine.timeslice,
-                              /*wake_preempts_equal_priority=*/true});
+  std::unique_ptr<sim::Scheduler> sched;
+  if (cfg.scheduler_factory) {
+    sched = cfg.scheduler_factory(cfg);
+  } else {
+    sched =
+        std::make_unique<sched::LinuxLikeScheduler>(default_sched_params(cfg));
+  }
   sim::Kernel kernel(cfg.profile.machine, std::move(sched),
                      mix_seed(cfg.seed, 0x5EED), tracing ? &res.trace : nullptr);
   if (injector) kernel.set_fault_injector(&*injector);
@@ -178,7 +248,17 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   }
 
   // --- victim (root) ---
+  // setup_rng's ONLY draw: replaying with victim_think pinned from a
+  // token therefore reproduces the round bit-for-bit (the draw is simply
+  // skipped; nothing downstream shares the stream).
   const Duration think = default_think(cfg, setup_rng);
+  {
+    explore::ScheduleToken tok;
+    tok.fingerprint = scenario_fingerprint(cfg);
+    tok.seed = cfg.seed;
+    tok.think_ns = think.ns();
+    res.schedule_token = tok.serialize();
+  }
   sim::SpawnOptions vopts;
   vopts.name = to_string(cfg.victim);
   vopts.uid = 0;
@@ -331,9 +411,17 @@ CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
       r = run_round(round_cfg);
     } catch (const std::exception&) {
       // A round that blows an internal invariant is an anomaly to
-      // report, not a reason to lose the rest of the campaign.
+      // report, not a reason to lose the rest of the campaign. Record a
+      // replay token so the round can be re-run under a debugger; the
+      // seed alone pins it (think is re-derived from the seed).
       ++stats.failed_rounds;
       ++stats.anomalies;
+      if (static_cast<int>(stats.anomaly_tokens.size()) < kMaxAnomalyTokens) {
+        explore::ScheduleToken tok;
+        tok.fingerprint = scenario_fingerprint(round_cfg);
+        tok.seed = round_cfg.seed;
+        stats.anomaly_tokens.push_back(tok.serialize());
+      }
       continue;
     }
     stats.success.record(r.success);
@@ -341,6 +429,10 @@ CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
     stats.faults.merge(r.faults);
     if (r.hit_time_limit) ++stats.anomalies;
     if (!r.victim_completed && !r.hit_time_limit) ++stats.victim_incomplete;
+    if ((r.hit_time_limit || !r.victim_completed) &&
+        static_cast<int>(stats.anomaly_tokens.size()) < kMaxAnomalyTokens) {
+      stats.anomaly_tokens.push_back(r.schedule_token);
+    }
     if (cfg.attacker != AttackerKind::none && !r.attacker_finished) {
       ++stats.attacker_unfinished;
     }
@@ -370,6 +462,10 @@ void CampaignStats::merge(const CampaignStats& other) {
   victim_incomplete += other.victim_incomplete;
   attacker_unfinished += other.attacker_unfinished;
   faults.merge(other.faults);
+  for (const std::string& t : other.anomaly_tokens) {
+    if (static_cast<int>(anomaly_tokens.size()) >= kMaxAnomalyTokens) break;
+    anomaly_tokens.push_back(t);
+  }
 }
 
 CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,

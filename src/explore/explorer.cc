@@ -1,0 +1,298 @@
+#include "tocttou/explore/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "tocttou/common/error.h"
+#include "tocttou/common/rng.h"
+#include "tocttou/explore/exploring_scheduler.h"
+
+namespace tocttou::explore {
+
+namespace {
+
+struct ThinkBucket {
+  Duration think;
+  double mass = 0.0;
+};
+
+/// Midpoint-quadrature buckets over the harness's think distribution.
+/// When the scenario pins victim_think there is nothing to integrate:
+/// one bucket with all the mass.
+std::vector<ThinkBucket> make_buckets(const core::ScenarioConfig& cfg,
+                                      int k) {
+  if (cfg.victim_think) return {{*cfg.victim_think, 1.0}};
+  TOCTTOU_CHECK(k >= 1, "need at least one think bucket");
+  const auto [lo, hi] = core::victim_think_range(cfg);
+  const double span = static_cast<double>((hi - lo).ns());
+  std::vector<ThinkBucket> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const double mid = (2.0 * i + 1.0) / (2.0 * k);
+    out.push_back({lo + Duration::nanos(static_cast<std::int64_t>(
+                            span * mid)),
+                   1.0 / k});
+  }
+  return out;
+}
+
+/// One run of a fixed choice prefix; returns the round plus the sites
+/// the GuidedSource recorded.
+struct ScheduledRound {
+  core::RoundResult round;
+  std::vector<SiteRecord> sites;
+  std::vector<Choice> choices;
+  bool prefix_ok = false;
+};
+
+ScheduledRound run_scheduled(const core::ScenarioConfig& base,
+                             Duration think, std::vector<Choice> prefix,
+                             const IndependenceOracle* oracle) {
+  const std::size_t prefix_len = prefix.size();
+  GuidedSource src(std::move(prefix), oracle);
+  core::ScenarioConfig cfg = base;
+  cfg.victim_think = think;
+  cfg.scheduler_factory = [&src](const core::ScenarioConfig& c) {
+    return std::make_unique<ExploringScheduler>(core::default_sched_params(c),
+                                                &src);
+  };
+  ScheduledRound out;
+  out.round = core::run_round(cfg);
+  out.sites = src.sites();
+  out.choices = src.token_choices();
+  // The prefix replays choices an earlier run actually made, so a
+  // deterministic kernel must reach every forced site with matching
+  // shape. Anything else means nondeterminism crept in.
+  out.prefix_ok = src.ok() && src.consumed() == prefix_len;
+  return out;
+}
+
+ExploreResult explore_pct(const core::ScenarioConfig& base,
+                          const ExploreConfig& ecfg,
+                          std::uint32_t fingerprint) {
+  ExploreResult res;
+  res.mode = ExploreMode::pct;
+  const auto [lo, hi] = core::victim_think_range(base);
+  for (int i = 0; i < ecfg.pct_schedules; ++i) {
+    const std::uint64_t stream = mix_seed(ecfg.pct_seed,
+                                          static_cast<std::uint64_t>(i));
+    Rng draw(stream);
+    const Duration think =
+        base.victim_think ? *base.victim_think : draw.uniform_duration(lo, hi);
+    PctParams pp;
+    pp.seed = mix_seed(stream, 0x9C7);
+    pp.depth = ecfg.pct_depth;
+    pp.expected_steps = ecfg.pct_expected_steps;
+    PctSource src(pp);
+    core::ScenarioConfig cfg = base;
+    cfg.victim_think = think;
+    cfg.scheduler_factory = [&src](const core::ScenarioConfig& c) {
+      return std::make_unique<ExploringScheduler>(
+          core::default_sched_params(c), &src);
+    };
+    const core::RoundResult r = core::run_round(cfg);
+    ++res.schedules;
+    ++res.rounds_executed;
+    res.pct_procs = std::max(res.pct_procs, src.procs_seen());
+    res.pct_max_steps = std::max(res.pct_max_steps, src.steps());
+    if (r.window && r.window->window_found) {
+      res.window_us.add(r.window->victim_window().us());
+    }
+    if (r.success) {
+      ++res.successes;
+      if (res.schedules_to_first_hit < 0) {
+        res.schedules_to_first_hit = res.schedules;
+      }
+      if (!res.witness) {
+        ScheduleToken tok;
+        tok.fingerprint = fingerprint;
+        tok.seed = base.seed;
+        tok.think_ns = think.ns();
+        tok.choices = src.token_choices();
+        res.witness = std::move(tok);
+        res.witness_divergences = -1;  // not meaningful for PCT
+      }
+    }
+  }
+  if (res.pct_procs > 0 && res.pct_max_steps > 0) {
+    res.pct_bound = 1.0 / (static_cast<double>(res.pct_procs) *
+                           std::pow(static_cast<double>(res.pct_max_steps),
+                                    ecfg.pct_depth - 1));
+  }
+  return res;
+}
+
+/// Accumulator for one deepening iteration.
+struct Iteration {
+  int schedules = 0;
+  int policy_schedules = 0;
+  int successes = 0;
+  int schedules_to_first_hit = -1;
+  int divergence_errors = 0;
+  double exact = 0.0;
+  double mass = 0.0;
+  std::uint64_t pruned = 0;
+  std::uint64_t cutoffs = 0;
+  bool capped = false;
+  std::optional<ScheduleToken> witness;
+  int witness_divergences = -1;
+  RunningStats window_us;
+};
+
+struct Node {
+  std::vector<Choice> prefix;
+  int divergences = 0;
+};
+
+void dfs_bucket(const core::ScenarioConfig& base, const ThinkBucket& bucket,
+                const ExploreConfig& ecfg, int bound,
+                std::uint32_t fingerprint, Iteration* it) {
+  std::vector<Node> stack;
+  stack.push_back(Node{});
+  while (!stack.empty()) {
+    if (it->schedules >= ecfg.max_schedules) {
+      it->capped = true;
+      return;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    const ScheduledRound sr = run_scheduled(base, bucket.think, node.prefix,
+                                            ecfg.oracle);
+    ++it->schedules;
+    if (!sr.prefix_ok) {
+      ++it->divergence_errors;
+      continue;
+    }
+    if (node.divergences == 0) {
+      ++it->policy_schedules;
+      it->mass += bucket.mass;
+      if (sr.round.success) it->exact += bucket.mass;
+      if (sr.round.window && sr.round.window->window_found) {
+        it->window_us.add(sr.round.window->victim_window().us());
+      }
+    }
+    if (sr.round.success) {
+      ++it->successes;
+      if (it->schedules_to_first_hit < 0) {
+        it->schedules_to_first_hit = it->schedules;
+      }
+      if (!it->witness || node.divergences < it->witness_divergences) {
+        ScheduleToken tok;
+        tok.fingerprint = fingerprint;
+        tok.seed = base.seed;
+        tok.think_ns = bucket.think.ns();
+        tok.choices = sr.choices;
+        it->witness = std::move(tok);
+        it->witness_divergences = node.divergences;
+      }
+    }
+    // Expand siblings at every site this run resolved beyond the forced
+    // prefix (earlier sites were expanded by ancestors). The child's
+    // prefix replays this run's choices up to site j, then forces the
+    // alternative.
+    for (std::size_t j = node.prefix.size(); j < sr.sites.size(); ++j) {
+      const SiteRecord& site = sr.sites[j];
+      for (int o = 0; o < static_cast<int>(site.choice.n); ++o) {
+        if (o == static_cast<int>(site.choice.chosen)) continue;
+        if (node.divergences + 1 > bound) {
+          ++it->cutoffs;
+          continue;
+        }
+        if (ecfg.use_sleep_sets && site.choice.kind == ChoiceKind::pick &&
+            site.commutes_with_chosen[static_cast<std::size_t>(o)] != 0) {
+          ++it->pruned;
+          continue;
+        }
+        Node child;
+        child.prefix.assign(sr.choices.begin(),
+                            sr.choices.begin() + static_cast<long>(j));
+        Choice alt = site.choice;
+        alt.chosen = static_cast<std::uint16_t>(o);
+        child.prefix.push_back(alt);
+        child.divergences = node.divergences + 1;
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(ExploreMode m) {
+  switch (m) {
+    case ExploreMode::exhaustive:
+      return "exhaustive";
+    case ExploreMode::pct:
+      return "pct";
+  }
+  return "?";
+}
+
+core::ScenarioConfig canonical_explore_config(core::ScenarioConfig cfg) {
+  cfg.profile.machine.noise = sim::NoiseModel::none();
+  cfg.profile.machine.background.enabled = false;
+  cfg.background_load = false;
+  cfg.faults = sim::FaultPlan{};
+  cfg.scheduler_factory = nullptr;
+  return cfg;
+}
+
+ExploreResult explore(const core::ScenarioConfig& cfg,
+                      const ExploreConfig& ecfg) {
+  core::ScenarioConfig base = canonical_explore_config(cfg);
+  base.record_journal = true;
+  base.record_events = false;
+  const std::uint32_t fingerprint = core::scenario_fingerprint(base);
+
+  if (ecfg.mode == ExploreMode::pct) {
+    return explore_pct(base, ecfg, fingerprint);
+  }
+
+  ExploreResult res;
+  res.mode = ExploreMode::exhaustive;
+  const std::vector<ThinkBucket> buckets =
+      make_buckets(base, ecfg.think_buckets);
+
+  // Iterative preemption bounding: enumerate with bound c = 0, 1, 2, ...
+  // Each iteration subsumes the previous one, so the last iteration's
+  // per-schedule statistics stand alone; rounds_executed keeps the
+  // cumulative cost honest.
+  for (int c = 0;; ++c) {
+    Iteration it;
+    for (const ThinkBucket& b : buckets) {
+      dfs_bucket(base, b, ecfg, c, fingerprint, &it);
+      if (it.capped) break;
+    }
+    res.rounds_executed += it.schedules;
+    res.schedules = it.schedules;
+    res.policy_schedules = it.policy_schedules;
+    res.successes = it.successes;
+    res.schedules_to_first_hit = it.schedules_to_first_hit;
+    res.divergence_errors += it.divergence_errors;
+    res.exact_success = it.exact;
+    res.total_mass = it.mass;
+    res.pruned_by_sleep_set = it.pruned;
+    res.bound_cutoffs = it.cutoffs;
+    res.witness = it.witness;
+    res.witness_divergences = it.witness_divergences;
+    res.window_us = it.window_us;
+    res.bound_reached = c;
+    // "complete" = every schedule within the final bound was enumerated
+    // (bounded completeness, as in context-bounded model checking). When
+    // the cutoff count also drops to zero the bound covers the whole
+    // space and deepening stops on its own; on scenarios where every
+    // divergence exposes fresh wakeup sites the space is unbounded in
+    // depth and the preemption bound / round budget is the only exit.
+    res.complete = !it.capped;
+    if (it.capped) break;
+    if (it.cutoffs == 0) break;  // nothing beyond this bound exists
+    if (ecfg.preemption_bound >= 0 && c >= ecfg.preemption_bound) break;
+    if (res.rounds_executed >= ecfg.max_schedules) break;  // total budget
+  }
+  return res;
+}
+
+}  // namespace tocttou::explore

@@ -1,0 +1,66 @@
+#include "tocttou/explore/replay.h"
+
+#include <memory>
+
+#include "tocttou/common/strings.h"
+#include "tocttou/explore/choice_source.h"
+#include "tocttou/explore/explorer.h"
+#include "tocttou/explore/exploring_scheduler.h"
+
+namespace tocttou::explore {
+
+bool replay_token(const core::ScenarioConfig& cfg, const ScheduleToken& tok,
+                  core::RoundResult* out, std::string* err) {
+  core::ScenarioConfig run_cfg = cfg;
+  run_cfg.scheduler_factory = nullptr;
+  std::uint32_t fp = core::scenario_fingerprint(run_cfg);
+  if (fp != tok.fingerprint) {
+    // Explorer tokens are minted under the canonical (noise-free)
+    // config; retry after canonicalizing, which preserves the record
+    // flags the caller asked for.
+    const bool journal = run_cfg.record_journal;
+    const bool events = run_cfg.record_events;
+    run_cfg = canonical_explore_config(run_cfg);
+    run_cfg.record_journal = journal;
+    run_cfg.record_events = events;
+    fp = core::scenario_fingerprint(run_cfg);
+  }
+  if (fp != tok.fingerprint) {
+    if (err != nullptr) {
+      *err = strfmt(
+          "scenario fingerprint %08x does not match the token's %08x "
+          "(wrong testbed/victim/attacker flags for this token?)",
+          fp, tok.fingerprint);
+    }
+    return false;
+  }
+  run_cfg.seed = tok.seed;
+  if (tok.think_ns) {
+    run_cfg.victim_think = Duration::nanos(*tok.think_ns);
+  }
+  GuidedSource src(tok.choices);
+  if (!tok.choices.empty()) {
+    run_cfg.scheduler_factory = [&src](const core::ScenarioConfig& c) {
+      return std::make_unique<ExploringScheduler>(
+          core::default_sched_params(c), &src);
+    };
+  }
+  core::RoundResult res = core::run_round(run_cfg);
+  if (!tok.choices.empty()) {
+    if (!src.ok()) {
+      if (err != nullptr) *err = "round diverged from token: " + src.error();
+      return false;
+    }
+    if (src.consumed() != tok.choices.size()) {
+      if (err != nullptr) {
+        *err = strfmt("round ended after %zu of the token's %zu choices",
+                      src.consumed(), tok.choices.size());
+      }
+      return false;
+    }
+  }
+  if (out != nullptr) *out = std::move(res);
+  return true;
+}
+
+}  // namespace tocttou::explore

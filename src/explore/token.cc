@@ -1,0 +1,153 @@
+#include "tocttou/explore/token.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "tocttou/common/strings.h"
+
+namespace tocttou::explore {
+
+namespace {
+
+constexpr std::string_view kPrefix = "st1:";
+
+bool is_kind(char c) {
+  return c == static_cast<char>(ChoiceKind::pick) ||
+         c == static_cast<char>(ChoiceKind::preempt) ||
+         c == static_cast<char>(ChoiceKind::place);
+}
+
+bool fail(std::string* err, std::string why) {
+  if (err != nullptr) *err = std::move(why);
+  return false;
+}
+
+/// Parses a decimal u64 from [s, end); advances `s` past the digits.
+bool take_u64(const char*& s, const char* end, std::uint64_t* out) {
+  if (s == end || *s < '0' || *s > '9') return false;
+  std::uint64_t v = 0;
+  while (s != end && *s >= '0' && *s <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(*s - '0');
+    ++s;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(ChoiceKind k) {
+  switch (k) {
+    case ChoiceKind::pick:
+      return "pick";
+    case ChoiceKind::preempt:
+      return "preempt";
+    case ChoiceKind::place:
+      return "place";
+  }
+  return "?";
+}
+
+std::string ScheduleToken::serialize() const {
+  std::string out = strfmt("st1:cfg=%08x:seed=%llu", fingerprint,
+                           static_cast<unsigned long long>(seed));
+  if (think_ns) {
+    out += strfmt(":think=%lld", static_cast<long long>(*think_ns));
+  }
+  if (!choices.empty()) {
+    out += ":";
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (i != 0) out += "-";
+      out += strfmt("%c%u/%u", static_cast<char>(choices[i].kind),
+                    choices[i].chosen, choices[i].n);
+    }
+  }
+  return out;
+}
+
+bool ScheduleToken::parse(std::string_view text, ScheduleToken* out,
+                          std::string* err) {
+  ScheduleToken tok;
+  if (text.substr(0, kPrefix.size()) != kPrefix) {
+    return fail(err, "token must start with 'st1:'");
+  }
+  const char* s = text.data() + kPrefix.size();
+  const char* end = text.data() + text.size();
+
+  // cfg=XXXXXXXX (hex)
+  if (end - s < 4 || std::string_view(s, 4) != "cfg=") {
+    return fail(err, "expected 'cfg=' after the version prefix");
+  }
+  s += 4;
+  std::uint64_t fp = 0;
+  int hex_digits = 0;
+  while (s != end && hex_digits < 8) {
+    const char c = *s;
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else break;
+    fp = fp * 16 + static_cast<std::uint64_t>(d);
+    ++s;
+    ++hex_digits;
+  }
+  if (hex_digits != 8) return fail(err, "cfg fingerprint must be 8 hex digits");
+  tok.fingerprint = static_cast<std::uint32_t>(fp);
+
+  if (s == end || *s != ':' || end - s < 6 ||
+      std::string_view(s + 1, 5) != "seed=") {
+    return fail(err, "expected ':seed=' after the fingerprint");
+  }
+  s += 6;
+  if (!take_u64(s, end, &tok.seed)) return fail(err, "seed must be decimal");
+
+  if (s != end && *s == ':' && end - s >= 7 &&
+      std::string_view(s + 1, 6) == "think=") {
+    s += 7;
+    bool neg = false;
+    if (s != end && *s == '-') {
+      neg = true;
+      ++s;
+    }
+    std::uint64_t ns = 0;
+    if (!take_u64(s, end, &ns)) return fail(err, "think must be decimal ns");
+    tok.think_ns = neg ? -static_cast<std::int64_t>(ns)
+                       : static_cast<std::int64_t>(ns);
+  }
+
+  if (s != end) {
+    if (*s != ':') return fail(err, "unexpected text after the think field");
+    ++s;
+    while (true) {
+      if (s == end || !is_kind(*s)) {
+        return fail(err, "choice must start with one of p/w/c");
+      }
+      Choice c;
+      c.kind = static_cast<ChoiceKind>(*s);
+      ++s;
+      std::uint64_t chosen = 0, n = 0;
+      if (!take_u64(s, end, &chosen) || s == end || *s != '/') {
+        return fail(err, "choice must look like p<chosen>/<n>");
+      }
+      ++s;
+      if (!take_u64(s, end, &n)) {
+        return fail(err, "choice must look like p<chosen>/<n>");
+      }
+      if (n < 2 || chosen >= n || n > UINT16_MAX) {
+        return fail(err, "choice option out of range");
+      }
+      c.chosen = static_cast<std::uint16_t>(chosen);
+      c.n = static_cast<std::uint16_t>(n);
+      tok.choices.push_back(c);
+      if (s == end) break;
+      if (*s != '-') return fail(err, "choices must be dash-separated");
+      ++s;
+    }
+  }
+
+  *out = std::move(tok);
+  return true;
+}
+
+}  // namespace tocttou::explore

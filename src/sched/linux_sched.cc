@@ -116,6 +116,31 @@ Process* LinuxLikeScheduler::steal(CpuId thief) {
   return nullptr;
 }
 
+std::vector<Process*> LinuxLikeScheduler::pick_candidates(CpuId cpu) const {
+  std::vector<Process*> out;
+  const auto& q = rq(cpu);
+  for (const auto& [prio, fifo] : q.by_prio) {
+    for (Process* p : fifo) {
+      if (p->state() == sim::ProcState::ready) out.push_back(p);
+    }
+    if (!out.empty()) return out;  // highest level with a ready task
+  }
+  return out;
+}
+
+bool LinuxLikeScheduler::take(Process& p, CpuId cpu) {
+  auto& q = rq(cpu);
+  const auto it = q.by_prio.find(p.priority());
+  if (it == q.by_prio.end()) return false;
+  auto& fifo = it->second;
+  const auto pit = std::find(fifo.begin(), fifo.end(), &p);
+  if (pit == fifo.end()) return false;
+  fifo.erase(pit);
+  --q.size;
+  if (fifo.empty()) q.by_prio.erase(it);
+  return true;
+}
+
 void LinuxLikeScheduler::remove(const Process& p) {
   for (auto& q : queues_) {
     for (auto& [prio, fifo] : q.by_prio) {

@@ -15,9 +15,12 @@ std::string SyscallJournal::to_csv() const {
              : std::string();
   };
   for (const auto& r : records_) {
+    // Paths are attacker-controlled free text; RFC 4180 escaping keeps a
+    // path with an embedded comma or quote a single CSV field.
     out += strfmt("%.3f,%.3f,%u,%s,%s,%s,%s,%s,%s,%s,%s\n", r.enter.us(),
-                  r.exit.us(), r.pid, r.name.c_str(), to_string(r.result),
-                  r.path.c_str(), r.path2.c_str(), opt(r.st_uid).c_str(),
+                  r.exit.us(), r.pid, csv_escape(r.name).c_str(),
+                  to_string(r.result), csv_escape(r.path).c_str(),
+                  csv_escape(r.path2).c_str(), opt(r.st_uid).c_str(),
                   opt(r.st_gid).c_str(), opt(r.st_ino).c_str(),
                   opt(r.applied_ino).c_str());
   }

@@ -114,9 +114,12 @@ void TraceLog::clear() {
 std::string TraceLog::to_csv() const {
   std::string out = "begin_us,end_us,pid,name,cpu,category,label,detail\n";
   for (const auto& ev : events_) {
+    // Free-text fields (name, label, detail) go through RFC 4180
+    // escaping; a label like `rename("a,b")` must stay one field.
     out += strfmt("%.3f,%.3f,%u,%s,%d,%s,%s,%s\n", ev.begin.us(), ev.end.us(),
-                  ev.pid, process_name(ev.pid).c_str(), ev.cpu,
-                  to_string(ev.category), ev.label.c_str(), ev.detail.c_str());
+                  ev.pid, csv_escape(process_name(ev.pid)).c_str(), ev.cpu,
+                  to_string(ev.category), csv_escape(ev.label).c_str(),
+                  csv_escape(ev.detail).c_str());
   }
   return out;
 }

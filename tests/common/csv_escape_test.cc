@@ -1,0 +1,31 @@
+#include <gtest/gtest.h>
+
+#include "tocttou/common/strings.h"
+
+namespace tocttou {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("stat"), "stat");
+  EXPECT_EQ(csv_escape("/home/alice/report.txt"), "/home/alice/report.txt");
+  EXPECT_EQ(csv_escape("uid=0 -> detected"), "uid=0 -> detected");
+}
+
+TEST(CsvEscapeTest, CommaForcesQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("/tmp/evil,file"), "\"/tmp/evil,file\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubledAndQuoted) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+TEST(CsvEscapeTest, LineBreaksForceQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(csv_escape("a\r\nb"), "\"a\r\nb\"");
+}
+
+}  // namespace
+}  // namespace tocttou

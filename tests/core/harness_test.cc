@@ -149,6 +149,62 @@ TEST(HarnessTest, CampaignStatsMerge) {
   EXPECT_EQ(a.failed_rounds, 1);
 }
 
+TEST(HarnessTest, RoundRecordsScheduleToken) {
+  // Every round pins (scenario fingerprint, seed, think) in a replay
+  // token the CLI can re-execute with --replay.
+  const RoundResult r = run_round(smp_vi());
+  EXPECT_EQ(r.schedule_token.rfind("st1:cfg=", 0), 0u);
+  EXPECT_NE(r.schedule_token.find(":seed=42"), std::string::npos);
+  EXPECT_NE(r.schedule_token.find(":think="), std::string::npos);
+  // Pinning the think time must not change the token's identity fields.
+  ScenarioConfig pinned = smp_vi();
+  pinned.victim_think = Duration::micros(500);
+  const RoundResult p = run_round(pinned);
+  EXPECT_NE(p.schedule_token.find(":think=500000"), std::string::npos);
+}
+
+TEST(HarnessTest, AnomalousRoundsYieldReplayTokens) {
+  // A round limit below the victim think time makes every round an
+  // anomaly; the campaign keeps the first few replay tokens (capped).
+  ScenarioConfig c = smp_vi();
+  c.round_limit = Duration::micros(50);
+  const CampaignStats s = run_campaign(c, kMaxAnomalyTokens + 4);
+  EXPECT_EQ(s.anomalies, kMaxAnomalyTokens + 4);
+  ASSERT_EQ(static_cast<int>(s.anomaly_tokens.size()), kMaxAnomalyTokens);
+  for (const auto& t : s.anomaly_tokens) {
+    EXPECT_EQ(t.rfind("st1:cfg=", 0), 0u) << t;
+  }
+}
+
+TEST(HarnessTest, MergeCapsAnomalyTokens) {
+  CampaignStats a, b;
+  for (int i = 0; i < kMaxAnomalyTokens - 2; ++i) {
+    a.anomaly_tokens.push_back("st1:a");
+  }
+  for (int i = 0; i < kMaxAnomalyTokens; ++i) {
+    b.anomaly_tokens.push_back("st1:b");
+  }
+  a.merge(b);
+  ASSERT_EQ(static_cast<int>(a.anomaly_tokens.size()), kMaxAnomalyTokens);
+  EXPECT_EQ(a.anomaly_tokens[kMaxAnomalyTokens - 3], "st1:a");
+  EXPECT_EQ(a.anomaly_tokens[kMaxAnomalyTokens - 2], "st1:b");
+}
+
+TEST(HarnessTest, FingerprintIgnoresSeedAndRecordFlags) {
+  ScenarioConfig a = smp_vi(), b = smp_vi();
+  b.seed = 999;
+  b.record_journal = true;
+  b.victim_think = Duration::micros(10);
+  EXPECT_EQ(scenario_fingerprint(a), scenario_fingerprint(b));
+  // Anything shaping the schedule space changes it.
+  ScenarioConfig c = smp_vi();
+  c.file_bytes += 1;
+  EXPECT_NE(scenario_fingerprint(a), scenario_fingerprint(c));
+  ScenarioConfig d = smp_vi();
+  d.victim = VictimKind::gedit;
+  EXPECT_NE(scenario_fingerprint(a), scenario_fingerprint(d));
+}
+
 TEST(HarnessTest, SendmailScenario) {
   ScenarioConfig c;
   c.profile = programs::testbed_smp_dual_xeon();

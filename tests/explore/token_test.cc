@@ -1,0 +1,81 @@
+// Schedule token serialization round-trips and parse error handling.
+#include "tocttou/explore/token.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou::explore {
+namespace {
+
+TEST(TokenTest, SerializeMinimal) {
+  ScheduleToken t;
+  t.fingerprint = 0x90f2a4b1u;
+  t.seed = 1234;
+  EXPECT_EQ(t.serialize(), "st1:cfg=90f2a4b1:seed=1234");
+}
+
+TEST(TokenTest, SerializeWithThinkAndChoices) {
+  ScheduleToken t;
+  t.fingerprint = 0x0000beefu;
+  t.seed = 7;
+  t.think_ns = 1500000;
+  t.choices = {{ChoiceKind::pick, 1, 2},
+               {ChoiceKind::preempt, 0, 2},
+               {ChoiceKind::place, 2, 3}};
+  EXPECT_EQ(t.serialize(), "st1:cfg=0000beef:seed=7:think=1500000:p1/2-w0/2-c2/3");
+}
+
+TEST(TokenTest, RoundTripsThroughParse) {
+  ScheduleToken t;
+  t.fingerprint = 0xe4e26d7fu;
+  t.seed = 42424242;
+  t.think_ns = 225000;
+  t.choices = {{ChoiceKind::place, 0, 2}, {ChoiceKind::pick, 3, 4}};
+  ScheduleToken back;
+  std::string err;
+  ASSERT_TRUE(ScheduleToken::parse(t.serialize(), &back, &err)) << err;
+  EXPECT_EQ(back, t);
+
+  // Without the optional fields too.
+  t.think_ns.reset();
+  t.choices.clear();
+  ASSERT_TRUE(ScheduleToken::parse(t.serialize(), &back, &err)) << err;
+  EXPECT_EQ(back, t);
+}
+
+TEST(TokenTest, ParseRejectsMalformedTokens) {
+  ScheduleToken out;
+  std::string err;
+  // Wrong version prefix.
+  EXPECT_FALSE(ScheduleToken::parse("st2:cfg=00000000:seed=1", &out, &err));
+  EXPECT_NE(err.find("st1:"), std::string::npos);
+  // Short fingerprint.
+  EXPECT_FALSE(ScheduleToken::parse("st1:cfg=abc:seed=1", &out, &err));
+  // Missing seed.
+  EXPECT_FALSE(ScheduleToken::parse("st1:cfg=00000000", &out, &err));
+  EXPECT_FALSE(ScheduleToken::parse("st1:cfg=00000000:seed=x", &out, &err));
+  // chosen >= n is not a valid option.
+  EXPECT_FALSE(ScheduleToken::parse("st1:cfg=00000000:seed=1:p2/2", &out, &err));
+  // A "choice" with a single option is not a choice point.
+  EXPECT_FALSE(ScheduleToken::parse("st1:cfg=00000000:seed=1:p0/1", &out, &err));
+  // Unknown choice kind.
+  EXPECT_FALSE(ScheduleToken::parse("st1:cfg=00000000:seed=1:q0/2", &out, &err));
+  // Bad separator between choices.
+  EXPECT_FALSE(
+      ScheduleToken::parse("st1:cfg=00000000:seed=1:p0/2+w1/2", &out, &err));
+  // Trailing garbage after the seed.
+  EXPECT_FALSE(ScheduleToken::parse("st1:cfg=00000000:seed=1xyz", &out, &err));
+}
+
+TEST(TokenTest, ParseAcceptsErrWithoutSink) {
+  ScheduleToken out;
+  EXPECT_FALSE(ScheduleToken::parse("nope", &out, nullptr));
+}
+
+TEST(TokenTest, KindNames) {
+  EXPECT_STREQ(to_string(ChoiceKind::pick), "pick");
+  EXPECT_STREQ(to_string(ChoiceKind::preempt), "preempt");
+  EXPECT_STREQ(to_string(ChoiceKind::place), "place");
+}
+
+}  // namespace
+}  // namespace tocttou::explore

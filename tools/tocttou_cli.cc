@@ -15,11 +15,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "tocttou/core/harness.h"
 #include "tocttou/core/model.h"
 #include "tocttou/core/pairs.h"
+#include "tocttou/explore/explorer.h"
+#include "tocttou/explore/replay.h"
+#include "tocttou/explore/token.h"
 #include "tocttou/sim/faults.h"
 #include "tocttou/trace/trace.h"
 
@@ -40,6 +44,8 @@ using namespace tocttou;
       "                               cores; 1 = serial; results are\n"
       "                               identical at any job count)\n"
       "  --seed=N                     base seed (default 1)\n"
+      "  --timeslice-ms=N             override the scheduler quantum\n"
+      "                               (default: testbed profile, 100ms)\n"
       "  --faults=SPEC[,SPEC...]      deterministic fault plan, e.g.\n"
       "                               error:0.01:errno=eintr:op=rename\n"
       "                               (kinds: error, spike, wakeup-delay,\n"
@@ -47,6 +53,17 @@ using namespace tocttou;
       "  --defended                   victim uses fchown/fchmod (Sec. 8)\n"
       "  --no-background              disable kernel-thread load\n"
       "  --measure-ld                 record journals; report L and D\n"
+      "  --explore=exhaustive|pct     enumerate the schedule space instead\n"
+      "                               of sampling it (noise/background off)\n"
+      "  --explore-buckets=N          think-time quantization (default 64)\n"
+      "  --explore-bound=N            max preemption bound for the\n"
+      "                               iterative deepening; -1 = until the\n"
+      "                               space is complete (default 2)\n"
+      "  --explore-max=N              schedule cap per iteration\n"
+      "  --pct-depth=N                PCT bug depth d (default 3)\n"
+      "  --pct-schedules=N            PCT schedules to run (default 1000)\n"
+      "  --replay=TOKEN               re-run one recorded schedule token\n"
+      "                               (combine with --gantt/--journal-csv)\n"
       "  --gantt                      run ONE round and print the timeline\n"
       "  --journal-csv=PATH           dump one round's syscall journal\n"
       "  --events-csv=PATH            dump one round's event log\n"
@@ -122,6 +139,10 @@ int main(int argc, char** argv) {
   int jobs = 0;  // <= 0: one worker per hardware thread
   bool measure_ld = false, gantt = false, interference = false;
   std::string journal_csv, events_csv;
+  bool do_explore = false;
+  explore::ExploreConfig ecfg;
+  std::string replay_text;
+  std::optional<Duration> timeslice_override;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -160,12 +181,38 @@ int main(int argc, char** argv) {
       jobs = static_cast<int>(parse_int("--jobs", v, -1000000, 1000000));
     } else if (take(argv[i], "--seed", &v)) {
       cfg.seed = parse_u64("--seed", v);
+    } else if (take(argv[i], "--timeslice-ms", &v)) {
+      // Applied after the loop so it wins regardless of flag order
+      // relative to --testbed (which replaces the whole profile).
+      timeslice_override =
+          Duration::millis(parse_int("--timeslice-ms", v, 1, 100000));
     } else if (take(argv[i], "--faults", &v)) {
       std::string err;
       if (!sim::FaultPlan::parse(v, &cfg.faults, &err)) {
         std::fprintf(stderr, "tocttou: bad --faults spec: %s\n", err.c_str());
         std::exit(1);
       }
+    } else if (take(argv[i], "--explore", &v)) {
+      do_explore = true;
+      if (v == "exhaustive") ecfg.mode = explore::ExploreMode::exhaustive;
+      else if (v == "pct") ecfg.mode = explore::ExploreMode::pct;
+      else bad_value("--explore", v, "exhaustive or pct");
+    } else if (take(argv[i], "--explore-buckets", &v)) {
+      ecfg.think_buckets =
+          static_cast<int>(parse_int("--explore-buckets", v, 1, 1000000));
+    } else if (take(argv[i], "--explore-bound", &v)) {
+      ecfg.preemption_bound =
+          static_cast<int>(parse_int("--explore-bound", v, -1, 64));
+    } else if (take(argv[i], "--explore-max", &v)) {
+      ecfg.max_schedules =
+          static_cast<int>(parse_int("--explore-max", v, 1, 100000000));
+    } else if (take(argv[i], "--pct-depth", &v)) {
+      ecfg.pct_depth = static_cast<int>(parse_int("--pct-depth", v, 1, 64));
+    } else if (take(argv[i], "--pct-schedules", &v)) {
+      ecfg.pct_schedules =
+          static_cast<int>(parse_int("--pct-schedules", v, 1, 100000000));
+    } else if (take(argv[i], "--replay", &v)) {
+      replay_text = v;
     } else if (take(argv[i], "--journal-csv", &v)) {
       journal_csv = v;
     } else if (take(argv[i], "--events-csv", &v)) {
@@ -185,6 +232,9 @@ int main(int argc, char** argv) {
       usage(1);
     }
   }
+  if (timeslice_override) {
+    cfg.profile.machine.timeslice = *timeslice_override;
+  }
 
   std::printf("testbed=%s victim=%s attacker=%s file=%lluB seed=%llu%s\n",
               cfg.profile.name.c_str(), core::to_string(cfg.victim),
@@ -196,12 +246,88 @@ int main(int argc, char** argv) {
     std::printf("faults: %s\n", cfg.faults.describe().c_str());
   }
 
-  const bool single_round =
-      gantt || interference || !journal_csv.empty() || !events_csv.empty();
+  if (do_explore) {
+    ecfg.pct_seed = cfg.seed;
+    const explore::ExploreResult res = explore::explore(cfg, ecfg);
+    if (res.mode == explore::ExploreMode::exhaustive) {
+      std::printf("explore: mode=exhaustive buckets=%d bound=%d%s\n",
+                  ecfg.think_buckets, res.bound_reached,
+                  !res.complete               ? " [truncated]"
+                  : res.bound_cutoffs == 0    ? " [complete: full space]"
+                                              : " [complete at this bound]");
+      std::printf(
+          "explore: %d schedules (%d policy, %llu sleep-set-pruned, "
+          "%llu bound-cutoffs, %d rounds executed)\n",
+          res.schedules, res.policy_schedules,
+          static_cast<unsigned long long>(res.pruned_by_sleep_set),
+          static_cast<unsigned long long>(res.bound_cutoffs),
+          res.rounds_executed);
+      std::printf("exact: p(success) = %.6f over mass %.6f "
+                  "(%d succeeding schedules)\n",
+                  res.exact_success, res.total_mass, res.successes);
+    } else {
+      std::printf("explore: mode=pct depth=%d schedules=%d\n", ecfg.pct_depth,
+                  res.schedules);
+      std::printf("pct: %d/%d schedules hit", res.successes, res.schedules);
+      if (res.pct_procs > 0) {
+        // Bound undefined when no pick/preempt site was ever reached
+        // (placement-only schedules carry no PCT priority semantics).
+        std::printf("; per-schedule bound 1/(n*k^(d-1)) = %.2e (n=%d, k=%d)",
+                    res.pct_bound, res.pct_procs, res.pct_max_steps);
+      }
+      std::printf("\n");
+    }
+    if (res.witness) {
+      std::printf("witness: %s", res.witness->serialize().c_str());
+      if (res.witness_divergences >= 0) {
+        std::printf(" (divergences=%d)", res.witness_divergences);
+      }
+      std::printf("\n");
+      std::printf("first hit: schedule %d\n", res.schedules_to_first_hit);
+    }
+    if (res.divergence_errors > 0) {
+      std::printf("WARNING: %d rounds diverged from their forced prefix\n",
+                  res.divergence_errors);
+    }
+    // Monte Carlo cross-check on the same deterministic config the
+    // explorer ran under (think time back to its continuous draw).
+    const auto mc_cfg = explore::canonical_explore_config(cfg);
+    const auto mc = core::run_campaign(mc_cfg, rounds, false, jobs);
+    std::printf("monte-carlo: %s (canonical config, %d rounds)\n",
+                mc.summary().c_str(), rounds);
+    if (cfg.profile.machine.n_cpus == 1 && !res.window_us.empty()) {
+      const double p = core::p_suspended_timeslice(
+          Duration::micros_f(res.window_us.mean()),
+          cfg.profile.machine.timeslice);
+      std::printf("equation1: W=%.1fus q=%.0fus -> p = W/q = %.6f\n",
+                  res.window_us.mean(), cfg.profile.machine.timeslice.us(), p);
+    }
+    return 0;
+  }
+
+  const bool single_round = gantt || interference || !journal_csv.empty() ||
+                            !events_csv.empty() || !replay_text.empty();
   if (single_round) {
     cfg.record_journal = true;
     cfg.record_events = gantt || !events_csv.empty();
-    const auto r = core::run_round(cfg);
+    core::RoundResult r;
+    if (!replay_text.empty()) {
+      explore::ScheduleToken tok;
+      std::string err;
+      if (!explore::ScheduleToken::parse(replay_text, &tok, &err)) {
+        std::fprintf(stderr, "tocttou: bad --replay token: %s\n", err.c_str());
+        return 1;
+      }
+      if (!explore::replay_token(cfg, tok, &r, &err)) {
+        std::fprintf(stderr, "tocttou: replay failed: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("replay: seed=%llu, %zu forced choices\n",
+                  static_cast<unsigned long long>(tok.seed),
+                  tok.choices.size());
+    } else {
+      r = core::run_round(cfg);
+    }
     std::printf("round: %s (victim %s, attacker %s, %llu events)\n",
                 r.success ? "ATTACK SUCCEEDED" : "attack failed",
                 r.victim_completed ? "completed" : "timed out",
@@ -248,6 +374,11 @@ int main(int argc, char** argv) {
 
   const auto stats = core::run_campaign(cfg, rounds, measure_ld, jobs);
   std::printf("campaign: %s\n", stats.summary().c_str());
+  // Anomalous rounds (crashes, time-limit hits, stalls) carry replay
+  // tokens; healthy campaigns print nothing extra here.
+  for (const std::string& t : stats.anomaly_tokens) {
+    std::printf("anomaly: rerun with --replay=%s\n", t.c_str());
+  }
   if (measure_ld && !stats.laxity_us.empty() && !stats.detection_us.empty()) {
     const double pred = core::laxity_success_rate(
         Duration::micros_f(stats.laxity_us.mean()),
