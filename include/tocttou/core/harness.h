@@ -14,6 +14,8 @@
 
 #include "tocttou/common/stats.h"
 #include "tocttou/core/analysis.h"
+#include "tocttou/metrics/metrics.h"
+#include "tocttou/metrics/profile.h"
 #include "tocttou/programs/testbeds.h"
 #include "tocttou/sched/linux_sched.h"
 #include "tocttou/sim/faults.h"
@@ -74,6 +76,21 @@ struct ScenarioConfig {
   /// untouched by adding or removing a plan.
   sim::FaultPlan faults;
 
+  /// Collect kernel/sched/fs/fault metrics for the round into
+  /// RoundResult::metrics (and, via campaigns, CampaignStats::metrics).
+  /// Off by default: every producer site is then a single null check and
+  /// simulation output is byte-identical to a metrics-free build.
+  /// Deliberately excluded from scenario_fingerprint(), like the record
+  /// flags: observing a round does not change the scenario.
+  bool collect_metrics = false;
+
+  /// Host wall-clock profile accumulator (nullptr = no profiling).
+  /// run_round() brackets its setup/sim/analyze/audit phases and adds
+  /// them here. Serial campaigns only — the struct is not thread-safe,
+  /// and wall times are intentionally kept out of the deterministic
+  /// metrics snapshot (see metrics/profile.h).
+  metrics::WallProfile* wall_profile = nullptr;
+
   /// Overrides the scheduler the round runs under (the explore
   /// subsystem's hook for its choice-point shim). Null = the standard
   /// LinuxLikeScheduler with default_sched_params(). Deliberately
@@ -112,6 +129,12 @@ struct RoundResult {
   /// healthy). Recorded, not thrown: a corrupted round is data.
   std::vector<std::string> audit_violations;
 
+  /// Deterministic metrics snapshot (empty unless cfg.collect_metrics):
+  /// syscalls by op, context switches, wakeup latency, run-queue depth,
+  /// steals, preemptions, path-walk depth, per-inode semaphore waits,
+  /// and fault injections by kind.
+  metrics::Registry metrics;
+
   /// Replay-ready schedule token ("st1:...") pinning the scenario
   /// fingerprint, the round seed, and the victim think time actually
   /// used. `tocttou_cli --replay=TOKEN` re-runs the round; the explore
@@ -145,6 +168,12 @@ struct CampaignStats {
   /// Aggregated fault-injection accounting (all-zero without a plan;
   /// summary() omits it then, keeping no-fault output byte-identical).
   sim::FaultStats faults;
+
+  /// Merged per-round metrics snapshots (empty unless the campaign ran
+  /// with collect_metrics). Blocks merge in fixed order and the metrics
+  /// are integer-only, so the result is bit-identical at any --jobs.
+  /// summary() never prints it — export via to_json()/to_csv().
+  metrics::Registry metrics;
 
   /// Replay tokens for the first few anomalous rounds — rounds that
   /// threw out of run_round, hit the time limit, or stalled — capped at
@@ -183,9 +212,9 @@ std::pair<Duration, Duration> victim_think_range(const ScenarioConfig& cfg);
 /// FNV-1a fingerprint over the scenario fields that shape the schedule
 /// space: testbed, machine/noise/background parameters, victim,
 /// attacker, file size, defenses, paths, fault plan, round limit.
-/// Excludes seed, victim_think, the record flags, and scheduler_factory
-/// — those vary across rounds of the SAME scenario (a schedule token
-/// pins seed and think itself).
+/// Excludes seed, victim_think, the record flags, collect_metrics,
+/// wall_profile, and scheduler_factory — those vary across rounds of
+/// the SAME scenario (a schedule token pins seed and think itself).
 std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg);
 
 /// The DConvention the paper uses for each victim.

@@ -26,6 +26,10 @@ namespace tocttou::sim {
 class FaultInjector;
 }  // namespace tocttou::sim
 
+namespace tocttou::metrics {
+class Registry;
+}  // namespace tocttou::metrics
+
 namespace tocttou::fs {
 
 /// Credentials of a syscall issuer.
@@ -177,6 +181,12 @@ class Vfs {
   void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
   sim::FaultInjector* fault_injector() const { return faults_; }
 
+  /// Attaches a metrics registry (nullptr = none; the default). The path
+  /// walker records walk depth, symlink restarts, and slow-path lookups.
+  /// Must outlive the Vfs. Zero overhead when unset.
+  void set_metrics(metrics::Registry* metrics) { metrics_ = metrics; }
+  metrics::Registry* metrics() const { return metrics_; }
+
   /// Post-round invariant auditor. Cross-checks every inode's nlink
   /// against the directory entries referencing it, open_refs against the
   /// fd tables, entry targets against the inode table, and symlink
@@ -191,6 +201,7 @@ class Vfs {
   Ino root_ = kNoIno;
   std::map<sim::Pid, std::map<int, OpenFile>> fd_tables_;
   sim::FaultInjector* faults_ = nullptr;
+  metrics::Registry* metrics_ = nullptr;
 };
 
 }  // namespace tocttou::fs

@@ -2,20 +2,82 @@
 //
 // Events with equal timestamps fire in scheduling order (a monotonically
 // increasing sequence number breaks ties), which keeps runs deterministic.
+//
+// Hot path: profiling (bench_core_hotpath) showed the simulator spending
+// a sizable slice of wall time in std::function heap allocation — every
+// kernel callback captures ~20-24 bytes, just past libstdc++'s 16-byte
+// small-object buffer, so the old std::priority_queue<std::function>
+// implementation paid one heap allocation per scheduled event plus a
+// copy (allocation + memcpy) per pop, at millions of events per second.
+// EventFn stores the callable inline (callers' captures are small and
+// trivially copyable, enforced at compile time), and the queue is a
+// hand-rolled binary heap over trivially copyable entries: zero heap
+// traffic per event. The old implementation is kept selectable at
+// runtime (set_default_impl) so the bench can measure before/after in
+// one binary; simulation order and results are identical under both.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "tocttou/common/time.h"
 
 namespace tocttou::sim {
 
+/// Fixed-capacity inline callable for event callbacks. Accepts any
+/// trivially copyable callable up to kStorage bytes (the kernel's
+/// lambdas capture a pointer plus a couple of ids). Intentionally not a
+/// general std::function replacement: no destructor call, no heap
+/// fallback — those restrictions are what make Entry trivially copyable
+/// and the heap allocation-free.
+class EventFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_trivially_copyable_v<Fn>,
+                  "event callbacks must have trivially copyable captures");
+    static_assert(std::is_trivially_destructible_v<Fn>,
+                  "event callbacks must be trivially destructible");
+    static_assert(sizeof(Fn) <= kStorage, "event callback capture too large");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "event callback over-aligned");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+  }
+
+  void operator()() { invoke_(buf_); }
+
+  static constexpr std::size_t kStorage = 48;
+
+ private:
+  alignas(std::max_align_t) unsigned char buf_[kStorage];
+  void (*invoke_)(void*);
+};
+
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
+
+  /// Implementation selector, read once at construction. `pooled` is the
+  /// allocation-free inline-storage heap; `legacy` is the original
+  /// std::priority_queue<std::function> implementation, kept so
+  /// bench_core_hotpath can report honest before/after numbers from one
+  /// binary. Event ordering — and therefore every simulation result —
+  /// is identical under both.
+  enum class Impl { pooled, legacy };
+  static void set_default_impl(Impl impl);
+  static Impl default_impl();
+
+  EventQueue();
 
   /// Schedules `cb` to run at absolute time `t` (must be >= now()).
   void schedule_at(SimTime t, Callback cb);
@@ -33,24 +95,38 @@ class EventQueue {
   SimTime peek_time() const;
 
   SimTime now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty() && legacy_.empty(); }
+  std::size_t pending() const { return heap_.size() + legacy_.size(); }
   std::uint64_t executed() const { return executed_; }
 
  private:
   struct Entry {
     SimTime t;
     std::uint64_t seq;
-    Callback cb;
+    EventFn cb;
+  };
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  struct LegacyEntry {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> cb;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const LegacyEntry& a, const LegacyEntry& b) const {
       if (a.t != b.t) return a.t > b.t;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  const Impl impl_;
+  std::vector<Entry> heap_;  // binary min-heap ordered by earlier()
+  std::priority_queue<LegacyEntry, std::vector<LegacyEntry>, Later> legacy_;
   SimTime now_ = SimTime::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

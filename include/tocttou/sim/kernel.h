@@ -17,6 +17,10 @@
 #include "tocttou/sim/semaphore.h"
 #include "tocttou/trace/journal.h"
 
+namespace tocttou::metrics {
+class Registry;
+}
+
 namespace tocttou::sim {
 
 class FaultInjector;
@@ -75,6 +79,14 @@ class Kernel {
   /// is a single null check at each site.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  /// Attaches a metrics registry for this round (nullptr = none; the
+  /// default). With a registry attached the kernel counts syscalls by
+  /// op, context switches, steals, and preemptions, and observes
+  /// run-queue depth, wakeup latency, syscall service time, and blocked
+  /// waits. Every site is a single null check when disabled, keeping
+  /// the no-metrics path byte-identical. Must outlive the kernel.
+  void set_metrics(metrics::Registry* metrics) { metrics_ = metrics; }
+
  private:
   struct CpuState {
     Pid running = kNoPid;
@@ -107,12 +119,24 @@ class Kernel {
                      const std::string& label, SimTime begin, SimTime end);
   std::vector<CpuId> idle_allowed_cpus(const Process& p) const;
   std::vector<CpuId> allowed_cpus(const Process& p) const;
+  void fill_allowed_cpus(const Process& p, std::vector<CpuId>* out) const;
+  void fill_idle_allowed_cpus(const Process& p, std::vector<CpuId>* out) const;
 
   MachineSpec spec_;
   std::unique_ptr<Scheduler> sched_;
   Rng rng_;
   trace::RoundTrace* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  metrics::Registry* metrics_ = nullptr;
+  /// Mirrors EventQueue::Impl::legacy (read once at construction): the
+  /// bench's before/after toggle also reverts the placement hot path to
+  /// its original allocate-per-call form so "before" is faithful.
+  bool legacy_hotpath_ = false;
+  // Scratch for make_ready placement; avoids two vector allocations per
+  // wakeup on the hot path. Safe because placement fully consumes the
+  // lists before anything re-entrant runs.
+  std::vector<CpuId> allowed_scratch_;
+  std::vector<CpuId> idle_scratch_;
 
   EventQueue queue_;
   std::vector<std::unique_ptr<Process>> procs_;  // index = pid - 1

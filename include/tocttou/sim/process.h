@@ -107,6 +107,10 @@ class Process {
   // Blocked-span bookkeeping (semaphore / I/O / flag waits).
   SimTime block_start_;
   std::string block_label_;
+  // Wakeup-latency bookkeeping (metrics only; wake_pending_ is set only
+  // when a metrics registry is attached).
+  SimTime wake_time_;
+  bool wake_pending_ = false;
 };
 
 }  // namespace tocttou::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <thread>
@@ -157,12 +158,53 @@ std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg) {
   return f.h;
 }
 
+namespace {
+
+/// Wall-clock phase bracketing for ScenarioConfig::wall_profile. All
+/// calls are no-ops when profiling is off, so the normal path pays one
+/// branch per phase boundary and zero clock reads.
+class PhaseTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit PhaseTimer(metrics::WallProfile* out) : out_(out) {
+    if (out_ != nullptr) start_ = last_ = Clock::now();
+  }
+
+  void lap(std::uint64_t metrics::WallProfile::* field) {
+    if (out_ == nullptr) return;
+    const auto t = Clock::now();
+    out_->*field += ns_between(last_, t);
+    last_ = t;
+  }
+
+  void finish() {
+    if (out_ == nullptr) return;
+    ++out_->rounds;
+    out_->total_ns += ns_between(start_, Clock::now());
+  }
+
+ private:
+  static std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  }
+
+  metrics::WallProfile* out_;
+  Clock::time_point start_;
+  Clock::time_point last_;
+};
+
+}  // namespace
+
 RoundResult run_round(const ScenarioConfig& cfg) {
   RoundResult res;
+  PhaseTimer timer(cfg.wall_profile);
   Rng setup_rng(mix_seed(cfg.seed, 0xA11CE));
 
   // --- file system tree ---
   fs::Vfs vfs(cfg.profile.costs);
+  if (cfg.collect_metrics) vfs.set_metrics(&res.metrics);
   vfs.mkdir_p("/etc", 0, 0, 0755);
   const fs::Ino passwd =
       vfs.create_file(cfg.evil_target, 0, 0, 0644, 1536);
@@ -191,6 +233,7 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   }
   sim::Kernel kernel(cfg.profile.machine, std::move(sched),
                      mix_seed(cfg.seed, 0x5EED), tracing ? &res.trace : nullptr);
+  if (cfg.collect_metrics) kernel.set_metrics(&res.metrics);
   if (injector) kernel.set_fault_injector(&*injector);
   if (cfg.background_load) kernel.start_background_load();
 
@@ -320,6 +363,7 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   if (injector) injector->set_role(victim_pid, sim::FaultRole::victim);
 
   // --- run: until the victim exits, then drain the attack briefly ---
+  timer.lap(&metrics::WallProfile::setup_ns);
   const SimTime limit = SimTime::origin() + cfg.round_limit;
   const bool victim_done = kernel.run_until(
       [&] { return kernel.process(victim_pid).exited(); }, limit);
@@ -338,6 +382,7 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   }
   res.end_time = kernel.now();
   res.events = kernel.events_executed();
+  timer.lap(&metrics::WallProfile::sim_ns);
 
   // --- judge ---
   const fs::Inode& pw = vfs.inode(passwd);
@@ -364,7 +409,9 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   }
 
   // --- post-round robustness accounting ---
+  timer.lap(&metrics::WallProfile::analyze_ns);
   res.audit_violations = vfs.audit();
+  timer.lap(&metrics::WallProfile::audit_ns);
   if (injector) {
     res.faults = injector->stats();
     int retries = 0;
@@ -386,6 +433,24 @@ RoundResult run_round(const ScenarioConfig& cfg) {
     }
   }
   res.faults.invariant_violations += res.audit_violations.size();
+  if (cfg.collect_metrics) {
+    const sim::FaultStats& f = res.faults;
+    if (f.errors_injected > 0) {
+      res.metrics.count("faults.injected.error", f.errors_injected);
+    }
+    if (f.latency_spikes > 0) {
+      res.metrics.count("faults.injected.spike", f.latency_spikes);
+    }
+    if (f.wakeups_delayed > 0) {
+      res.metrics.count("faults.injected.wakeup_delay", f.wakeups_delayed);
+    }
+    if (f.wakeups_dropped > 0) {
+      res.metrics.count("faults.injected.wakeup_drop", f.wakeups_dropped);
+    }
+    if (f.kills > 0) res.metrics.count("faults.injected.kill", f.kills);
+    if (f.retries > 0) res.metrics.count("faults.retries", f.retries);
+  }
+  timer.finish();
   return res;
 }
 
@@ -427,6 +492,7 @@ CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
     stats.success.record(r.success);
     stats.total_events += r.events;
     stats.faults.merge(r.faults);
+    stats.metrics.merge(r.metrics);
     if (r.hit_time_limit) ++stats.anomalies;
     if (!r.victim_completed && !r.hit_time_limit) ++stats.victim_incomplete;
     if ((r.hit_time_limit || !r.victim_completed) &&
@@ -462,6 +528,7 @@ void CampaignStats::merge(const CampaignStats& other) {
   victim_incomplete += other.victim_incomplete;
   attacker_unfinished += other.attacker_unfinished;
   faults.merge(other.faults);
+  metrics.merge(other.metrics);
   for (const std::string& t : other.anomaly_tokens) {
     if (static_cast<int>(anomaly_tokens.size()) >= kMaxAnomalyTokens) break;
     anomaly_tokens.push_back(t);
@@ -479,6 +546,16 @@ CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
                     : static_cast<int>(std::thread::hardware_concurrency());
   workers = std::clamp(workers, 1, n_blocks);
 
+  // Wall profiling is serial-only: concurrent rounds would race on the
+  // accumulator and interleave phase brackets into noise.
+  ScenarioConfig serial_cfg;
+  const ScenarioConfig* run_cfg = &cfg;
+  if (workers > 1 && cfg.wall_profile != nullptr) {
+    serial_cfg = cfg;
+    serial_cfg.wall_profile = nullptr;
+    run_cfg = &serial_cfg;
+  }
+
   std::vector<CampaignStats> blocks(static_cast<std::size_t>(n_blocks));
   std::atomic<int> next_block{0};
   const auto work = [&] {
@@ -487,7 +564,7 @@ CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
          b = next_block.fetch_add(1, std::memory_order_relaxed)) {
       const int begin = b * kBlockRounds;
       blocks[static_cast<std::size_t>(b)] = run_block(
-          cfg, begin, std::min(rounds, begin + kBlockRounds), measure_ld);
+          *run_cfg, begin, std::min(rounds, begin + kBlockRounds), measure_ld);
     }
   };
   if (workers == 1) {

@@ -7,6 +7,7 @@
 
 #include "tocttou/common/strings.h"
 #include "tocttou/fs/vfs.h"
+#include "tocttou/metrics/metrics.h"
 #include "tocttou/sim/faults.h"
 #include "tocttou/sim/kernel.h"
 #include "tocttou/trace/journal.h"
@@ -131,6 +132,13 @@ std::optional<Step> Walker::advance(ServiceContext& ctx) {
           st_ = St::done;
           return std::nullopt;
         }
+        if (metrics::Registry* m = vfs_.metrics()) {
+          // One observation per resolution leg; symlink restarts show up
+          // as extra legs, which is exactly the work the walk performs.
+          m->observe("fs.path_walk_components",
+                     static_cast<std::int64_t>(n));
+          if (depth_ > 0) m->count("fs.symlink_restarts");
+        }
         return Step::work(vfs_.costs().path_component *
                           static_cast<std::int64_t>(n));
       }
@@ -169,6 +177,9 @@ std::optional<Step> Walker::advance(ServiceContext& ctx) {
           return std::nullopt;
         }
         slow_path_ = true;
+        if (metrics::Registry* m = vfs_.metrics()) {
+          m->count("fs.lockless_slow_paths");
+        }
         st_ = St::locked;
         return Step::acquire(&sem);
       }

@@ -1,23 +1,87 @@
 #include "tocttou/sim/event_queue.h"
 
+#include <atomic>
 #include <utility>
 
 #include "tocttou/common/error.h"
 
 namespace tocttou::sim {
 
+namespace {
+
+// Process-wide default, set before campaigns start (bench_core_hotpath
+// toggles it between serial measurement passes); atomic so concurrent
+// campaign workers constructing kernels read it race-free.
+std::atomic<int> g_default_impl{static_cast<int>(EventQueue::Impl::pooled)};
+
+}  // namespace
+
+void EventQueue::set_default_impl(Impl impl) {
+  g_default_impl.store(static_cast<int>(impl), std::memory_order_relaxed);
+}
+
+EventQueue::Impl EventQueue::default_impl() {
+  return static_cast<Impl>(g_default_impl.load(std::memory_order_relaxed));
+}
+
+EventQueue::EventQueue() : impl_(default_impl()) {
+  if (impl_ == Impl::pooled) heap_.reserve(64);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    const std::size_t r = l + 1;
+    std::size_t best = (r < n && earlier(heap_[r], heap_[l])) ? r : l;
+    if (!earlier(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
 void EventQueue::schedule_at(SimTime t, Callback cb) {
   TOCTTOU_CHECK(t >= now_, "cannot schedule an event in the past");
-  heap_.push(Entry{t, next_seq_++, std::move(cb)});
+  if (impl_ == Impl::legacy) {
+    legacy_.push(LegacyEntry{t, next_seq_++, std::function<void()>(cb)});
+    return;
+  }
+  heap_.push_back(Entry{t, next_seq_++, cb});
+  sift_up(heap_.size() - 1);
 }
 
 bool EventQueue::run_next() {
+  if (impl_ == Impl::legacy) {
+    if (legacy_.empty()) return false;
+    // priority_queue::top() is const; move out via const_cast is
+    // UB-adjacent, so copy the callback handle instead.
+    LegacyEntry e = legacy_.top();
+    legacy_.pop();
+    now_ = e.t;
+    ++executed_;
+    e.cb();
+    return true;
+  }
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle instead (std::function copy is cheap
-  // relative to simulation work and keeps the code obviously correct).
-  Entry e = heap_.top();
-  heap_.pop();
+  // Entry is trivially copyable: "moving" the root out is a small memcpy
+  // with no allocator traffic, unlike the legacy std::function copy.
+  Entry e = heap_.front();
+  const Entry back = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = back;
+    sift_down(0);
+  }
   now_ = e.t;
   ++executed_;
   e.cb();
@@ -25,7 +89,10 @@ bool EventQueue::run_next() {
 }
 
 SimTime EventQueue::peek_time() const {
-  return heap_.empty() ? SimTime::never() : heap_.top().t;
+  if (impl_ == Impl::legacy) {
+    return legacy_.empty() ? SimTime::never() : legacy_.top().t;
+  }
+  return heap_.empty() ? SimTime::never() : heap_.front().t;
 }
 
 }  // namespace tocttou::sim

@@ -4,6 +4,7 @@
 
 #include "tocttou/common/error.h"
 #include "tocttou/common/strings.h"
+#include "tocttou/metrics/metrics.h"
 #include "tocttou/sim/faults.h"
 
 namespace tocttou::sim {
@@ -49,6 +50,9 @@ Kernel::Kernel(MachineSpec spec, std::unique_ptr<Scheduler> sched,
   TOCTTOU_CHECK(sched_ != nullptr, "kernel needs a scheduler");
   cpus_.resize(static_cast<std::size_t>(spec_.n_cpus));
   sched_->init(spec_.n_cpus);
+  legacy_hotpath_ = (EventQueue::default_impl() == EventQueue::Impl::legacy);
+  allowed_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
+  idle_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
 }
 
 Kernel::~Kernel() = default;
@@ -68,6 +72,11 @@ Pid Kernel::spawn(std::unique_ptr<Program> program, SpawnOptions opts) {
   p.slice_left_ = opts.initial_slice.value_or(sched_->fresh_slice(p));
   p.state_ = ProcState::ready;
   procs_.push_back(std::move(proc));
+  if (metrics_ != nullptr) {
+    metrics_->count("kernel.spawns");
+    metrics_->gauge_max("kernel.processes_max",
+                        static_cast<std::int64_t>(procs_.size()));
+  }
   if (trace_) trace_->log.set_process_name(p.pid_, p.name_);
   // Enqueue via an event so that spawning inside program code is safe.
   queue_.schedule_at(now(), [this, pid = p.pid_] {
@@ -147,29 +156,56 @@ void Kernel::start_background_load() {
 
 std::vector<CpuId> Kernel::allowed_cpus(const Process& p) const {
   std::vector<CpuId> out;
-  for (int c = 0; c < spec_.n_cpus; ++c) {
-    if (p.affinity_mask_ & (1ull << c)) out.push_back(c);
-  }
+  fill_allowed_cpus(p, &out);
   return out;
 }
 
 std::vector<CpuId> Kernel::idle_allowed_cpus(const Process& p) const {
   std::vector<CpuId> out;
+  fill_idle_allowed_cpus(p, &out);
+  return out;
+}
+
+void Kernel::fill_allowed_cpus(const Process& p,
+                               std::vector<CpuId>* out) const {
+  out->clear();
+  for (int c = 0; c < spec_.n_cpus; ++c) {
+    if (p.affinity_mask_ & (1ull << c)) out->push_back(c);
+  }
+}
+
+void Kernel::fill_idle_allowed_cpus(const Process& p,
+                                    std::vector<CpuId>* out) const {
+  out->clear();
   for (int c = 0; c < spec_.n_cpus; ++c) {
     if ((p.affinity_mask_ & (1ull << c)) &&
         cpus_[static_cast<std::size_t>(c)].running == kNoPid) {
-      out.push_back(c);
+      out->push_back(c);
     }
   }
-  return out;
 }
 
 void Kernel::make_ready(Process& p, bool just_woken) {
   TOCTTOU_CHECK(p.state_ == ProcState::ready, "make_ready on non-ready proc");
-  const auto allowed = allowed_cpus(p);
-  TOCTTOU_CHECK(!allowed.empty(), "process affinity excludes every CPU");
-  const CpuId cpu = sched_->place(p, idle_allowed_cpus(p), allowed);
+  CpuId cpu;
+  if (legacy_hotpath_) {
+    const auto allowed = allowed_cpus(p);
+    TOCTTOU_CHECK(!allowed.empty(), "process affinity excludes every CPU");
+    cpu = sched_->place(p, idle_allowed_cpus(p), allowed);
+  } else {
+    fill_allowed_cpus(p, &allowed_scratch_);
+    TOCTTOU_CHECK(!allowed_scratch_.empty(),
+                  "process affinity excludes every CPU");
+    fill_idle_allowed_cpus(p, &idle_scratch_);
+    cpu = sched_->place(p, idle_scratch_, allowed_scratch_);
+  }
   sched_->enqueue(p, cpu, /*front=*/false);
+  if (metrics_ != nullptr) {
+    const auto depth =
+        static_cast<std::int64_t>(sched_->queue_depth(cpu));
+    metrics_->observe("sched.runqueue_depth", depth);
+    metrics_->gauge_max("sched.runqueue_depth_max", depth);
+  }
   auto& cs = cpus_[static_cast<std::size_t>(cpu)];
   if (cs.running == kNoPid) {
     dispatch(cpu);
@@ -208,9 +244,24 @@ void Kernel::dispatch(CpuId cpu) {
   auto& cs = cpus_[static_cast<std::size_t>(cpu)];
   if (cs.running != kNoPid) return;
   Process* p = sched_->pick_next(cpu);
-  if (p == nullptr) p = sched_->steal(cpu);  // idle balancing
+  bool stolen = false;
+  if (p == nullptr) {
+    p = sched_->steal(cpu);  // idle balancing
+    stolen = (p != nullptr);
+  }
   if (p == nullptr) return;
   TOCTTOU_CHECK(p->state_ == ProcState::ready, "picked a non-ready process");
+  if (metrics_ != nullptr) {
+    metrics_->count("sched.context_switches");
+    if (stolen) metrics_->count("sched.steals");
+  }
+  if (p->wake_pending_) {
+    p->wake_pending_ = false;
+    if (metrics_ != nullptr) {
+      metrics_->observe("kernel.wakeup_latency_ns",
+                        (now() - p->wake_time_).ns());
+    }
+  }
   p->state_ = ProcState::running;
   p->cpu_ = cpu;
   p->last_cpu_ = cpu;
@@ -240,6 +291,7 @@ void Kernel::free_cpu(Process& p) {
 void Kernel::preempt(Process& p, bool requeue_front) {
   TOCTTOU_CHECK(p.state_ == ProcState::running, "preempt on non-running proc");
   ++p.preemptions_;
+  if (metrics_ != nullptr) metrics_->count("sched.preemptions");
   p.need_resched_ = false;
   p.state_ = ProcState::ready;
   const CpuId cpu = p.cpu_;
@@ -441,6 +493,11 @@ void Kernel::complete_service(Process& p, Errno result) {
     p.op_->fill_record(rec);
     trace_->journal.add(std::move(rec));
   }
+  if (metrics_ != nullptr) {
+    metrics_->count("kernel.syscalls");
+    metrics_->count("kernel.syscalls." + std::string(p.op_->name()));
+    metrics_->observe("kernel.syscall_ns", (now() - p.op_enter_).ns());
+  }
   p.op_.reset();
 }
 
@@ -525,6 +582,27 @@ void Kernel::wake(Pid pid, bool from_io, bool faultable) {
     ev.category = cat;
     ev.label = p.block_label_;
     trace_->log.add(std::move(ev));
+  }
+  if (metrics_ != nullptr) {
+    const std::int64_t waited = (now() - p.block_start_).ns();
+    switch (p.state_) {
+      case ProcState::blocked_sem:
+        // block_label_ is "sem:<name>"; keyed per inode semaphore.
+        metrics_->observe("fs.sem_wait_ns", waited);
+        metrics_->observe("fs.sem_wait_ns." + p.block_label_.substr(4),
+                          waited);
+        break;
+      case ProcState::blocked_io:
+        metrics_->observe("kernel.io_wait_ns", waited);
+        break;
+      case ProcState::blocked_flag:
+        metrics_->observe("kernel.flag_wait_ns", waited);
+        break;
+      default:
+        break;  // sleeping: a timer, not a wait the paper's tracer counted
+    }
+    p.wake_pending_ = true;
+    p.wake_time_ = now();
   }
   p.state_ = ProcState::ready;
   make_ready(p, /*just_woken=*/true);

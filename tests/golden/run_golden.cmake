@@ -1,0 +1,37 @@
+# Byte-exact golden regression runner (ctest -P script).
+#
+# Runs the CLI and compares its stdout, byte for byte, against a
+# checked-in golden file. Guards the metrics/profiling work's promise
+# that campaign and Gantt output with metrics disabled is identical to
+# the pre-subsystem CLI.
+#
+# Expected -D definitions:
+#   CLI      path to the tocttou binary
+#   ARGS     ;-separated CLI argument list
+#   GOLDEN   path to the expected-stdout file
+#   OK_CODES ;-separated acceptable exit codes (the CLI exits 2 when the
+#            simulated attack fails — expected on some testbeds)
+#
+# On mismatch the actual output is left next to the golden file's name
+# in the build tree (<name>.actual) for inspection/refresh.
+
+execute_process(
+  COMMAND ${CLI} ${ARGS}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE code)
+
+list(FIND OK_CODES "${code}" code_idx)
+if(code_idx EQUAL -1)
+  message(FATAL_ERROR
+          "golden run exited ${code} (accepted: ${OK_CODES}): ${CLI} ${ARGS}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  get_filename_component(name "${GOLDEN}" NAME_WE)
+  file(WRITE "${name}.actual" "${actual}")
+  message(FATAL_ERROR
+          "output differs from ${GOLDEN}\n"
+          "actual saved to ${name}.actual -- if the change is intended, "
+          "refresh the golden file with that content")
+endif()

@@ -1,0 +1,180 @@
+#include "tocttou/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tocttou::metrics {
+namespace {
+
+TEST(HistogramTest, BucketIndexEdges) {
+  // Bucket 0 holds [0, 1]; bucket i >= 1 holds [2^i, 2^(i+1) - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 0);
+  EXPECT_EQ(Histogram::bucket_index(2), 1);
+  EXPECT_EQ(Histogram::bucket_index(3), 1);
+  EXPECT_EQ(Histogram::bucket_index(4), 2);
+  EXPECT_EQ(Histogram::bucket_index(7), 2);
+  EXPECT_EQ(Histogram::bucket_index(8), 3);
+  EXPECT_EQ(Histogram::bucket_index(1023), 9);
+  EXPECT_EQ(Histogram::bucket_index(1024), 10);
+  // Negative samples clamp to bucket 0.
+  EXPECT_EQ(Histogram::bucket_index(-5), 0);
+  // The top of the int64 range lands in the last, unbounded bucket.
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::int64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketCeilMatchesIndex) {
+  EXPECT_EQ(Histogram::bucket_ceil(0), 1);
+  EXPECT_EQ(Histogram::bucket_ceil(1), 3);
+  EXPECT_EQ(Histogram::bucket_ceil(2), 7);
+  EXPECT_EQ(Histogram::bucket_ceil(10), 2047);
+  EXPECT_EQ(Histogram::bucket_ceil(Histogram::kBuckets - 1),
+            std::numeric_limits<std::int64_t>::max());
+  // Every bucket's ceiling maps back to that bucket.
+  for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_ceil(i)), i) << i;
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_ceil(i) + 1), i + 1)
+        << i;
+  }
+}
+
+TEST(HistogramTest, ObserveTracksExactMoments) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  h.observe(10);
+  h.observe(3);
+  h.observe(500);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 513);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 500);
+  EXPECT_DOUBLE_EQ(h.mean(), 513.0 / 3.0);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(10)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(3)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_index(500)), 1u);
+}
+
+TEST(HistogramTest, MergeAddsBucketwiseAndKeepsExtremes) {
+  Histogram a, b;
+  a.observe(4);
+  a.observe(100);
+  b.observe(4);
+  b.observe(2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 110);
+  EXPECT_EQ(a.min(), 2);
+  EXPECT_EQ(a.max(), 100);
+  EXPECT_EQ(a.bucket(Histogram::bucket_index(4)), 2u);
+  // Merging an empty histogram is the identity.
+  Histogram before = a;
+  a.merge(Histogram{});
+  EXPECT_EQ(a.count(), before.count());
+  EXPECT_EQ(a.min(), before.min());
+  EXPECT_EQ(a.max(), before.max());
+}
+
+TEST(RegistryTest, CountersGaugesHistogramsRoundTrip) {
+  Registry r;
+  EXPECT_TRUE(r.empty());
+  r.count("a");
+  r.count("a", 4);
+  r.gauge_max("g", 7);
+  r.gauge_max("g", 3);  // lower value must not win
+  r.observe("h", 16);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.counter("a"), 5u);
+  EXPECT_EQ(r.counter("missing"), 0u);
+  EXPECT_EQ(r.gauge("g"), 7);
+  EXPECT_EQ(r.gauge("missing"), 0);
+  ASSERT_NE(r.histogram("h"), nullptr);
+  EXPECT_EQ(r.histogram("h")->count(), 1u);
+  EXPECT_EQ(r.histogram("missing"), nullptr);
+}
+
+TEST(RegistryTest, MergeFoldsEachKind) {
+  Registry a, b;
+  a.count("c", 2);
+  b.count("c", 3);
+  b.count("only_b");
+  a.gauge_max("g", 5);
+  b.gauge_max("g", 9);
+  a.observe("h", 1);
+  b.observe("h", 64);
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_EQ(a.gauge("g"), 9);
+  EXPECT_EQ(a.histogram("h")->count(), 2u);
+  EXPECT_EQ(a.histogram("h")->sum(), 65);
+}
+
+TEST(RegistryTest, JsonExportIsExactAndSorted) {
+  Registry r;
+  r.count("z", 2);
+  r.count("a", 1);
+  r.gauge_max("depth", 3);
+  r.observe("lat", 0);
+  r.observe("lat", 5);
+  EXPECT_EQ(r.to_json(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"a\": 1,\n"
+            "    \"z\": 2\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"depth\": 3\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"lat\": {\"count\": 2, \"sum\": 5, \"min\": 0, \"max\": 5, "
+            "\"buckets\": [[1, 1], [7, 1]]}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(RegistryTest, JsonEscapesQuotesAndBackslashes) {
+  Registry r;
+  r.count("weird\"name\\x");
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\x\": 1"), std::string::npos) << json;
+}
+
+TEST(RegistryTest, CsvExportUsesRfc4180Rows) {
+  Registry r;
+  r.count("syscalls", 7);
+  r.gauge_max("procs", 4);
+  r.observe("wait", 2);
+  EXPECT_EQ(r.to_csv(),
+            "type,name,field,value\r\n"
+            "counter,syscalls,value,7\r\n"
+            "gauge,procs,value,4\r\n"
+            "histogram,wait,count,1\r\n"
+            "histogram,wait,sum,2\r\n"
+            "histogram,wait,min,2\r\n"
+            "histogram,wait,max,2\r\n"
+            "histogram,wait,bucket_le_3,1\r\n");
+}
+
+TEST(RegistryTest, CsvQuotesNamesWithCommas) {
+  Registry r;
+  r.count("a,b");
+  const std::string csv = r.to_csv();
+  EXPECT_NE(csv.find("counter,\"a,b\",value,1\r\n"), std::string::npos) << csv;
+}
+
+TEST(RegistryTest, EmptyRegistryExportsAreStable) {
+  const Registry r;
+  EXPECT_EQ(r.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+  EXPECT_EQ(r.to_csv(), "type,name,field,value\r\n");
+}
+
+}  // namespace
+}  // namespace tocttou::metrics

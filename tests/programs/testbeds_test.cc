@@ -1,0 +1,71 @@
+#include "tocttou/programs/testbeds.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou::programs {
+namespace {
+
+using namespace tocttou::literals;
+
+TEST(TestbedsTest, UniprocessorIsASingleXeon) {
+  const TestbedProfile p = testbed_uniprocessor_xeon();
+  EXPECT_EQ(p.name, "uniprocessor-xeon-1.7GHz");
+  EXPECT_EQ(p.machine.name, p.name);
+  EXPECT_EQ(p.machine.n_cpus, 1);
+  EXPECT_EQ(p.machine.speed, 1.0);
+  // Same per-CPU calibration as the SMP (Section 4 uses one of the
+  // SMP's Xeons as the uniprocessor baseline).
+  EXPECT_EQ(p.costs.stat_base, fs::SyscallCosts::xeon().stat_base);
+  EXPECT_EQ(p.costs.path_component, fs::SyscallCosts::xeon().path_component);
+  EXPECT_EQ(p.timings.gedit_comp_gap, ProgramTimings::xeon().gedit_comp_gap);
+}
+
+TEST(TestbedsTest, SmpIsTwoXeonsWithIdenticalPerCpuCosts) {
+  const TestbedProfile up = testbed_uniprocessor_xeon();
+  const TestbedProfile smp = testbed_smp_dual_xeon();
+  EXPECT_EQ(smp.name, "smp-2x-xeon-1.7GHz");
+  EXPECT_EQ(smp.machine.n_cpus, 2);
+  // Everything but the CPU count matches the uniprocessor: the paper's
+  // comparison isolates parallelism, not machine speed.
+  EXPECT_EQ(smp.machine.speed, up.machine.speed);
+  EXPECT_EQ(smp.machine.timeslice, up.machine.timeslice);
+  EXPECT_EQ(smp.machine.context_switch_cost, up.machine.context_switch_cost);
+  EXPECT_EQ(smp.machine.libc_fault_cost, up.machine.libc_fault_cost);
+  EXPECT_EQ(smp.costs.open_base, up.costs.open_base);
+  EXPECT_EQ(smp.timings.vi_pre_open, up.timings.vi_pre_open);
+}
+
+TEST(TestbedsTest, MulticoreIsFourWayPentiumD) {
+  const TestbedProfile p = testbed_multicore_pentium_d();
+  EXPECT_EQ(p.name, "multicore-pentium-d-3.2GHz");
+  EXPECT_EQ(p.machine.n_cpus, 4);  // 2 cores x HT
+  // Section 6.2.1's measured 6us libc page-fault trap.
+  EXPECT_EQ(p.machine.libc_fault_cost, 6_us);
+  EXPECT_EQ(p.machine.context_switch_cost, 1_us);
+  // Absolute speed lives in the pentium_d cost tables, not the divisor.
+  EXPECT_EQ(p.machine.speed, 1.0);
+  EXPECT_EQ(p.costs.stat_base, fs::SyscallCosts::pentium_d().stat_base);
+  EXPECT_EQ(p.timings.atk_post_detect_comp,
+            ProgramTimings::pentium_d().atk_post_detect_comp);
+}
+
+TEST(TestbedsTest, MulticoreTicksAreCheaperThanXeon) {
+  const TestbedProfile xeon = testbed_smp_dual_xeon();
+  const TestbedProfile pd = testbed_multicore_pentium_d();
+  EXPECT_LT(pd.machine.noise.tick_cost_mean, xeon.machine.noise.tick_cost_mean);
+  EXPECT_EQ(pd.machine.noise.tick_cost_mean, Duration::nanos(600));
+  // All three testbeds model the same HZ=1000 kernel.
+  EXPECT_EQ(pd.machine.noise.tick_period, xeon.machine.noise.tick_period);
+}
+
+TEST(TestbedsTest, AllProfilesKeepBackgroundLoadOn) {
+  for (const TestbedProfile& p :
+       {testbed_uniprocessor_xeon(), testbed_smp_dual_xeon(),
+        testbed_multicore_pentium_d()}) {
+    EXPECT_TRUE(p.machine.background.enabled) << p.name;
+    EXPECT_GT(p.machine.noise.rel_sigma, 0.0) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace tocttou::programs

@@ -1,0 +1,65 @@
+#include "tocttou/programs/timings.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou::programs {
+namespace {
+
+using namespace tocttou::literals;
+
+TEST(RetryPolicyTest, BackoffGrowsGeometrically) {
+  RetryPolicy p;  // 50us initial, x2 per retry
+  EXPECT_EQ(p.max_attempts, 4);
+  EXPECT_EQ(p.backoff_for(1), 50_us);
+  EXPECT_EQ(p.backoff_for(2), 100_us);
+  EXPECT_EQ(p.backoff_for(3), 200_us);
+  EXPECT_EQ(p.backoff_for(4), 400_us);
+}
+
+TEST(RetryPolicyTest, CustomMultiplierAndBase) {
+  RetryPolicy p;
+  p.initial_backoff = 10_us;
+  p.backoff_mult = 3.0;
+  EXPECT_EQ(p.backoff_for(1), 10_us);
+  EXPECT_EQ(p.backoff_for(2), 30_us);
+  EXPECT_EQ(p.backoff_for(3), 90_us);
+}
+
+TEST(ProgramTimingsTest, XeonIsTheDefaultCalibration) {
+  const ProgramTimings x = ProgramTimings::xeon();
+  const ProgramTimings d;
+  EXPECT_EQ(x.vi_pre_open, d.vi_pre_open);
+  EXPECT_EQ(x.gedit_comp_gap, d.gedit_comp_gap);
+  EXPECT_EQ(x.atk_loop_comp_vi, d.atk_loop_comp_vi);
+  EXPECT_EQ(x.retry.max_attempts, d.retry.max_attempts);
+  // The paper's decisive SMP gap: rename return -> chmod is 43us.
+  EXPECT_EQ(x.gedit_comp_gap, 43_us);
+}
+
+TEST(ProgramTimingsTest, PentiumDMatchesSection62Measurements) {
+  const ProgramTimings t = ProgramTimings::pentium_d();
+  // Figure 8: the 3us victim gap and the attacker's 11us post-detection
+  // computation that loses the race once the 6us libc trap is added.
+  EXPECT_EQ(t.gedit_comp_gap, 3_us);
+  EXPECT_EQ(t.atk_post_detect_comp, 11_us);
+  // Figure 10: v2 trims post-detection work to fname selection only.
+  EXPECT_EQ(t.atk_v2_comp, 2_us);
+  EXPECT_LT(t.atk_v2_comp, t.atk_post_detect_comp);
+}
+
+TEST(ProgramTimingsTest, PentiumDGapsAreFasterThanXeon) {
+  const ProgramTimings x = ProgramTimings::xeon();
+  const ProgramTimings p = ProgramTimings::pentium_d();
+  EXPECT_LT(p.vi_pre_open, x.vi_pre_open);
+  EXPECT_LT(p.vi_pre_chown, x.vi_pre_chown);
+  EXPECT_LT(p.gedit_prep, x.gedit_prep);
+  EXPECT_LT(p.gedit_comp_gap, x.gedit_comp_gap);
+  EXPECT_LT(p.atk_loop_comp_vi, x.atk_loop_comp_vi);
+  EXPECT_LT(p.atk_thread_handoff, x.atk_thread_handoff);
+  // Write chunking granularity is a program property, not a CPU one.
+  EXPECT_EQ(p.vi_write_chunk_bytes, x.vi_write_chunk_bytes);
+  EXPECT_EQ(p.gedit_write_chunk_bytes, x.gedit_write_chunk_bytes);
+}
+
+}  // namespace
+}  // namespace tocttou::programs

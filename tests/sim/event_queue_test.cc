@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "tocttou/common/error.h"
 
 namespace tocttou::sim {
@@ -9,7 +13,22 @@ namespace {
 
 using namespace tocttou::literals;
 
-TEST(EventQueueTest, RunsInTimeOrder) {
+/// Runs each test body under both queue implementations (the pooled
+/// inline-storage heap and the legacy std::function priority queue kept
+/// for before/after benchmarking) — they must be indistinguishable.
+class EventQueueTest : public ::testing::TestWithParam<EventQueue::Impl> {
+ protected:
+  void SetUp() override {
+    saved_ = EventQueue::default_impl();
+    EventQueue::set_default_impl(GetParam());
+  }
+  void TearDown() override { EventQueue::set_default_impl(saved_); }
+
+ private:
+  EventQueue::Impl saved_ = EventQueue::Impl::pooled;
+};
+
+TEST_P(EventQueueTest, RunsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
   q.schedule_at(SimTime::origin() + 5_us, [&] { order.push_back(2); });
@@ -22,7 +41,7 @@ TEST(EventQueueTest, RunsInTimeOrder) {
   EXPECT_EQ(q.executed(), 3u);
 }
 
-TEST(EventQueueTest, TiesBreakInScheduleOrder) {
+TEST_P(EventQueueTest, TiesBreakInScheduleOrder) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
@@ -33,7 +52,7 @@ TEST(EventQueueTest, TiesBreakInScheduleOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueueTest, ScheduleAfterUsesNow) {
+TEST_P(EventQueueTest, ScheduleAfterUsesNow) {
   EventQueue q;
   SimTime seen;
   q.schedule_at(SimTime::origin() + 2_us, [&] {
@@ -44,26 +63,32 @@ TEST(EventQueueTest, ScheduleAfterUsesNow) {
   EXPECT_EQ(seen, SimTime::origin() + 5_us);
 }
 
-TEST(EventQueueTest, EventsCanScheduleEvents) {
+TEST_P(EventQueueTest, EventsCanScheduleEvents) {
   EventQueue q;
   int depth = 0;
-  std::function<void()> recurse = [&] {
-    if (++depth < 5) q.schedule_after(1_us, recurse);
+  // Callbacks need trivially copyable captures, so the recursion closes
+  // over plain pointers instead of a std::function handle.
+  struct Recurse {
+    EventQueue* q;
+    int* depth;
+    void operator()() const {
+      if (++*depth < 5) q->schedule_after(1_us, *this);
+    }
   };
-  q.schedule_at(SimTime::origin(), recurse);
+  q.schedule_at(SimTime::origin(), Recurse{&q, &depth});
   while (q.run_next()) {
   }
   EXPECT_EQ(depth, 5);
 }
 
-TEST(EventQueueTest, RejectsPast) {
+TEST_P(EventQueueTest, RejectsPast) {
   EventQueue q;
   q.schedule_at(SimTime::origin() + 5_us, [] {});
   q.run_next();
   EXPECT_THROW(q.schedule_at(SimTime::origin() + 1_us, [] {}), SimError);
 }
 
-TEST(EventQueueTest, PeekTime) {
+TEST_P(EventQueueTest, PeekTime) {
   EventQueue q;
   EXPECT_EQ(q.peek_time(), SimTime::never());
   q.schedule_at(SimTime::origin() + 7_us, [] {});
@@ -71,10 +96,54 @@ TEST(EventQueueTest, PeekTime) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
-TEST(EventQueueTest, EmptyRunReturnsFalse) {
+TEST_P(EventQueueTest, EmptyRunReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.run_next());
 }
+
+TEST_P(EventQueueTest, InterleavedPushPopKeepsHeapOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  // Exercise sift_down paths: pop some events while later ones are still
+  // pending, pushing new earlier/later events in between.
+  q.schedule_at(SimTime::origin() + 10_us, [&] { order.push_back(10); });
+  q.schedule_at(SimTime::origin() + 4_us, [&] {
+    order.push_back(4);
+    q.schedule_after(2_us, [&] { order.push_back(6); });
+    q.schedule_after(20_us, [&] { order.push_back(24); });
+  });
+  q.schedule_at(SimTime::origin() + 8_us, [&] { order.push_back(8); });
+  q.schedule_at(SimTime::origin() + 2_us, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 6, 8, 10, 24}));
+}
+
+TEST_P(EventQueueTest, ManyEventsDrainSorted) {
+  EventQueue q;
+  std::vector<std::int64_t> order;
+  // Deterministic pseudo-random insertion order.
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const auto t = static_cast<std::int64_t>(x % 5000);
+    q.schedule_at(SimTime::origin() + Duration::nanos(t),
+                  [&order, t] { order.push_back(t); });
+  }
+  while (q.run_next()) {
+  }
+  ASSERT_EQ(order.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothImpls, EventQueueTest,
+    ::testing::Values(EventQueue::Impl::pooled, EventQueue::Impl::legacy),
+    [](const ::testing::TestParamInfo<EventQueue::Impl>& info) {
+      return info.param == EventQueue::Impl::pooled ? "pooled" : "legacy";
+    });
 
 }  // namespace
 }  // namespace tocttou::sim

@@ -1,0 +1,104 @@
+#include "tocttou/sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "tocttou/common/rng.h"
+
+namespace tocttou::sim {
+namespace {
+
+using namespace tocttou::literals;
+
+TEST(NoiseModelTest, ZeroAndNegativeNominalStayZero) {
+  NoiseModel n;
+  Rng rng(1);
+  EXPECT_EQ(n.inflate(Duration::zero(), rng), Duration::zero());
+  EXPECT_EQ(n.inflate(Duration::nanos(-50), rng), Duration::zero());
+}
+
+TEST(NoiseModelTest, NoneIsIdentity) {
+  const NoiseModel n = NoiseModel::none();
+  EXPECT_EQ(n.rel_sigma, 0.0);
+  EXPECT_EQ(n.tick_cost_mean, Duration::zero());
+  EXPECT_EQ(n.tick_cost_stdev, Duration::zero());
+  EXPECT_EQ(n.softirq_prob, 0.0);
+  // tick_period stays at its default; with zero tick cost and no softirqs
+  // the tick loop contributes nothing, so inflate() is exact.
+  Rng rng(7);
+  EXPECT_EQ(n.inflate(123_us, rng), 123_us);
+  EXPECT_EQ(n.inflate(Duration::millis(40), rng), Duration::millis(40));
+}
+
+TEST(NoiseModelTest, DeterministicUnderSameSeed) {
+  NoiseModel n;  // default: jitter + ticks + softirqs
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(n.inflate(3_ms, a), n.inflate(3_ms, b));
+  }
+}
+
+TEST(NoiseModelTest, MultiplicativeJitterIsFlooredAtQuarter) {
+  NoiseModel n = NoiseModel::none();
+  n.rel_sigma = 5.0;  // absurd sigma: the floor must clamp the left tail
+  Rng rng(3);
+  const Duration nominal = 100_us;
+  bool saw_variation = false;
+  Duration first = n.inflate(nominal, rng);
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = n.inflate(nominal, rng);
+    EXPECT_GE(d.ns(), nominal.ns() / 4);
+    if (d != first) saw_variation = true;
+  }
+  EXPECT_TRUE(saw_variation);
+}
+
+TEST(NoiseModelTest, TickCostAccruesPerElapsedTick) {
+  // With jitter and softirqs off and a zero-stdev tick cost, a span of
+  // exactly k tick periods pays exactly k tick costs.
+  NoiseModel n = NoiseModel::none();
+  n.tick_period = 1_ms;
+  n.tick_cost_mean = 1_us;
+  Rng rng(11);
+  EXPECT_EQ(n.inflate(Duration::millis(10), rng),
+            Duration::millis(10) + 10_us);
+  // Sub-tick spans pay at most one (bernoulli-rounded) tick.
+  const Duration d = n.inflate(300_us, rng);
+  EXPECT_GE(d, 300_us);
+  EXPECT_LE(d, 301_us);
+}
+
+TEST(MachineSpecTest, EffectiveDividesBySpeed) {
+  MachineSpec m;
+  m.speed = 2.0;
+  m.noise = NoiseModel::none();
+  Rng rng(5);
+  EXPECT_EQ(m.effective(10_us, rng), 5_us);
+  m.speed = 0.5;
+  EXPECT_EQ(m.effective(10_us, rng), 20_us);
+}
+
+TEST(MachineSpecTest, DefaultsMatchDocumentedModel) {
+  const MachineSpec m;
+  EXPECT_EQ(m.n_cpus, 1);
+  EXPECT_EQ(m.speed, 1.0);
+  EXPECT_EQ(m.timeslice, Duration::millis(100));
+  EXPECT_EQ(m.context_switch_cost, 2_us);
+  EXPECT_EQ(m.wakeup_latency, 2_us);
+  EXPECT_EQ(m.libc_fault_cost, 6_us);
+  // Linux 2.6 HZ=1000.
+  EXPECT_EQ(m.noise.tick_period, 1_ms);
+}
+
+TEST(BackgroundLoadTest, DefaultsDescribeKernelDaemons) {
+  const BackgroundLoad b;
+  EXPECT_TRUE(b.enabled);
+  EXPECT_EQ(b.mean_interval, Duration::millis(8));
+  EXPECT_EQ(b.burst_mean, 400_us);
+  EXPECT_EQ(b.burst_stdev, 200_us);
+  EXPECT_GT(b.priority, 0);  // must outrank default user priority 0
+}
+
+}  // namespace
+}  // namespace tocttou::sim

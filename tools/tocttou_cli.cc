@@ -67,6 +67,10 @@ using namespace tocttou;
       "  --gantt                      run ONE round and print the timeline\n"
       "  --journal-csv=PATH           dump one round's syscall journal\n"
       "  --events-csv=PATH            dump one round's event log\n"
+      "  --metrics[=PATH]             collect kernel/sched/fs metrics and\n"
+      "                               print JSON (or write it to PATH);\n"
+      "                               bit-identical at any --jobs\n"
+      "  --metrics-csv=PATH           same snapshot as RFC-4180 CSV\n"
       "  --interference               report detected cross-process races\n"
       "  --help\n");
   std::exit(code);
@@ -130,6 +134,20 @@ void write_file_or_die(const std::string& path, const std::string& body) {
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), body.size());
 }
 
+/// Emits the collected snapshot per the --metrics/--metrics-csv flags.
+void export_metrics(const metrics::Registry& reg, bool json_on,
+                    const std::string& json_path,
+                    const std::string& csv_path) {
+  if (json_on) {
+    if (json_path.empty()) {
+      std::printf("%s", reg.to_json().c_str());
+    } else {
+      write_file_or_die(json_path, reg.to_json());
+    }
+  }
+  if (!csv_path.empty()) write_file_or_die(csv_path, reg.to_csv());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +161,8 @@ int main(int argc, char** argv) {
   explore::ExploreConfig ecfg;
   std::string replay_text;
   std::optional<Duration> timeslice_override;
+  bool metrics_json = false;
+  std::string metrics_json_path, metrics_csv_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -217,6 +237,13 @@ int main(int argc, char** argv) {
       journal_csv = v;
     } else if (take(argv[i], "--events-csv", &v)) {
       events_csv = v;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_json = true;
+    } else if (take(argv[i], "--metrics", &v)) {
+      metrics_json = true;
+      metrics_json_path = v;
+    } else if (take(argv[i], "--metrics-csv", &v)) {
+      metrics_csv_path = v;
     } else if (std::strcmp(argv[i], "--defended") == 0) {
       cfg.defended_victim = true;
     } else if (std::strcmp(argv[i], "--no-background") == 0) {
@@ -235,6 +262,7 @@ int main(int argc, char** argv) {
   if (timeslice_override) {
     cfg.profile.machine.timeslice = *timeslice_override;
   }
+  cfg.collect_metrics = metrics_json || !metrics_csv_path.empty();
 
   std::printf("testbed=%s victim=%s attacker=%s file=%lluB seed=%llu%s\n",
               cfg.profile.name.c_str(), core::to_string(cfg.victim),
@@ -369,6 +397,10 @@ int main(int argc, char** argv) {
     if (!events_csv.empty()) {
       write_file_or_die(events_csv, r.trace.log.to_csv());
     }
+    if (cfg.collect_metrics) {
+      export_metrics(r.metrics, metrics_json, metrics_json_path,
+                     metrics_csv_path);
+    }
     return r.success ? 0 : 2;
   }
 
@@ -387,6 +419,10 @@ int main(int argc, char** argv) {
         "model: L/D = %.2f -> formula(1) predicts %.1f%% (observed %.1f%%)\n",
         stats.laxity_us.mean() / stats.detection_us.mean(), pred * 100.0,
         stats.success.rate() * 100.0);
+  }
+  if (cfg.collect_metrics) {
+    export_metrics(stats.metrics, metrics_json, metrics_json_path,
+                   metrics_csv_path);
   }
   return 0;
 }
