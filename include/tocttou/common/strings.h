@@ -13,6 +13,16 @@ namespace tocttou {
 /// the VFS walk).
 std::vector<std::string> split_path(std::string_view path);
 
+/// split_path without materializing a std::string per component: the
+/// returned views alias `path`, which must outlive them. This is the
+/// VFS walk's form — path resolution runs on every simulated syscall,
+/// so the per-component copies were pure allocator churn.
+std::vector<std::string_view> split_path_views(std::string_view path);
+
+/// Number of components split_path would return, with no allocation at
+/// all (not even the vector).
+std::size_t count_path_components(std::string_view path);
+
 bool is_absolute_path(std::string_view path);
 
 /// Joins components into an absolute path string.

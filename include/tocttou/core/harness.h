@@ -22,7 +22,12 @@
 #include "tocttou/sim/ids.h"
 #include "tocttou/trace/journal.h"
 
+namespace tocttou::fs {
+class Vfs;
+}
+
 namespace tocttou::sim {
+class Kernel;
 class Scheduler;
 }
 
@@ -143,6 +148,41 @@ struct RoundResult {
 };
 
 RoundResult run_round(const ScenarioConfig& cfg);
+
+/// Reusable round infrastructure: one Vfs and one Kernel that survive
+/// across rounds, recycling their arenas (inode allocations, the event
+/// queue's heap storage, the process table's capacity) instead of
+/// re-allocating the world per round. One context per thread — a context
+/// must never be shared across concurrent rounds. The explorer gives
+/// each worker its own context and runs thousands of leaves through it.
+///
+/// A round run in a reused context is observationally identical to one
+/// run fresh: same RoundResult, same journal/event trace, same schedule
+/// token, same metrics. The round_context ctest locks this down
+/// byte-for-byte.
+class RoundContext {
+ public:
+  RoundContext();
+  ~RoundContext();
+
+  RoundContext(const RoundContext&) = delete;
+  RoundContext& operator=(const RoundContext&) = delete;
+
+  /// Rounds that reused this context's arenas (the first round in a
+  /// fresh context builds them and counts zero).
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  friend RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx);
+
+  std::unique_ptr<fs::Vfs> vfs_;
+  std::unique_ptr<sim::Kernel> kernel_;
+  std::uint64_t reuses_ = 0;
+};
+
+/// run_round executing inside a caller-provided reusable context
+/// (nullptr = construct everything fresh, exactly run_round(cfg)).
+RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx);
 
 /// Cap on anomaly replay tokens retained per campaign.
 inline constexpr int kMaxAnomalyTokens = 8;

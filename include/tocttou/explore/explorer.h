@@ -25,6 +25,20 @@
 //
 // Every explored schedule yields a replay token (see token.h) that
 // replay_token() re-executes bit-for-bit.
+//
+// Parallelism and the determinism contract (DESIGN.md §6): exploration
+// fans leaf rounds out across `jobs` worker threads, each owning a
+// reusable core::RoundContext, and reduces outcomes in a CANONICAL
+// enumeration order that depends only on the schedule space — never on
+// thread timing. The exhaustive mode enumerates in divergence waves
+// (wave d = all schedules with d non-policy choices, ordered by
+// (parent index, choice site, option)); PCT enumerates by schedule
+// index. Schedule caps truncate in canonical order, the witness is the
+// fewest-divergence success with the lexicographically least serialized
+// token, and schedules_to_first_hit counts canonical enumeration order.
+// Every ExploreResult field except the throughput counters in `metrics`
+// (explore.steals, explore.ctx_reuses) is therefore bit-identical for
+// any `jobs` value.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +87,13 @@ struct ExploreConfig {
   int pct_schedules = 1000;
   int pct_expected_steps = 64;
   std::uint64_t pct_seed = 1;
+
+  /// Worker threads executing leaf rounds: 1 runs everything on the
+  /// calling thread, N > 1 shards leaves across N workers (each with its
+  /// own reusable RoundContext), <= 0 uses the hardware concurrency.
+  /// Every result field except the throughput counters in
+  /// ExploreResult::metrics is bit-identical for any value.
+  int jobs = 1;
 };
 
 struct ExploreResult {
@@ -123,6 +144,13 @@ struct ExploreResult {
   /// Rounds where a forced prefix failed to match the sites the kernel
   /// reached (should stay 0; nonzero means nondeterminism crept in).
   int divergence_errors = 0;
+
+  /// Exploration throughput counters: explore.leaves (leaf rounds
+  /// executed — deterministic), explore.steals (work-stealing events)
+  /// and explore.ctx_reuses (rounds recycling a worker's RoundContext).
+  /// The latter two depend on thread timing and worker count and are
+  /// deliberately OUTSIDE the jobs-invariance contract.
+  metrics::Registry metrics;
 };
 
 /// The deterministic base config exploration runs under: noise model

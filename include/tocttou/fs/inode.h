@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -40,7 +41,10 @@ class Inode {
   const std::string& symlink_target() const { return symlink_target_; }
 
   /// Directory entries (name -> inode). Only valid for directories.
-  const std::map<std::string, Ino>& entries() const { return entries_; }
+  /// The transparent comparator lets the path walker look names up by
+  /// std::string_view without minting a temporary std::string.
+  using EntryMap = std::map<std::string, Ino, std::less<>>;
+  const EntryMap& entries() const { return entries_; }
 
   sim::Semaphore& sem() { return sem_; }
   const sim::Semaphore& sem() const { return sem_; }
@@ -88,7 +92,7 @@ class Inode {
   int nlink_ = 0;
   int open_refs_ = 0;
   std::string symlink_target_;
-  std::map<std::string, Ino> entries_;
+  EntryMap entries_;
   sim::Semaphore sem_;
   bool rename_in_progress_ = false;
 };

@@ -10,9 +10,11 @@
 // for arranging the experiment's initial tree; they bypass permissions.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "tocttou/common/error.h"
@@ -53,6 +55,19 @@ class Vfs {
   Vfs& operator=(const Vfs&) = delete;
 
   const SyscallCosts& costs() const { return costs_; }
+
+  /// Returns the Vfs to its just-constructed state (fresh root, empty fd
+  /// tables, detached injector/metrics, new cost model) while RECYCLING
+  /// the inode allocations of the previous round into an arena pool that
+  /// alloc_inode() draws from. This is what lets a RoundContext run
+  /// thousands of explorer leaves without re-allocating the world; a
+  /// reset Vfs is observationally identical to a fresh one (locked down
+  /// by the context-reuse ctest).
+  void reset(SyscallCosts costs);
+
+  /// Inode allocations served from the recycled arena instead of the
+  /// heap since construction (throughput counter for explore metrics).
+  std::uint64_t arena_reuses() const { return arena_reuses_; }
 
   // ---- instantaneous setup / inspection (no simulation cost) ----
 
@@ -149,12 +164,15 @@ class Vfs {
 
   /// Pure lookup of the prefix (all but the final component), following
   /// intermediate symlinks. Does NOT look up the final component.
+  /// Components are walked as std::string_view slices of `path` — no
+  /// temporary std::string is minted per component.
   WalkResult walk_prefix(const std::string& path) const;
 
   /// Looks up `name` in directory `parent` (no cost, no perm checks).
-  Ino lookup_in(Ino parent, const std::string& name) const;
+  Ino lookup_in(Ino parent, std::string_view name) const;
 
-  /// Number of path components after normalization (for cost computation).
+  /// Number of path components after normalization (for cost
+  /// computation). Allocation-free.
   static std::size_t component_count(const std::string& path);
 
   Inode& alloc_inode(FileType type, sim::Uid uid, sim::Gid gid, Mode mode);
@@ -195,6 +213,8 @@ class Vfs {
   std::vector<std::string> audit() const;
 
  private:
+  void init_root();
+
   Ino next_ino_ = 1;
   SyscallCosts costs_;
   std::map<Ino, std::unique_ptr<Inode>> inodes_;
@@ -202,6 +222,12 @@ class Vfs {
   std::map<sim::Pid, std::map<int, OpenFile>> fd_tables_;
   sim::FaultInjector* faults_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
+  /// Recycled Inode allocations (see reset()). alloc_inode() reinits one
+  /// in place instead of hitting the heap; bounded so a pathological
+  /// round cannot pin memory forever.
+  std::vector<std::unique_ptr<Inode>> arena_;
+  std::uint64_t arena_reuses_ = 0;
+  static constexpr std::size_t kMaxArena = 64;
 };
 
 }  // namespace tocttou::fs

@@ -79,6 +79,14 @@ class EventQueue {
 
   EventQueue();
 
+  /// Returns the queue to its just-constructed state — empty, at time
+  /// origin, sequence and executed counters zeroed — while KEEPING the
+  /// heap storage's capacity. A reused queue never re-grows its vector
+  /// through the first rounds of a RoundContext round; this is the core
+  /// of the context-reuse setup win. The Impl selected at construction
+  /// is retained (it is const for the queue's lifetime).
+  void reset();
+
   /// Schedules `cb` to run at absolute time `t` (must be >= now()).
   void schedule_at(SimTime t, Callback cb);
 
@@ -93,6 +101,10 @@ class EventQueue {
 
   /// Timestamp of the earliest pending event (never() if empty).
   SimTime peek_time() const;
+
+  /// The implementation this queue was constructed with (reset() keeps
+  /// it — impl_ is const for the queue's lifetime).
+  Impl impl() const { return impl_; }
 
   SimTime now() const { return now_; }
   bool empty() const { return heap_.empty() && legacy_.empty(); }

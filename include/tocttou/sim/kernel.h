@@ -36,6 +36,16 @@ class Kernel {
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
+  /// Re-arms the kernel for a fresh round — new machine spec, scheduler,
+  /// seed, and trace sink — while RECYCLING the arenas a construction
+  /// would reallocate: the event queue's heap storage, the process
+  /// table's vector capacity, and the placement scratch vectors. The
+  /// fault injector and metrics registry detach (re-attach per round).
+  /// A reset kernel is observationally identical to a fresh one; the
+  /// RoundContext ctest locks that down byte-for-byte.
+  void reset(MachineSpec spec, std::unique_ptr<Scheduler> sched,
+             std::uint64_t seed, trace::RoundTrace* trace = nullptr);
+
   /// Creates a process; it becomes runnable immediately (dispatch happens
   /// when the event loop next runs).
   Pid spawn(std::unique_ptr<Program> program, SpawnOptions opts);

@@ -5,8 +5,13 @@
 
 namespace tocttou {
 
-std::vector<std::string> split_path(std::string_view path) {
-  std::vector<std::string> parts;
+namespace {
+
+/// Shared component scanner: calls `sink(component)` for every component
+/// split_path would keep. Templated so the three public entry points
+/// stay byte-for-byte consistent on the drop rules (empty and ".").
+template <typename Sink>
+void for_each_component(std::string_view path, Sink&& sink) {
   std::size_t i = 0;
   while (i < path.size()) {
     while (i < path.size() && path[i] == '/') ++i;
@@ -14,13 +19,32 @@ std::vector<std::string> split_path(std::string_view path) {
     while (j < path.size() && path[j] != '/') ++j;
     if (j > i) {
       std::string_view comp = path.substr(i, j - i);
-      if (comp != ".") {
-        parts.emplace_back(comp);
-      }
+      if (comp != ".") sink(comp);
     }
     i = j;
   }
+}
+
+}  // namespace
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  for_each_component(path,
+                     [&parts](std::string_view c) { parts.emplace_back(c); });
   return parts;
+}
+
+std::vector<std::string_view> split_path_views(std::string_view path) {
+  std::vector<std::string_view> parts;
+  for_each_component(path,
+                     [&parts](std::string_view c) { parts.push_back(c); });
+  return parts;
+}
+
+std::size_t count_path_components(std::string_view path) {
+  std::size_t n = 0;
+  for_each_component(path, [&n](std::string_view) { ++n; });
+  return n;
 }
 
 bool is_absolute_path(std::string_view path) {

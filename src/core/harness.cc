@@ -197,13 +197,30 @@ class PhaseTimer {
 
 }  // namespace
 
+RoundContext::RoundContext() = default;
+RoundContext::~RoundContext() = default;
+
 RoundResult run_round(const ScenarioConfig& cfg) {
+  return run_round(cfg, nullptr);
+}
+
+RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
   RoundResult res;
   PhaseTimer timer(cfg.wall_profile);
   Rng setup_rng(mix_seed(cfg.seed, 0xA11CE));
 
-  // --- file system tree ---
-  fs::Vfs vfs(cfg.profile.costs);
+  // --- file system tree (context-owned and reset, or a fresh local) ---
+  std::optional<fs::Vfs> local_vfs;
+  if (ctx != nullptr) {
+    if (ctx->vfs_ == nullptr) {
+      ctx->vfs_ = std::make_unique<fs::Vfs>(cfg.profile.costs);
+    } else {
+      ctx->vfs_->reset(cfg.profile.costs);
+    }
+  } else {
+    local_vfs.emplace(cfg.profile.costs);
+  }
+  fs::Vfs& vfs = ctx != nullptr ? *ctx->vfs_ : *local_vfs;
   if (cfg.collect_metrics) vfs.set_metrics(&res.metrics);
   vfs.mkdir_p("/etc", 0, 0, 0755);
   const fs::Ino passwd =
@@ -231,8 +248,24 @@ RoundResult run_round(const ScenarioConfig& cfg) {
     sched =
         std::make_unique<sched::LinuxLikeScheduler>(default_sched_params(cfg));
   }
-  sim::Kernel kernel(cfg.profile.machine, std::move(sched),
-                     mix_seed(cfg.seed, 0x5EED), tracing ? &res.trace : nullptr);
+  std::optional<sim::Kernel> local_kernel;
+  if (ctx != nullptr) {
+    if (ctx->kernel_ == nullptr) {
+      ctx->kernel_ = std::make_unique<sim::Kernel>(
+          cfg.profile.machine, std::move(sched), mix_seed(cfg.seed, 0x5EED),
+          tracing ? &res.trace : nullptr);
+    } else {
+      ctx->kernel_->reset(cfg.profile.machine, std::move(sched),
+                          mix_seed(cfg.seed, 0x5EED),
+                          tracing ? &res.trace : nullptr);
+      ++ctx->reuses_;
+    }
+  } else {
+    local_kernel.emplace(cfg.profile.machine, std::move(sched),
+                         mix_seed(cfg.seed, 0x5EED),
+                         tracing ? &res.trace : nullptr);
+  }
+  sim::Kernel& kernel = ctx != nullptr ? *ctx->kernel_ : *local_kernel;
   if (cfg.collect_metrics) kernel.set_metrics(&res.metrics);
   if (injector) kernel.set_fault_injector(&*injector);
   if (cfg.background_load) kernel.start_background_load();

@@ -1,8 +1,10 @@
 #include "tocttou/explore/explorer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -39,81 +41,209 @@ std::vector<ThinkBucket> make_buckets(const core::ScenarioConfig& cfg,
   return out;
 }
 
-/// One run of a fixed choice prefix; returns the round plus the sites
-/// the GuidedSource recorded.
-struct ScheduledRound {
-  core::RoundResult round;
+/// Everything a leaf round contributes to the reduction, compacted so a
+/// whole wave of outcomes stays cheap to hold (the RoundResult with its
+/// journal is dropped inside the worker).
+struct LeafOutcome {
+  bool prefix_ok = false;
+  bool success = false;
+  std::optional<double> window_us;
   std::vector<SiteRecord> sites;
   std::vector<Choice> choices;
-  bool prefix_ok = false;
+  // PCT extras.
+  int pct_procs = 0;
+  int pct_steps = 0;
 };
 
-ScheduledRound run_scheduled(const core::ScenarioConfig& base,
-                             Duration think, std::vector<Choice> prefix,
-                             const IndependenceOracle* oracle) {
-  const std::size_t prefix_len = prefix.size();
-  GuidedSource src(std::move(prefix), oracle);
-  core::ScenarioConfig cfg = base;
-  cfg.victim_think = think;
-  cfg.scheduler_factory = [&src](const core::ScenarioConfig& c) {
-    return std::make_unique<ExploringScheduler>(core::default_sched_params(c),
-                                                &src);
-  };
-  ScheduledRound out;
-  out.round = core::run_round(cfg);
-  out.sites = src.sites();
-  out.choices = src.token_choices();
-  // The prefix replays choices an earlier run actually made, so a
-  // deterministic kernel must reach every forced site with matching
-  // shape. Anything else means nondeterminism crept in.
-  out.prefix_ok = src.ok() && src.consumed() == prefix_len;
-  return out;
-}
+/// One exploration worker: a ScenarioConfig copied ONCE (the per-leaf
+/// cost is an optional<Duration> write and a ChoiceSource pointer swap —
+/// not a full config copy with its strings and fault plan) plus a
+/// RoundContext recycling the Vfs/Kernel arenas across leaves. Pinned in
+/// memory: the scheduler factory captures `this`.
+class Worker {
+ public:
+  explicit Worker(const core::ScenarioConfig& base) : cfg_(base) {
+    cfg_.scheduler_factory = [this](const core::ScenarioConfig& c) {
+      return std::make_unique<ExploringScheduler>(
+          core::default_sched_params(c), src_);
+    };
+  }
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  LeafOutcome run_guided(Duration think, std::vector<Choice> prefix,
+                         const IndependenceOracle* oracle) {
+    const std::size_t prefix_len = prefix.size();
+    GuidedSource src(std::move(prefix), oracle);
+    src_ = &src;
+    cfg_.victim_think = think;
+    const core::RoundResult r = core::run_round(cfg_, &ctx_);
+    src_ = nullptr;
+    LeafOutcome out;
+    // The prefix replays choices an earlier run actually made, so a
+    // deterministic kernel must reach every forced site with matching
+    // shape. Anything else means nondeterminism crept in.
+    out.prefix_ok = src.ok() && src.consumed() == prefix_len;
+    out.success = r.success;
+    if (r.window && r.window->window_found) {
+      out.window_us = r.window->victim_window().us();
+    }
+    out.sites = src.sites();
+    out.choices = src.token_choices();
+    return out;
+  }
+
+  LeafOutcome run_pct(Duration think, const PctParams& pp) {
+    PctSource src(pp);
+    src_ = &src;
+    cfg_.victim_think = think;
+    const core::RoundResult r = core::run_round(cfg_, &ctx_);
+    src_ = nullptr;
+    LeafOutcome out;
+    out.prefix_ok = true;
+    out.success = r.success;
+    if (r.window && r.window->window_found) {
+      out.window_us = r.window->victim_window().us();
+    }
+    out.choices = src.token_choices();
+    out.pct_procs = src.procs_seen();
+    out.pct_steps = src.steps();
+    return out;
+  }
+
+  std::uint64_t ctx_reuses() const { return ctx_.reuses(); }
+
+ private:
+  core::ScenarioConfig cfg_;
+  ChoiceSource* src_ = nullptr;
+  core::RoundContext ctx_;
+};
+
+/// Work-stealing pool over canonically indexed leaves. Each worker owns
+/// a contiguous chunk of the index range and drains it through an atomic
+/// cursor; a worker that runs dry steals from the other chunks' cursors.
+/// Outcomes are keyed by leaf index, so WHO ran a leaf never shows —
+/// only the steal counter (a throughput metric outside the determinism
+/// contract) depends on timing.
+class WorkerPool {
+ public:
+  WorkerPool(const core::ScenarioConfig& base, int jobs) {
+    TOCTTOU_CHECK(jobs >= 1, "worker pool needs at least one worker");
+    workers_.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      workers_.push_back(std::make_unique<Worker>(base));
+    }
+  }
+
+  /// Runs leaf(worker, i) for every i in [0, n), fanning out across the
+  /// pool (inline on the calling thread when the pool has one worker).
+  template <typename Fn>
+  void run(int n, Fn&& leaf) {
+    if (n <= 0) return;
+    const int w_count = static_cast<int>(workers_.size());
+    if (w_count == 1 || n == 1) {
+      for (int i = 0; i < n; ++i) leaf(*workers_[0], i);
+      return;
+    }
+    std::vector<std::atomic<int>> cursors(static_cast<std::size_t>(w_count));
+    std::vector<int> ends(static_cast<std::size_t>(w_count));
+    for (int w = 0; w < w_count; ++w) {
+      cursors[static_cast<std::size_t>(w)].store(w * n / w_count,
+                                                 std::memory_order_relaxed);
+      ends[static_cast<std::size_t>(w)] = (w + 1) * n / w_count;
+    }
+    std::atomic<std::uint64_t> steals{0};
+    const auto work = [&](int w) {
+      std::uint64_t stolen = 0;
+      for (int off = 0; off < w_count; ++off) {
+        const int victim = (w + off) % w_count;
+        auto& cursor = cursors[static_cast<std::size_t>(victim)];
+        const int end = ends[static_cast<std::size_t>(victim)];
+        for (;;) {
+          const int i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= end) break;
+          leaf(*workers_[static_cast<std::size_t>(w)], i);
+          if (off != 0) ++stolen;
+        }
+      }
+      if (stolen > 0) steals.fetch_add(stolen, std::memory_order_relaxed);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(w_count));
+    for (int w = 0; w < w_count; ++w) threads.emplace_back(work, w);
+    for (auto& t : threads) t.join();
+    steals_ += steals.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t steals() const { return steals_; }
+
+  std::uint64_t ctx_reuses() const {
+    std::uint64_t total = 0;
+    for (const auto& w : workers_) total += w->ctx_reuses();
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t steals_ = 0;
+};
+
+/// Leaves per parallel batch. Waves can reach the schedule cap in size;
+/// batching bounds how many LeafOutcomes (with their site records) are
+/// alive at once without touching the canonical reduction order.
+constexpr int kWaveBatch = 2048;
 
 ExploreResult explore_pct(const core::ScenarioConfig& base,
                           const ExploreConfig& ecfg,
-                          std::uint32_t fingerprint) {
+                          std::uint32_t fingerprint, WorkerPool* pool) {
   ExploreResult res;
   res.mode = ExploreMode::pct;
   const auto [lo, hi] = core::victim_think_range(base);
-  for (int i = 0; i < ecfg.pct_schedules; ++i) {
-    const std::uint64_t stream = mix_seed(ecfg.pct_seed,
-                                          static_cast<std::uint64_t>(i));
+  const auto think_for = [&](int i) {
+    const std::uint64_t stream =
+        mix_seed(ecfg.pct_seed, static_cast<std::uint64_t>(i));
     Rng draw(stream);
-    const Duration think =
-        base.victim_think ? *base.victim_think : draw.uniform_duration(lo, hi);
-    PctParams pp;
-    pp.seed = mix_seed(stream, 0x9C7);
-    pp.depth = ecfg.pct_depth;
-    pp.expected_steps = ecfg.pct_expected_steps;
-    PctSource src(pp);
-    core::ScenarioConfig cfg = base;
-    cfg.victim_think = think;
-    cfg.scheduler_factory = [&src](const core::ScenarioConfig& c) {
-      return std::make_unique<ExploringScheduler>(
-          core::default_sched_params(c), &src);
-    };
-    const core::RoundResult r = core::run_round(cfg);
-    ++res.schedules;
-    ++res.rounds_executed;
-    res.pct_procs = std::max(res.pct_procs, src.procs_seen());
-    res.pct_max_steps = std::max(res.pct_max_steps, src.steps());
-    if (r.window && r.window->window_found) {
-      res.window_us.add(r.window->victim_window().us());
-    }
-    if (r.success) {
-      ++res.successes;
-      if (res.schedules_to_first_hit < 0) {
-        res.schedules_to_first_hit = res.schedules;
-      }
-      if (!res.witness) {
-        ScheduleToken tok;
-        tok.fingerprint = fingerprint;
-        tok.seed = base.seed;
-        tok.think_ns = think.ns();
-        tok.choices = src.token_choices();
-        res.witness = std::move(tok);
-        res.witness_divergences = -1;  // not meaningful for PCT
+    return base.victim_think ? *base.victim_think
+                             : draw.uniform_duration(lo, hi);
+  };
+  std::vector<LeafOutcome> out(static_cast<std::size_t>(
+      std::min(ecfg.pct_schedules, kWaveBatch)));
+  for (int begin = 0; begin < ecfg.pct_schedules; begin += kWaveBatch) {
+    const int count = std::min(kWaveBatch, ecfg.pct_schedules - begin);
+    pool->run(count, [&](Worker& w, int i) {
+      const int sched_i = begin + i;
+      const std::uint64_t stream =
+          mix_seed(ecfg.pct_seed, static_cast<std::uint64_t>(sched_i));
+      PctParams pp;
+      pp.seed = mix_seed(stream, 0x9C7);
+      pp.depth = ecfg.pct_depth;
+      pp.expected_steps = ecfg.pct_expected_steps;
+      out[static_cast<std::size_t>(i)] = w.run_pct(think_for(sched_i), pp);
+    });
+    // Serial reduction in schedule-index order: identical arithmetic for
+    // any worker count.
+    for (int i = 0; i < count; ++i) {
+      const LeafOutcome& o = out[static_cast<std::size_t>(i)];
+      ++res.schedules;
+      ++res.rounds_executed;
+      res.pct_procs = std::max(res.pct_procs, o.pct_procs);
+      res.pct_max_steps = std::max(res.pct_max_steps, o.pct_steps);
+      if (o.window_us) res.window_us.add(*o.window_us);
+      if (o.success) {
+        ++res.successes;
+        if (res.schedules_to_first_hit < 0) {
+          res.schedules_to_first_hit = res.schedules;
+        }
+        if (!res.witness) {
+          ScheduleToken tok;
+          tok.fingerprint = fingerprint;
+          tok.seed = base.seed;
+          tok.think_ns = think_for(begin + i).ns();
+          tok.choices = o.choices;
+          res.witness = std::move(tok);
+          res.witness_divergences = -1;  // not meaningful for PCT
+        }
       }
     }
   }
@@ -138,84 +268,134 @@ struct Iteration {
   std::uint64_t cutoffs = 0;
   bool capped = false;
   std::optional<ScheduleToken> witness;
+  std::string witness_key;  // serialized form, for the lexicographic tie
   int witness_divergences = -1;
   RunningStats window_us;
 };
 
-struct Node {
+/// One schedule awaiting execution: a think bucket plus the choice
+/// prefix forcing its divergences from the policy.
+struct WaveItem {
+  int bucket = 0;
   std::vector<Choice> prefix;
-  int divergences = 0;
 };
 
-void dfs_bucket(const core::ScenarioConfig& base, const ThinkBucket& bucket,
-                const ExploreConfig& ecfg, int bound,
-                std::uint32_t fingerprint, Iteration* it) {
-  std::vector<Node> stack;
-  stack.push_back(Node{});
-  while (!stack.empty()) {
-    if (it->schedules >= ecfg.max_schedules) {
+/// One iteration of the preemption-bounded enumeration as a wave-front
+/// sweep: wave d holds every schedule with exactly d divergences, in a
+/// CANONICAL order — wave 0 is the per-bucket policy schedules in bucket
+/// order; each child wave appends alternatives in (parent index, choice
+/// site, option) order. Leaves execute in parallel keyed by wave index
+/// and reduce serially in that index order, so counters, quadrature
+/// sums, RunningStats accumulation order, cap truncation, the witness,
+/// and schedules_to_first_hit are all independent of worker count and
+/// completion order.
+void run_iteration(const core::ScenarioConfig& base,
+                   const std::vector<ThinkBucket>& buckets,
+                   const ExploreConfig& ecfg, int bound,
+                   std::uint32_t fingerprint, WorkerPool* pool,
+                   Iteration* it) {
+  std::vector<WaveItem> wave;
+  wave.reserve(buckets.size());
+  for (int b = 0; b < static_cast<int>(buckets.size()); ++b) {
+    wave.push_back(WaveItem{b, {}});
+  }
+  for (int level = 0; !wave.empty(); ++level) {
+    // Schedule cap: truncate the wave in canonical order. The dropped
+    // tail (and all its descendants) is exactly what a serial enumerator
+    // hitting the cap would never reach.
+    const int allowed = ecfg.max_schedules - it->schedules;
+    if (static_cast<int>(wave.size()) > allowed) {
+      wave.resize(static_cast<std::size_t>(std::max(allowed, 0)));
       it->capped = true;
-      return;
     }
-    Node node = std::move(stack.back());
-    stack.pop_back();
-    const ScheduledRound sr = run_scheduled(base, bucket.think, node.prefix,
-                                            ecfg.oracle);
-    ++it->schedules;
-    if (!sr.prefix_ok) {
-      ++it->divergence_errors;
-      continue;
-    }
-    if (node.divergences == 0) {
-      ++it->policy_schedules;
-      it->mass += bucket.mass;
-      if (sr.round.success) it->exact += bucket.mass;
-      if (sr.round.window && sr.round.window->window_found) {
-        it->window_us.add(sr.round.window->victim_window().us());
-      }
-    }
-    if (sr.round.success) {
-      ++it->successes;
-      if (it->schedules_to_first_hit < 0) {
-        it->schedules_to_first_hit = it->schedules;
-      }
-      if (!it->witness || node.divergences < it->witness_divergences) {
-        ScheduleToken tok;
-        tok.fingerprint = fingerprint;
-        tok.seed = base.seed;
-        tok.think_ns = bucket.think.ns();
-        tok.choices = sr.choices;
-        it->witness = std::move(tok);
-        it->witness_divergences = node.divergences;
-      }
-    }
-    // Expand siblings at every site this run resolved beyond the forced
-    // prefix (earlier sites were expanded by ancestors). The child's
-    // prefix replays this run's choices up to site j, then forces the
-    // alternative.
-    for (std::size_t j = node.prefix.size(); j < sr.sites.size(); ++j) {
-      const SiteRecord& site = sr.sites[j];
-      for (int o = 0; o < static_cast<int>(site.choice.n); ++o) {
-        if (o == static_cast<int>(site.choice.chosen)) continue;
-        if (node.divergences + 1 > bound) {
-          ++it->cutoffs;
+    std::vector<WaveItem> next;
+    std::vector<LeafOutcome> out(static_cast<std::size_t>(
+        std::min(static_cast<int>(wave.size()), kWaveBatch)));
+    for (int begin = 0; begin < static_cast<int>(wave.size());
+         begin += kWaveBatch) {
+      const int count =
+          std::min(kWaveBatch, static_cast<int>(wave.size()) - begin);
+      pool->run(count, [&](Worker& w, int i) {
+        const WaveItem& item = wave[static_cast<std::size_t>(begin + i)];
+        out[static_cast<std::size_t>(i)] = w.run_guided(
+            buckets[static_cast<std::size_t>(item.bucket)].think,
+            item.prefix, ecfg.oracle);
+      });
+      for (int i = 0; i < count; ++i) {
+        const std::size_t wave_i = static_cast<std::size_t>(begin + i);
+        LeafOutcome& o = out[static_cast<std::size_t>(i)];
+        const WaveItem& item = wave[wave_i];
+        const ThinkBucket& bkt =
+            buckets[static_cast<std::size_t>(item.bucket)];
+        ++it->schedules;
+        if (!o.prefix_ok) {
+          ++it->divergence_errors;
           continue;
         }
-        if (ecfg.use_sleep_sets && site.choice.kind == ChoiceKind::pick &&
-            site.commutes_with_chosen[static_cast<std::size_t>(o)] != 0) {
-          ++it->pruned;
-          continue;
+        if (level == 0) {
+          ++it->policy_schedules;
+          it->mass += bkt.mass;
+          if (o.success) it->exact += bkt.mass;
+          if (o.window_us) it->window_us.add(*o.window_us);
         }
-        Node child;
-        child.prefix.assign(sr.choices.begin(),
-                            sr.choices.begin() + static_cast<long>(j));
-        Choice alt = site.choice;
-        alt.chosen = static_cast<std::uint16_t>(o);
-        child.prefix.push_back(alt);
-        child.divergences = node.divergences + 1;
-        stack.push_back(std::move(child));
+        if (o.success) {
+          ++it->successes;
+          if (it->schedules_to_first_hit < 0) {
+            it->schedules_to_first_hit = it->schedules;
+          }
+          // Witness: fewest divergences, then the lexicographically
+          // least serialized token — an order-independent total order.
+          // Waves ascend in divergence count, so only the first wave
+          // with a success ever competes.
+          if (!it->witness || level < it->witness_divergences ||
+              (level == it->witness_divergences)) {
+            ScheduleToken tok;
+            tok.fingerprint = fingerprint;
+            tok.seed = base.seed;
+            tok.think_ns = bkt.think.ns();
+            tok.choices = o.choices;
+            std::string key = tok.serialize();
+            if (!it->witness || level < it->witness_divergences ||
+                key < it->witness_key) {
+              it->witness = std::move(tok);
+              it->witness_key = std::move(key);
+              it->witness_divergences = level;
+            }
+          }
+        }
+        // Expand siblings at every site this run resolved beyond the
+        // forced prefix (earlier sites were expanded by ancestors). The
+        // child's prefix replays this run's choices up to site j, then
+        // forces the alternative.
+        for (std::size_t j = item.prefix.size(); j < o.sites.size(); ++j) {
+          const SiteRecord& site = o.sites[j];
+          for (int opt = 0; opt < static_cast<int>(site.choice.n); ++opt) {
+            if (opt == static_cast<int>(site.choice.chosen)) continue;
+            if (level + 1 > bound) {
+              ++it->cutoffs;
+              continue;
+            }
+            if (ecfg.use_sleep_sets &&
+                site.choice.kind == ChoiceKind::pick &&
+                site.commutes_with_chosen[static_cast<std::size_t>(opt)] !=
+                    0) {
+              ++it->pruned;
+              continue;
+            }
+            WaveItem child;
+            child.bucket = item.bucket;
+            child.prefix.assign(o.choices.begin(),
+                                o.choices.begin() + static_cast<long>(j));
+            Choice alt = site.choice;
+            alt.chosen = static_cast<std::uint16_t>(opt);
+            child.prefix.push_back(alt);
+            next.push_back(std::move(child));
+          }
+        }
       }
     }
+    if (it->capped) return;
+    wave = std::move(next);
   }
 }
 
@@ -245,10 +425,23 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
   core::ScenarioConfig base = canonical_explore_config(cfg);
   base.record_journal = true;
   base.record_events = false;
+  // Worker rounds run concurrently; the wall profile is serial-only.
+  base.wall_profile = nullptr;
   const std::uint32_t fingerprint = core::scenario_fingerprint(base);
 
+  int jobs = ecfg.jobs > 0
+                 ? ecfg.jobs
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  jobs = std::max(jobs, 1);
+  WorkerPool pool(base, jobs);
+
   if (ecfg.mode == ExploreMode::pct) {
-    return explore_pct(base, ecfg, fingerprint);
+    ExploreResult res = explore_pct(base, ecfg, fingerprint, &pool);
+    res.metrics.count("explore.leaves",
+                      static_cast<std::uint64_t>(res.rounds_executed));
+    res.metrics.count("explore.steals", pool.steals());
+    res.metrics.count("explore.ctx_reuses", pool.ctx_reuses());
+    return res;
   }
 
   ExploreResult res;
@@ -262,10 +455,7 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
   // cumulative cost honest.
   for (int c = 0;; ++c) {
     Iteration it;
-    for (const ThinkBucket& b : buckets) {
-      dfs_bucket(base, b, ecfg, c, fingerprint, &it);
-      if (it.capped) break;
-    }
+    run_iteration(base, buckets, ecfg, c, fingerprint, &pool, &it);
     res.rounds_executed += it.schedules;
     res.schedules = it.schedules;
     res.policy_schedules = it.policy_schedules;
@@ -292,6 +482,10 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
     if (ecfg.preemption_bound >= 0 && c >= ecfg.preemption_bound) break;
     if (res.rounds_executed >= ecfg.max_schedules) break;  // total budget
   }
+  res.metrics.count("explore.leaves",
+                    static_cast<std::uint64_t>(res.rounds_executed));
+  res.metrics.count("explore.steals", pool.steals());
+  res.metrics.count("explore.ctx_reuses", pool.ctx_reuses());
   return res;
 }
 

@@ -1,5 +1,7 @@
 #include "tocttou/fs/vfs.h"
 
+#include <new>
+
 #include "tocttou/common/strings.h"
 
 namespace tocttou::fs {
@@ -16,21 +18,55 @@ const char* to_string(FileType t) {
   return "?";
 }
 
-Vfs::Vfs(SyscallCosts costs) : costs_(costs) {
+Vfs::Vfs(SyscallCosts costs) : costs_(costs) { init_root(); }
+
+Vfs::~Vfs() = default;
+
+void Vfs::init_root() {
   Inode& r = alloc_inode(FileType::directory, sim::kRootUid, sim::kRootGid,
                          kModeDefaultDir);
   r.nlink_ = 1;
   root_ = r.ino();
 }
 
-Vfs::~Vfs() = default;
+void Vfs::reset(SyscallCosts costs) {
+  // Recycle the round's inode allocations into the arena before wiping
+  // the table; alloc_inode() reinits them in place next round.
+  for (auto& [ino, node] : inodes_) {
+    if (arena_.size() >= kMaxArena) break;
+    arena_.push_back(std::move(node));
+  }
+  costs_ = costs;
+  inodes_.clear();
+  fd_tables_.clear();
+  next_ino_ = 1;
+  faults_ = nullptr;
+  metrics_ = nullptr;
+  init_root();
+}
 
 Inode& Vfs::alloc_inode(FileType type, sim::Uid uid, sim::Gid gid,
                         Mode mode) {
   const Ino ino = next_ino_++;
-  auto node = std::make_unique<Inode>(ino, type, uid, gid, mode,
-                                      strfmt("i_sem:%llu",
-                                             static_cast<unsigned long long>(ino)));
+  std::unique_ptr<Inode> node;
+  std::string sem_name =
+      strfmt("i_sem:%llu", static_cast<unsigned long long>(ino));
+  if (!arena_.empty()) {
+    // Reinit a recycled allocation in place: destroy the stale inode,
+    // then construct the new one into the same storage. The unique_ptr
+    // is released around the destructor call so a throwing constructor
+    // cannot lead to a double-destroy.
+    node = std::move(arena_.back());
+    arena_.pop_back();
+    Inode* raw = node.release();
+    raw->~Inode();
+    ::new (raw) Inode(ino, type, uid, gid, mode, std::move(sem_name));
+    node.reset(raw);
+    ++arena_reuses_;
+  } else {
+    node = std::make_unique<Inode>(ino, type, uid, gid, mode,
+                                   std::move(sem_name));
+  }
   Inode& ref = *node;
   inodes_.emplace(ino, std::move(node));
   return ref;
@@ -48,7 +84,7 @@ Inode& Vfs::inode_mut(Ino ino) {
   return *it->second;
 }
 
-Ino Vfs::lookup_in(Ino parent, const std::string& name) const {
+Ino Vfs::lookup_in(Ino parent, std::string_view name) const {
   const Inode& dir = inode(parent);
   if (!dir.is_dir()) return kNoIno;
   auto it = dir.entries().find(name);
@@ -56,7 +92,7 @@ Ino Vfs::lookup_in(Ino parent, const std::string& name) const {
 }
 
 std::size_t Vfs::component_count(const std::string& path) {
-  return split_path(path).size();
+  return count_path_components(path);
 }
 
 namespace {
@@ -67,11 +103,14 @@ struct ResolveOutcome {
 }  // namespace
 
 // Recursive resolution helper; `follow_final` resolves a final symlink.
-static ResolveOutcome resolve_rec(const Vfs& vfs, const std::string& path,
+// `path` is walked as string_view slices; it must stay alive for the
+// duration of the call (symlink targets recursed into live in their
+// inodes, which outlive the walk).
+static ResolveOutcome resolve_rec(const Vfs& vfs, std::string_view path,
                                   bool follow_final, int depth) {
   if (depth > Vfs::kMaxSymlinkDepth) return {Errno::eloop, kNoIno};
   if (!is_absolute_path(path)) return {Errno::einval, kNoIno};
-  const auto parts = split_path(path);
+  const auto parts = split_path_views(path);
   Ino cur = vfs.root();
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (parts[i] == "..") return {Errno::einval, kNoIno};  // not modeled
@@ -108,7 +147,7 @@ Vfs::WalkResult Vfs::walk_prefix(const std::string& path) const {
     res.err = Errno::einval;
     return res;
   }
-  const auto parts = split_path(path);
+  const auto parts = split_path_views(path);
   if (parts.empty()) {
     res.err = Errno::einval;  // operating on "/" itself is not modeled
     return res;
@@ -144,7 +183,7 @@ Vfs::WalkResult Vfs::walk_prefix(const std::string& path) const {
     }
     cur = child;
   }
-  const std::string& final = parts.back();
+  const std::string_view final = parts.back();
   if (final == "..") {
     res.err = Errno::einval;
     return res;
@@ -154,7 +193,7 @@ Vfs::WalkResult Vfs::walk_prefix(const std::string& path) const {
     return res;
   }
   res.parent = cur;
-  res.final_name = final;
+  res.final_name = std::string(final);
   res.target = lookup_in(cur, final);
   return res;
 }

@@ -28,6 +28,14 @@ EventQueue::EventQueue() : impl_(default_impl()) {
   if (impl_ == Impl::pooled) heap_.reserve(64);
 }
 
+void EventQueue::reset() {
+  heap_.clear();  // keeps capacity — the point of reusing the queue
+  while (!legacy_.empty()) legacy_.pop();
+  now_ = SimTime::origin();
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
 void EventQueue::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;

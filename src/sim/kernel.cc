@@ -50,7 +50,27 @@ Kernel::Kernel(MachineSpec spec, std::unique_ptr<Scheduler> sched,
   TOCTTOU_CHECK(sched_ != nullptr, "kernel needs a scheduler");
   cpus_.resize(static_cast<std::size_t>(spec_.n_cpus));
   sched_->init(spec_.n_cpus);
-  legacy_hotpath_ = (EventQueue::default_impl() == EventQueue::Impl::legacy);
+  legacy_hotpath_ = (queue_.impl() == EventQueue::Impl::legacy);
+  allowed_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
+  idle_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
+}
+
+void Kernel::reset(MachineSpec spec, std::unique_ptr<Scheduler> sched,
+                   std::uint64_t seed, trace::RoundTrace* trace) {
+  TOCTTOU_CHECK(spec.n_cpus >= 1, "machine needs at least one CPU");
+  TOCTTOU_CHECK(sched != nullptr, "kernel needs a scheduler");
+  spec_ = std::move(spec);
+  sched_ = std::move(sched);
+  rng_ = Rng(seed);
+  trace_ = trace;
+  faults_ = nullptr;
+  metrics_ = nullptr;
+  queue_.reset();
+  procs_.clear();  // keeps the table's vector capacity
+  cpus_.assign(static_cast<std::size_t>(spec_.n_cpus), CpuState{});
+  background_started_ = false;
+  sched_->init(spec_.n_cpus);
+  legacy_hotpath_ = (queue_.impl() == EventQueue::Impl::legacy);
   allowed_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
   idle_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
 }

@@ -1,0 +1,137 @@
+// RoundContext reuse: a round executed in a recycled context must be
+// byte-identical to the same round run with fresh construction — same
+// result fields, same journal and event CSVs, same schedule token, same
+// metrics JSON. The contexts here are deliberately "dirtied" by running
+// DIFFERENT rounds (other testbed, victim, seed) first, so leftover
+// state of any kind would show up as a diff.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tocttou/core/harness.h"
+
+namespace tocttou::core {
+namespace {
+
+ScenarioConfig smp_vi(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.profile = programs::testbed_smp_dual_xeon();
+  c.victim = VictimKind::vi;
+  c.attacker = AttackerKind::naive;
+  c.file_bytes = 50 * 1024;
+  c.seed = seed;
+  return c;
+}
+
+ScenarioConfig up_gedit(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.profile = programs::testbed_uniprocessor_xeon();
+  c.victim = VictimKind::gedit;
+  c.attacker = AttackerKind::prefaulted;
+  c.file_bytes = 20 * 1024;
+  c.seed = seed;
+  return c;
+}
+
+ScenarioConfig multicore_gedit(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.profile = programs::testbed_multicore_pentium_d();
+  c.victim = VictimKind::gedit;
+  c.attacker = AttackerKind::pipelined;
+  c.file_bytes = 50 * 1024;
+  c.seed = seed;
+  return c;
+}
+
+std::string faults_key(const sim::FaultStats& f) {
+  return std::to_string(f.errors_injected) + "/" +
+         std::to_string(f.latency_spikes) + "/" +
+         std::to_string(f.wakeups_delayed) + "/" +
+         std::to_string(f.wakeups_dropped) + "/" + std::to_string(f.kills) +
+         "/" + std::to_string(f.retries) + "/" +
+         std::to_string(f.invariant_violations) + "/" +
+         std::to_string(f.degraded_rounds);
+}
+
+// Full observable surface of a round, flattened for string comparison.
+void expect_identical(const RoundResult& fresh, const RoundResult& reused) {
+  EXPECT_EQ(fresh.success, reused.success);
+  EXPECT_EQ(fresh.victim_completed, reused.victim_completed);
+  EXPECT_EQ(fresh.hit_time_limit, reused.hit_time_limit);
+  EXPECT_EQ(fresh.attacker_finished, reused.attacker_finished);
+  EXPECT_EQ(fresh.attacker_iterations, reused.attacker_iterations);
+  EXPECT_EQ(fresh.events, reused.events);
+  EXPECT_EQ(fresh.end_time, reused.end_time);
+  EXPECT_EQ(fresh.victim_pid, reused.victim_pid);
+  EXPECT_EQ(fresh.attacker_pid, reused.attacker_pid);
+  EXPECT_EQ(fresh.attacker_pid2, reused.attacker_pid2);
+  EXPECT_EQ(fresh.schedule_token, reused.schedule_token);
+  EXPECT_EQ(fresh.audit_violations, reused.audit_violations);
+  EXPECT_EQ(faults_key(fresh.faults), faults_key(reused.faults));
+  EXPECT_EQ(fresh.window.has_value(), reused.window.has_value());
+  if (fresh.window && reused.window) {
+    EXPECT_EQ(fresh.window->detected, reused.window->detected);
+    EXPECT_EQ(fresh.window->window_found, reused.window->window_found);
+  }
+  // Byte-for-byte: the serialized journal, event log, and metrics.
+  EXPECT_EQ(fresh.trace.journal.to_csv(), reused.trace.journal.to_csv());
+  EXPECT_EQ(fresh.trace.log.to_csv(), reused.trace.log.to_csv());
+  EXPECT_EQ(fresh.metrics.to_json(), reused.metrics.to_json());
+}
+
+TEST(RoundContextTest, ReuseIsByteIdenticalToFreshConstruction) {
+  ScenarioConfig target = smp_vi(42);
+  target.record_journal = true;
+  target.record_events = true;
+  target.collect_metrics = true;
+
+  const RoundResult fresh = run_round(target);
+
+  RoundContext ctx;
+  // Dirty the context with unrelated rounds across testbeds and victims.
+  (void)run_round(up_gedit(7), &ctx);
+  (void)run_round(multicore_gedit(9), &ctx);
+  const RoundResult reused = run_round(target, &ctx);
+
+  EXPECT_EQ(ctx.reuses(), 2u);
+  expect_identical(fresh, reused);
+}
+
+TEST(RoundContextTest, NullContextMatchesPlainOverload) {
+  ScenarioConfig cfg = up_gedit(11);
+  cfg.record_journal = true;
+  expect_identical(run_round(cfg), run_round(cfg, nullptr));
+}
+
+TEST(RoundContextTest, ManyReusedRoundsMatchManyFreshRounds) {
+  // Sweep seeds through ONE context and compare every round against its
+  // fresh twin — catches state bleeding between consecutive reuses.
+  RoundContext ctx;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ScenarioConfig cfg = multicore_gedit(seed);
+    cfg.record_journal = true;
+    const RoundResult fresh = run_round(cfg);
+    const RoundResult reused = run_round(cfg, &ctx);
+    expect_identical(fresh, reused);
+  }
+  EXPECT_EQ(ctx.reuses(), 7u);
+}
+
+TEST(RoundContextTest, FaultPlanRoundsAreIdenticalUnderReuse) {
+  ScenarioConfig cfg = smp_vi(5);
+  cfg.record_journal = true;
+  sim::FaultSpec spec;
+  spec.kind = sim::FaultKind::syscall_error;
+  spec.role = sim::FaultRole::attacker;
+  spec.rate = 0.2;
+  cfg.faults.specs.push_back(spec);
+
+  const RoundResult fresh = run_round(cfg);
+  RoundContext ctx;
+  (void)run_round(smp_vi(6), &ctx);  // dirty
+  const RoundResult reused = run_round(cfg, &ctx);
+  expect_identical(fresh, reused);
+}
+
+}  // namespace
+}  // namespace tocttou::core

@@ -1,0 +1,148 @@
+// Jobs-invariance property: explore() must return bit-identical results
+// at jobs=1 and jobs=N — exhaustive and PCT, uniprocessor and multicore
+// — because leaves reduce in canonical enumeration order regardless of
+// which worker ran them. Throughput counters (explore.steals,
+// explore.ctx_reuses) are deliberately outside the contract and are the
+// ONLY thing allowed to differ.
+#include "tocttou/explore/explorer.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou::explore {
+namespace {
+
+core::ScenarioConfig up_vi() {
+  core::ScenarioConfig c;
+  c.profile = programs::testbed_uniprocessor_xeon();
+  c.victim = core::VictimKind::vi;
+  c.attacker = core::AttackerKind::naive;
+  c.file_bytes = 4096;
+  c.seed = 7;
+  return c;
+}
+
+core::ScenarioConfig multicore_gedit() {
+  core::ScenarioConfig c;
+  c.profile = programs::testbed_multicore_pentium_d();
+  c.victim = core::VictimKind::gedit;
+  c.attacker = core::AttackerKind::naive;
+  c.file_bytes = 4096;
+  c.seed = 7;
+  return c;
+}
+
+void expect_identical(const ExploreResult& a, const ExploreResult& b) {
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.schedules, b.schedules);
+  EXPECT_EQ(a.rounds_executed, b.rounds_executed);
+  EXPECT_EQ(a.policy_schedules, b.policy_schedules);
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.bound_reached, b.bound_reached);
+  EXPECT_EQ(a.pruned_by_sleep_set, b.pruned_by_sleep_set);
+  EXPECT_EQ(a.bound_cutoffs, b.bound_cutoffs);
+  // Bit-identical, not approximately equal: the reduction performs the
+  // same floating-point operations in the same order at any job count.
+  EXPECT_EQ(a.exact_success, b.exact_success);
+  EXPECT_EQ(a.total_mass, b.total_mass);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.witness.has_value(), b.witness.has_value());
+  if (a.witness && b.witness) {
+    EXPECT_EQ(a.witness->serialize(), b.witness->serialize());
+  }
+  EXPECT_EQ(a.witness_divergences, b.witness_divergences);
+  EXPECT_EQ(a.schedules_to_first_hit, b.schedules_to_first_hit);
+  EXPECT_EQ(a.window_us.count(), b.window_us.count());
+  EXPECT_EQ(a.window_us.mean(), b.window_us.mean());
+  EXPECT_EQ(a.window_us.stdev(), b.window_us.stdev());
+  EXPECT_EQ(a.pct_procs, b.pct_procs);
+  EXPECT_EQ(a.pct_max_steps, b.pct_max_steps);
+  EXPECT_EQ(a.pct_bound, b.pct_bound);
+  EXPECT_EQ(a.divergence_errors, b.divergence_errors);
+  // Of the metrics only the leaf count is deterministic.
+  EXPECT_EQ(a.metrics.counter("explore.leaves"),
+            b.metrics.counter("explore.leaves"));
+}
+
+ExploreResult run_with_jobs(const core::ScenarioConfig& cfg,
+                            ExploreConfig ecfg, int jobs) {
+  ecfg.jobs = jobs;
+  return explore(cfg, ecfg);
+}
+
+TEST(ExploreParallelTest, ExhaustiveUpViIdenticalAtAnyJobCount) {
+  ExploreConfig ecfg;
+  ecfg.mode = ExploreMode::exhaustive;
+  ecfg.think_buckets = 6;
+  ecfg.preemption_bound = 1;
+  ecfg.max_schedules = 400;
+  const ExploreResult serial = run_with_jobs(up_vi(), ecfg, 1);
+  const ExploreResult par4 = run_with_jobs(up_vi(), ecfg, 4);
+  const ExploreResult par8 = run_with_jobs(up_vi(), ecfg, 8);
+  expect_identical(serial, par4);
+  expect_identical(serial, par8);
+  EXPECT_GT(serial.schedules, 0);
+}
+
+TEST(ExploreParallelTest, ExhaustiveMulticoreGeditIdenticalAtAnyJobCount) {
+  ExploreConfig ecfg;
+  ecfg.mode = ExploreMode::exhaustive;
+  ecfg.think_buckets = 4;
+  ecfg.preemption_bound = 1;
+  ecfg.max_schedules = 400;
+  const ExploreResult serial = run_with_jobs(multicore_gedit(), ecfg, 1);
+  const ExploreResult par = run_with_jobs(multicore_gedit(), ecfg, 4);
+  expect_identical(serial, par);
+  EXPECT_GT(serial.schedules, 0);
+}
+
+TEST(ExploreParallelTest, CappedRunsTruncateIdentically) {
+  // The schedule cap cuts the canonical enumeration order, so even a
+  // truncated exploration must not depend on which worker finished
+  // first.
+  ExploreConfig ecfg;
+  ecfg.mode = ExploreMode::exhaustive;
+  ecfg.think_buckets = 8;
+  ecfg.preemption_bound = 2;
+  ecfg.max_schedules = 25;
+  const ExploreResult serial = run_with_jobs(multicore_gedit(), ecfg, 1);
+  const ExploreResult par = run_with_jobs(multicore_gedit(), ecfg, 4);
+  expect_identical(serial, par);
+  EXPECT_FALSE(serial.complete);
+}
+
+TEST(ExploreParallelTest, PctUpViIdenticalAtAnyJobCount) {
+  ExploreConfig ecfg;
+  ecfg.mode = ExploreMode::pct;
+  ecfg.pct_schedules = 60;
+  ecfg.pct_seed = 99;
+  const ExploreResult serial = run_with_jobs(up_vi(), ecfg, 1);
+  const ExploreResult par = run_with_jobs(up_vi(), ecfg, 4);
+  expect_identical(serial, par);
+  EXPECT_EQ(serial.rounds_executed, 60);
+}
+
+TEST(ExploreParallelTest, PctMulticoreGeditIdenticalAtAnyJobCount) {
+  ExploreConfig ecfg;
+  ecfg.mode = ExploreMode::pct;
+  ecfg.pct_schedules = 60;
+  ecfg.pct_seed = 3;
+  const ExploreResult serial = run_with_jobs(multicore_gedit(), ecfg, 1);
+  const ExploreResult par = run_with_jobs(multicore_gedit(), ecfg, 4);
+  expect_identical(serial, par);
+}
+
+TEST(ExploreParallelTest, WorkersRecycleRoundContexts) {
+  ExploreConfig ecfg;
+  ecfg.mode = ExploreMode::exhaustive;
+  ecfg.think_buckets = 8;
+  ecfg.preemption_bound = 0;
+  ecfg.jobs = 2;
+  const ExploreResult res = explore(up_vi(), ecfg);
+  // 8 leaves over 2 workers: at most 2 first-rounds build fresh
+  // contexts, everything else recycles.
+  EXPECT_GE(res.metrics.counter("explore.ctx_reuses"),
+            static_cast<std::uint64_t>(res.rounds_executed - 2));
+}
+
+}  // namespace
+}  // namespace tocttou::explore

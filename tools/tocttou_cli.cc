@@ -60,6 +60,10 @@ using namespace tocttou;
       "                               iterative deepening; -1 = until the\n"
       "                               space is complete (default 2)\n"
       "  --explore-max=N              schedule cap per iteration\n"
+      "  --explore-jobs=N             exploration worker threads (default:\n"
+      "                               $TOCTTOU_JOBS, else all cores; 1 =\n"
+      "                               serial; results are bit-identical at\n"
+      "                               any job count)\n"
       "  --pct-depth=N                PCT bug depth d (default 3)\n"
       "  --pct-schedules=N            PCT schedules to run (default 1000)\n"
       "  --replay=TOKEN               re-run one recorded schedule token\n"
@@ -159,6 +163,8 @@ int main(int argc, char** argv) {
   std::string journal_csv, events_csv;
   bool do_explore = false;
   explore::ExploreConfig ecfg;
+  int explore_jobs = 0;
+  bool explore_jobs_set = false;
   std::string replay_text;
   std::optional<Duration> timeslice_override;
   bool metrics_json = false;
@@ -226,6 +232,10 @@ int main(int argc, char** argv) {
     } else if (take(argv[i], "--explore-max", &v)) {
       ecfg.max_schedules =
           static_cast<int>(parse_int("--explore-max", v, 1, 100000000));
+    } else if (take(argv[i], "--explore-jobs", &v)) {
+      explore_jobs =
+          static_cast<int>(parse_int("--explore-jobs", v, -1000000, 1000000));
+      explore_jobs_set = true;
     } else if (take(argv[i], "--pct-depth", &v)) {
       ecfg.pct_depth = static_cast<int>(parse_int("--pct-depth", v, 1, 64));
     } else if (take(argv[i], "--pct-schedules", &v)) {
@@ -276,6 +286,17 @@ int main(int argc, char** argv) {
 
   if (do_explore) {
     ecfg.pct_seed = cfg.seed;
+    // Worker count: --explore-jobs wins, then $TOCTTOU_JOBS, then all
+    // hardware threads (explore() resolves <= 0 itself). Results are
+    // bit-identical whichever applies.
+    if (explore_jobs_set) {
+      ecfg.jobs = explore_jobs;
+    } else if (const char* env = std::getenv("TOCTTOU_JOBS")) {
+      ecfg.jobs =
+          static_cast<int>(parse_int("TOCTTOU_JOBS", env, -1000000, 1000000));
+    } else {
+      ecfg.jobs = 0;
+    }
     const explore::ExploreResult res = explore::explore(cfg, ecfg);
     if (res.mode == explore::ExploreMode::exhaustive) {
       std::printf("explore: mode=exhaustive buckets=%d bound=%d%s\n",
@@ -329,6 +350,12 @@ int main(int argc, char** argv) {
           cfg.profile.machine.timeslice);
       std::printf("equation1: W=%.1fus q=%.0fus -> p = W/q = %.6f\n",
                   res.window_us.mean(), cfg.profile.machine.timeslice.us(), p);
+    }
+    // Exploration throughput counters (explore.leaves / explore.steals /
+    // explore.ctx_reuses) ride the standard metrics export flags.
+    if (metrics_json || !metrics_csv_path.empty()) {
+      export_metrics(res.metrics, metrics_json, metrics_json_path,
+                     metrics_csv_path);
     }
     return 0;
   }
