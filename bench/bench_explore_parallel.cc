@@ -50,6 +50,16 @@ core::ScenarioConfig smp_vi() {
   return c;
 }
 
+core::ScenarioConfig up_vi() {
+  core::ScenarioConfig c;
+  c.profile = programs::testbed_uniprocessor_xeon();
+  c.victim = core::VictimKind::vi;
+  c.attacker = core::AttackerKind::naive;
+  c.file_bytes = 4096;
+  c.seed = 42;
+  return c;
+}
+
 struct JobsReport {
   int jobs = 0;
   int leaves = 0;
@@ -107,6 +117,64 @@ ReuseReport bench_context_reuse(int rounds) {
   r.speedup = r.reuse_rps / r.fresh_rps;
   TOCTTOU_CHECK(ctx.reuses() == static_cast<std::uint64_t>(rounds) - 1,
                 "every round after the first must recycle the context");
+  return r;
+}
+
+/// Checkpoint/fork ablation: the up/vi exhaustive sweep run twice —
+/// checkpointing ON (fork leaves off mid-round parent clones, memoize
+/// across deepening iterations) vs OFF (re-simulate every leaf's full
+/// schedule prefix). Results are bit-identical by contract; only wall
+/// time and the checkpoint counters differ. leaves/sec uses the
+/// enumerated schedule count (the logical work, identical either way)
+/// so the speedup is the wall-clock ratio.
+struct AblationReport {
+  int think_buckets = 0;
+  int bound = 0;
+  int schedules = 0;
+  double on_secs = 0.0;
+  double off_secs = 0.0;
+  double on_leaves_per_sec = 0.0;
+  double off_leaves_per_sec = 0.0;
+  double speedup = 0.0;  // on vs off
+  std::uint64_t checkpoints = 0;
+  std::uint64_t forks = 0;
+  std::uint64_t prefix_ns_saved = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+AblationReport bench_checkpoint_ablation(int buckets, int bound) {
+  const core::ScenarioConfig cfg = up_vi();
+  explore::ExploreConfig ecfg;
+  ecfg.mode = explore::ExploreMode::exhaustive;
+  ecfg.think_buckets = buckets;
+  ecfg.preemption_bound = bound;
+  ecfg.max_schedules = 200000;
+  ecfg.jobs = 1;
+
+  AblationReport r;
+  r.think_buckets = buckets;
+  r.bound = bound;
+
+  ecfg.checkpoint = false;
+  const auto t_off = Clock::now();
+  const explore::ExploreResult off = explore::explore(cfg, ecfg);
+  r.off_secs = seconds_since(t_off);
+
+  ecfg.checkpoint = true;
+  const auto t_on = Clock::now();
+  const explore::ExploreResult on = explore::explore(cfg, ecfg);
+  r.on_secs = seconds_since(t_on);
+
+  TOCTTOU_CHECK(same_result(off, on),
+                "checkpoint ablation must not change exploration results");
+  r.schedules = on.schedules;
+  r.on_leaves_per_sec = static_cast<double>(on.schedules) / r.on_secs;
+  r.off_leaves_per_sec = static_cast<double>(off.schedules) / r.off_secs;
+  r.speedup = r.on_leaves_per_sec / r.off_leaves_per_sec;
+  r.checkpoints = on.metrics.counter("explore.checkpoints");
+  r.forks = on.metrics.counter("explore.forks");
+  r.prefix_ns_saved = on.metrics.counter("explore.prefix_ns_saved");
+  r.cache_hits = on.metrics.counter("explore.cache_hits");
   return r;
 }
 
@@ -178,6 +246,26 @@ int main(int argc, char** argv) {
               "speedup %.2fx\n",
               reuse.fresh_rps, reuse.reuse_rps, reuse.speedup);
 
+  // Checkpoint/fork ablation on the up/vi exhaustive sweep. The deep
+  // bound is where prefix re-simulation dominates (iterative deepening
+  // re-enumerates every shallower wave per iteration), so it is the
+  // honest shape for the headline speedup.
+  const AblationReport abl =
+      bench_checkpoint_ablation(buckets_or(64), /*bound=*/5);
+  std::printf("checkpoint ablation   up/vi buckets=%d bound=%d   "
+              "%d schedules\n",
+              abl.think_buckets, abl.bound, abl.schedules);
+  std::printf("  checkpoint=off  %7.2fs   %9.1f leaves/s\n", abl.off_secs,
+              abl.off_leaves_per_sec);
+  std::printf("  checkpoint=on   %7.2fs   %9.1f leaves/s   speedup %.2fx   "
+              "(checkpoints=%llu forks=%llu cache_hits=%llu "
+              "prefix_saved=%.2fs)\n",
+              abl.on_secs, abl.on_leaves_per_sec, abl.speedup,
+              static_cast<unsigned long long>(abl.checkpoints),
+              static_cast<unsigned long long>(abl.forks),
+              static_cast<unsigned long long>(abl.cache_hits),
+              static_cast<double>(abl.prefix_ns_saved) / 1e9);
+
   std::string json = "{\n";
   json += "  \"bench\": \"explore_parallel\",\n";
   json +=
@@ -199,6 +287,24 @@ int main(int argc, char** argv) {
       "  \"context_reuse\": {\"rounds\": %d, \"fresh_rounds_per_sec\": %.2f, "
       "\"reuse_rounds_per_sec\": %.2f, \"speedup\": %.4f},\n",
       reuse.rounds, reuse.fresh_rps, reuse.reuse_rps, reuse.speedup);
+  json += strfmt(
+      "  \"checkpoint_ablation\": {\"scenario\": \"up/vi exhaustive\", "
+      "\"think_buckets\": %d, \"preemption_bound\": %d, \"jobs\": 1, "
+      "\"schedules\": %d,\n",
+      abl.think_buckets, abl.bound, abl.schedules);
+  json += strfmt(
+      "    \"off\": {\"secs\": %.3f, \"leaves_per_sec\": %.2f},\n",
+      abl.off_secs, abl.off_leaves_per_sec);
+  json += strfmt(
+      "    \"on\": {\"secs\": %.3f, \"leaves_per_sec\": %.2f, "
+      "\"checkpoints\": %llu, \"forks\": %llu, \"cache_hits\": %llu, "
+      "\"prefix_ns_saved\": %llu},\n",
+      abl.on_secs, abl.on_leaves_per_sec,
+      static_cast<unsigned long long>(abl.checkpoints),
+      static_cast<unsigned long long>(abl.forks),
+      static_cast<unsigned long long>(abl.cache_hits),
+      static_cast<unsigned long long>(abl.prefix_ns_saved));
+  json += strfmt("    \"speedup\": %.4f},\n", abl.speedup);
   json += "  \"identical_results\": true\n";
   json += "}\n";
 

@@ -174,6 +174,7 @@ class RoundContext {
 
  private:
   friend RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx);
+  friend class RoundRun;
 
   std::unique_ptr<fs::Vfs> vfs_;
   std::unique_ptr<sim::Kernel> kernel_;

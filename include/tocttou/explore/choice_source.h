@@ -88,6 +88,16 @@ class GuidedSource final : public ChoiceSource {
   explicit GuidedSource(std::vector<Choice> prefix,
                         const IndependenceOracle* oracle = nullptr);
 
+  /// Mid-stream form for checkpoint forks: the round being steered has
+  /// ALREADY resolved `seeded_sites` (inherited from the parent state the
+  /// fork cloned), so they are adopted verbatim and the first site the
+  /// clone reaches consumes prefix[seeded_sites.size()]. Prefix indices
+  /// align with global site indices, exactly as if the whole round had
+  /// been replayed under `prefix` from the start — sites(), consumed()
+  /// and token_choices() all report from the round's beginning.
+  GuidedSource(std::vector<Choice> prefix, const IndependenceOracle* oracle,
+               std::vector<SiteRecord> seeded_sites);
+
   int choose(const ChoiceContext& ctx) override;
 
   const std::vector<SiteRecord>& sites() const { return sites_; }

@@ -42,6 +42,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -94,6 +95,27 @@ struct ExploreConfig {
   /// Every result field except the throughput counters in
   /// ExploreResult::metrics is bit-identical for any value.
   int jobs = 1;
+
+  /// Exhaustive mode: fork each leaf from a checkpoint of its parent at
+  /// the divergence site (core::RoundRun's deep clone) instead of
+  /// re-simulating the shared schedule prefix from scratch — the
+  /// default, and an order-of-magnitude leaves/sec win on deep waves.
+  /// Off = full prefix replay per leaf. Every ExploreResult field is
+  /// byte-identical either way; checkpointing additionally reports the
+  /// explore.checkpoints / explore.forks / explore.prefix_ns_saved
+  /// counters (jobs-invariant, on-only) in ExploreResult::metrics.
+  bool checkpoint = true;
+
+  /// Test hook: called for every executed exhaustive leaf with a unique
+  /// replay key (the leaf's serialized schedule token) and the leaf's
+  /// full RoundResult, BEFORE it is compacted into the reduction. May be
+  /// called concurrently from worker threads when jobs > 1 — the
+  /// callback must synchronize itself. The fork_equals_replay ctest uses
+  /// this to compare journals/metrics leaf-by-leaf across checkpoint
+  /// on/off and jobs values.
+  std::function<void(const std::string& leaf_key,
+                     const core::RoundResult& r)>
+      leaf_observer;
 };
 
 struct ExploreResult {

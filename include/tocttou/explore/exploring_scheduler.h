@@ -34,6 +34,21 @@ class ExploringScheduler final : public sim::Scheduler {
   /// `source` must outlive the scheduler; it resolves every choice site.
   ExploringScheduler(sched::LinuxSchedParams params, ChoiceSource* source);
 
+  /// Indirect form: every choice reads `*slot` at decision time, so the
+  /// caller can swap sources without touching the scheduler — this is how
+  /// a forked clone of a mid-round kernel is steered by a fresh
+  /// ChoiceSource while its parent keeps its own. `slot` (and whatever it
+  /// points to at each decision) must outlive the scheduler.
+  ExploringScheduler(sched::LinuxSchedParams params,
+                     ChoiceSource* const* slot);
+
+  std::unique_ptr<sim::Scheduler> clone(sim::CloneMap& m) const override;
+
+  /// Re-points choice reads at another worker's slot. A checkpoint seed
+  /// cloned by one worker and adopted by another must read the adopting
+  /// worker's current source, not its minter's.
+  void set_slot(ChoiceSource* const* slot) { slot_ = slot; }
+
   void init(int n_cpus) override;
   sim::CpuId place(const sim::Process& p,
                    const std::vector<sim::CpuId>& idle_cpus,
@@ -50,9 +65,16 @@ class ExploringScheduler final : public sim::Scheduler {
   std::size_t queue_depth(sim::CpuId cpu) const override;
 
  private:
+  ExploringScheduler(const ExploringScheduler& o, sim::CloneMap& m);
+
   sched::LinuxLikeScheduler inner_;
   bool wake_preempts_equal_priority_;
-  ChoiceSource* source_;
+  /// Direct-ctor storage; unused (nullptr) in slot mode.
+  ChoiceSource* direct_ = nullptr;
+  /// Where choices are read from: &direct_ (direct ctor) or the caller's
+  /// external slot. A clone of a direct-mode scheduler re-points at its
+  /// own direct_; a clone of a slot-mode scheduler shares the slot.
+  ChoiceSource* const* slot_;
 };
 
 }  // namespace tocttou::explore

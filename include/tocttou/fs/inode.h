@@ -24,6 +24,17 @@ class Inode {
       : ino_(ino), type_(type), uid_(uid), gid_(gid), mode_(mode),
         sem_(std::move(sem_name)) {}
 
+  /// Checkpoint rebind: deep-copies the inode (including its embedded
+  /// semaphore) for a cloned Vfs. Registration of the old->new range is
+  /// the caller's job (Vfs::Vfs(const Vfs&, CloneMap&) registers every
+  /// inode so `Semaphore*` held by in-flight walkers can remap).
+  Inode(const Inode& o, sim::CloneMap& m)
+      : ino_(o.ino_), type_(o.type_), uid_(o.uid_), gid_(o.gid_),
+        mode_(o.mode_), size_bytes_(o.size_bytes_), nlink_(o.nlink_),
+        open_refs_(o.open_refs_), symlink_target_(o.symlink_target_),
+        entries_(o.entries_), sem_(o.sem_, m),
+        rename_in_progress_(o.rename_in_progress_) {}
+
   Inode(const Inode&) = delete;
   Inode& operator=(const Inode&) = delete;
 

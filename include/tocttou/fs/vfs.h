@@ -51,6 +51,15 @@ class Vfs {
   explicit Vfs(SyscallCosts costs);
   ~Vfs();
 
+  /// Checkpoint clone: deep-copies the whole filesystem (inode table,
+  /// fd tables, root, counters) and registers the Vfs object plus every
+  /// inode with `m` so interior pointers — notably `Semaphore*` held by
+  /// in-flight path walkers — remap to the clone. The injector and
+  /// metrics sinks are remapped through `m` too (they are cloned by the
+  /// owning RoundRun before the Vfs). The recycling arena starts empty:
+  /// it is a pure allocation cache with no observable state.
+  Vfs(const Vfs& o, sim::CloneMap& m);
+
   Vfs(const Vfs&) = delete;
   Vfs& operator=(const Vfs&) = delete;
 

@@ -53,9 +53,12 @@ class NaiveAttacker final : public sim::Program {
                 Duration post_detect_comp, RetryPolicy retry = {});
 
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
   const AttackerStatus& status() const { return status_; }
 
  private:
+  NaiveAttacker(const NaiveAttacker& o, sim::CloneMap& m);
+
   enum class Phase { stat, judge, post_detect, unlink, symlink, done };
 
   /// EINTR retry with busy-wait backoff (attackers spin, they never
@@ -82,9 +85,12 @@ class PrefaultedAttacker final : public sim::Program {
                      RetryPolicy retry = {});
 
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
   const AttackerStatus& status() const { return status_; }
 
  private:
+  PrefaultedAttacker(const PrefaultedAttacker& o, sim::CloneMap& m);
+
   enum class Phase { stat, select, unlink, symlink, maybe_exit, done };
 
   std::optional<sim::Action> retry_eintr(Errno e, Phase redo);
@@ -104,6 +110,11 @@ class PrefaultedAttacker final : public sim::Program {
 
 /// Section 7: shared state of the two pipelined attack threads.
 struct PipelinedAttackState {
+  PipelinedAttackState() = default;
+  /// Checkpoint-fork rebind (the flag's wait queue carries pids only).
+  PipelinedAttackState(const PipelinedAttackState& o, sim::CloneMap& m)
+      : window_found(o.window_found, m), status(o.status) {}
+
   sim::EventFlag window_found{"window_found"};
   AttackerStatus status;
 };
@@ -119,8 +130,11 @@ class PipelinedAttackerMain final : public sim::Program {
                         RetryPolicy retry = {});
 
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
  private:
+  PipelinedAttackerMain(const PipelinedAttackerMain& o, sim::CloneMap& m);
+
   enum class Phase { stat, judge, signal, unlink, done };
 
   std::optional<sim::Action> retry_eintr(Errno e, Phase redo);
@@ -145,8 +159,12 @@ class PipelinedAttackerSymlinker final : public sim::Program {
                              Duration retry_comp, PipelinedAttackState* state);
 
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
  private:
+  PipelinedAttackerSymlinker(const PipelinedAttackerSymlinker& o,
+                             sim::CloneMap& m);
+
   enum class Phase { wait, symlink, judge, retry, done };
   fs::Vfs& vfs_;
   AttackTarget target_;

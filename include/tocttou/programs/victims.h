@@ -45,11 +45,14 @@ class ViVictim final : public sim::Program {
  public:
   ViVictim(fs::Vfs& vfs, ViVictimConfig cfg);
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
   /// Bounded EINTR retries performed so far (cfg.t.retry policy).
   int retries() const { return retries_; }
 
  private:
+  ViVictim(const ViVictim& o, sim::CloneMap& m);
+
   enum class Phase {
     load_open, load_read, load_close,  // startup: read the file into the
                                        // buffer (pre-faults libc pages)
@@ -104,11 +107,14 @@ class GeditVictim final : public sim::Program {
  public:
   GeditVictim(fs::Vfs& vfs, GeditVictimConfig cfg);
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
   /// Bounded EINTR retries performed so far (cfg.t.retry policy).
   int retries() const { return retries_; }
 
  private:
+  GeditVictim(const GeditVictim& o, sim::CloneMap& m);
+
   enum class Phase {
     load_open, load_read, load_close,  // startup: read the file
     think, prep, open_temp, open_ret, write_chunk, between_chunks,
@@ -154,8 +160,11 @@ class SuspendingVictim final : public sim::Program {
  public:
   SuspendingVictim(fs::Vfs& vfs, SuspendingVictimConfig cfg);
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
  private:
+  SuspendingVictim(const SuspendingVictim& o, sim::CloneMap& m);
+
   enum class Phase { think, rename_away, check, io, close, use, done };
   fs::Vfs& vfs_;
   SuspendingVictimConfig cfg_;
@@ -183,11 +192,14 @@ class SendmailVictim final : public sim::Program {
  public:
   SendmailVictim(fs::Vfs& vfs, SendmailVictimConfig cfg);
   sim::Action next(sim::ProgramContext& ctx) override;
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
   /// True if the check step rejected the mailbox (symlink found in time).
   bool rejected() const { return rejected_; }
 
  private:
+  SendmailVictim(const SendmailVictim& o, sim::CloneMap& m);
+
   enum class Phase { think, check, gap, open, write, close, done };
   fs::Vfs& vfs_;
   SendmailVictimConfig cfg_;

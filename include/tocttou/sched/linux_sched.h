@@ -63,6 +63,13 @@ class LinuxLikeScheduler final : public sim::Scheduler {
   /// Returns false if `p` is not queued on `cpu` (the queue is unchanged).
   bool take(sim::Process& p, sim::CpuId cpu);
 
+  std::unique_ptr<sim::Scheduler> clone(sim::CloneMap& m) const override;
+
+  /// Rebind copy for checkpoint clones: copies the queues, remapping each
+  /// queued Process* through `m`. Public so wrappers that embed this
+  /// policy by value (ExploringScheduler) can clone their member.
+  LinuxLikeScheduler(const LinuxLikeScheduler& o, sim::CloneMap& m);
+
  private:
   struct RunQueue {
     // priority -> FIFO of runnable tasks (greater priority first).

@@ -32,10 +32,18 @@ namespace tocttou::sim {
 
 /// Fixed-capacity inline callable for event callbacks. Accepts any
 /// trivially copyable callable up to kStorage bytes (the kernel's
-/// lambdas capture a pointer plus a couple of ids). Intentionally not a
-/// general std::function replacement: no destructor call, no heap
-/// fallback — those restrictions are what make Entry trivially copyable
-/// and the heap allocation-free.
+/// lambdas capture a couple of ids). Intentionally not a general
+/// std::function replacement: no destructor call, no heap fallback —
+/// those restrictions are what make Entry trivially copyable and the
+/// heap allocation-free.
+///
+/// Callables may take either no arguments or a single `void*` context.
+/// The context form is how pending events survive a RoundRun clone:
+/// instead of capturing the Kernel pointer (which would dangle into the
+/// original after a deep copy), kernel callbacks capture only stable
+/// ids and receive the owning Kernel via run_next(ctx) at fire time.
+/// Copying the queue therefore rebinds every pending event to the
+/// clone for free — the entries are context-relative by construction.
 class EventFn {
  public:
   template <typename F,
@@ -51,16 +59,20 @@ class EventFn {
     static_assert(alignof(Fn) <= alignof(std::max_align_t),
                   "event callback over-aligned");
     ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
-    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    if constexpr (std::is_invocable_v<Fn&, void*>) {
+      invoke_ = [](void* p, void* ctx) { (*static_cast<Fn*>(p))(ctx); };
+    } else {
+      invoke_ = [](void* p, void*) { (*static_cast<Fn*>(p))(); };
+    }
   }
 
-  void operator()() { invoke_(buf_); }
+  void operator()(void* ctx = nullptr) { invoke_(buf_, ctx); }
 
   static constexpr std::size_t kStorage = 48;
 
  private:
   alignas(std::max_align_t) unsigned char buf_[kStorage];
-  void (*invoke_)(void*);
+  void (*invoke_)(void*, void*);
 };
 
 class EventQueue {
@@ -95,9 +107,10 @@ class EventQueue {
     schedule_at(now_ + d, std::move(cb));
   }
 
-  /// Pops and runs the earliest event, advancing now(). Returns false if
-  /// the queue is empty.
-  bool run_next();
+  /// Pops and runs the earliest event, advancing now(). `ctx` is handed
+  /// to the callback (context-taking callables receive it; zero-arg
+  /// callables ignore it). Returns false if the queue is empty.
+  bool run_next(void* ctx = nullptr);
 
   /// Timestamp of the earliest pending event (never() if empty).
   SimTime peek_time() const;
@@ -127,7 +140,7 @@ class EventQueue {
   struct LegacyEntry {
     SimTime t;
     std::uint64_t seq;
-    std::function<void()> cb;
+    std::function<void(void*)> cb;
   };
   struct Later {
     bool operator()(const LegacyEntry& a, const LegacyEntry& b) const {

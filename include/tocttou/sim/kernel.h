@@ -23,6 +23,7 @@ class Registry;
 
 namespace tocttou::sim {
 
+class CloneMap;
 class FaultInjector;
 
 class Kernel {
@@ -35,6 +36,15 @@ class Kernel {
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+
+  /// Checkpoint support: deep-copies a mid-round kernel. The caller must
+  /// have registered the surrounding round state (Vfs and its inodes,
+  /// trace/metrics/fault sinks, shared attack state) in `m` first; this
+  /// ctor registers the process table, then clones the scheduler,
+  /// programs, and in-flight service ops against the new addresses.
+  /// Pending events carry only stable pids, so the copied queue replays
+  /// identically against the clone (see EventQueue).
+  Kernel(const Kernel& o, CloneMap& m);
 
   /// Re-arms the kernel for a fresh round — new machine spec, scheduler,
   /// seed, and trace sink — while RECYCLING the arenas a construction
@@ -59,6 +69,14 @@ class Kernel {
   /// Runs until every non-kernel process has exited (or limit).
   bool run_to_exit(SimTime limit = SimTime::never());
 
+  /// Single-step: executes exactly one pending event. Returns false (and
+  /// does nothing) when the queue is empty. The checkpoint/fork explorer
+  /// drives rounds event-by-event so it can stop at a fork boundary.
+  bool step() { return queue_.run_next(this); }
+
+  /// Timestamp of the next pending event (SimTime::never() when idle).
+  SimTime next_event_time() const { return queue_.peek_time(); }
+
   SimTime now() const { return queue_.now(); }
   /// True when the event queue has drained — nothing can ever run again.
   /// Distinguishes a starved/deadlocked round from one that hit a time
@@ -72,6 +90,10 @@ class Kernel {
   const Process& process(Pid pid) const;
   std::size_t live_user_processes() const;
   std::uint64_t events_executed() const { return queue_.executed(); }
+
+  /// The scheduler driving this kernel (the explore subsystem rebinds
+  /// its choice slot when a checkpointed round migrates across workers).
+  Scheduler& sched() { return *sched_; }
 
   /// Which process currently runs on `cpu` (kNoPid if idle).
   Pid running_on(CpuId cpu) const;

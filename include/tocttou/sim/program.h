@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "tocttou/common/error.h"
 #include "tocttou/common/rng.h"
 #include "tocttou/common/time.h"
 #include "tocttou/sim/ids.h"
@@ -17,6 +18,7 @@
 
 namespace tocttou::sim {
 
+class CloneMap;
 class Kernel;
 class Process;
 
@@ -93,6 +95,18 @@ class Program {
   /// Returns the next action. Called when the previous action completed
   /// (for services: after the syscall returned and wrote its outputs).
   virtual Action next(ProgramContext& ctx) = 0;
+
+  /// Checkpoint support: deep-copies the program's state machine for a
+  /// cloned round, remapping any pointers into simulation state (output
+  /// slots, Vfs, EventFlags) through `m`. The default fails hard rather
+  /// than being pure so programs that never run under the checkpointing
+  /// explorer (test doubles, one-off experiment programs) need not
+  /// implement it.
+  virtual std::unique_ptr<Program> clone(CloneMap& m) const {
+    (void)m;
+    TOCTTOU_CHECK(false, "program does not support checkpoint clone");
+    return nullptr;
+  }
 };
 
 }  // namespace tocttou::sim

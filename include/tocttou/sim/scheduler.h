@@ -6,13 +6,16 @@
 // the Linux-2.6-flavored implementation used by all experiments.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "tocttou/common/error.h"
 #include "tocttou/common/time.h"
 #include "tocttou/sim/ids.h"
 
 namespace tocttou::sim {
 
+class CloneMap;
 class Process;
 
 class Scheduler {
@@ -62,6 +65,16 @@ class Scheduler {
 
   /// Number of queued (not running) processes on `cpu`.
   virtual std::size_t queue_depth(CpuId cpu) const = 0;
+
+  /// Checkpoint support: deep-copies the run-queue state for a cloned
+  /// kernel, remapping queued `Process*` through `m` (the clone's
+  /// process table must already be registered). Fails hard by default
+  /// (see Program::clone).
+  virtual std::unique_ptr<Scheduler> clone(CloneMap& m) const {
+    (void)m;
+    TOCTTOU_CHECK(false, "scheduler does not support checkpoint clone");
+    return nullptr;
+  }
 };
 
 }  // namespace tocttou::sim

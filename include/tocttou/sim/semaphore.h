@@ -14,11 +14,19 @@
 
 namespace tocttou::sim {
 
+class CloneMap;
 class Kernel;
 
 class Semaphore {
  public:
   explicit Semaphore(std::string name) : name_(std::move(name)) {}
+
+  /// Checkpoint rebind: duplicates the semaphore for a cloned round.
+  /// Owner/waiter Pids are stable across a clone (the process table is
+  /// copied index-for-index), so no remapping is needed; the CloneMap
+  /// parameter marks this as a deliberate clone-path copy.
+  Semaphore(const Semaphore& o, CloneMap&)
+      : name_(o.name_), owner_(o.owner_), waiters_(o.waiters_) {}
 
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
@@ -41,6 +49,10 @@ class Semaphore {
 class EventFlag {
  public:
   explicit EventFlag(std::string name) : name_(std::move(name)) {}
+
+  /// Checkpoint rebind (see Semaphore): Pids are clone-stable.
+  EventFlag(const EventFlag& o, CloneMap&)
+      : name_(o.name_), set_(o.set_), waiters_(o.waiters_) {}
 
   EventFlag(const EventFlag&) = delete;
   EventFlag& operator=(const EventFlag&) = delete;

@@ -34,6 +34,7 @@ struct SyscallRecord;
 
 namespace tocttou::sim {
 
+class CloneMap;
 class Kernel;
 class Process;
 
@@ -88,6 +89,16 @@ class ServiceOp {
   /// Called once when the op completes so the op can attach structured
   /// results (observed uid/gid, paths) to the trace journal.
   virtual void fill_record(trace::SyscallRecord& rec) const { (void)rec; }
+
+  /// Checkpoint support: deep-copies the in-flight syscall state machine
+  /// for a cloned round, remapping its Vfs reference, output slots, and
+  /// any held `Semaphore*` through `m`. Fails hard by default (see
+  /// Program::clone).
+  virtual std::unique_ptr<ServiceOp> clone(CloneMap& m) const {
+    (void)m;
+    TOCTTOU_CHECK(false, "service op does not support checkpoint clone");
+    return nullptr;
+  }
 
   static constexpr int kNoLibcPage = -1;
 };

@@ -52,8 +52,13 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 std::string RunningStats::summary() const {
-  return strfmt("n=%zu mean=%.3f stdev=%.3f min=%.3f max=%.3f", n_, mean(),
-                stdev(), min(), max());
+  // The count goes through strfmt's varargs as an explicitly-widened
+  // unsigned long long: %llu/ull is an exact match on every platform,
+  // whereas %zu leans on the C99 printf runtime (and a size_t narrower
+  // than the format expects would desynchronize every later vararg).
+  return strfmt("n=%llu mean=%.3f stdev=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(n_), mean(), stdev(), min(),
+                max());
 }
 
 void Samples::add(double x) {

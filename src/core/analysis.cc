@@ -41,51 +41,58 @@ WindowMeasurement analyze_window(const trace::SyscallJournal& journal,
   // O_CREAT, during the save). The vulnerability window is the TIGHTEST
   // <check, use> pair: for each successful check, find the first use
   // after it and keep the pair with the smallest gap.
-  std::vector<trace::SyscallRecord> checks;
+  // Filter by pointer: a journal holds thousands of records (each with
+  // heap-allocated path strings), and this analysis runs once per
+  // explored schedule — copying the filtered records dominated its cost.
+  std::vector<const trace::SyscallRecord*> checks;
   for (const auto& r : journal.records()) {
     if (r.pid != victim || r.name != spec.check_call) continue;
     if (r.result != Errno::ok) continue;
     const std::string& p = spec.check_on_path2 ? r.path2 : r.path;
     if (p != spec.path) continue;
-    checks.push_back(r);
+    checks.push_back(&r);
   }
   if (checks.empty()) return m;
-  std::vector<trace::SyscallRecord> uses;
+  std::vector<const trace::SyscallRecord*> uses;
   for (const auto& r : journal.records()) {
     if (r.pid == victim && r.name == spec.use_call && r.path == spec.path) {
-      uses.push_back(r);
+      uses.push_back(&r);
     }
   }
   std::optional<Duration> best_gap;
-  for (const auto& c : checks) {
-    std::optional<trace::SyscallRecord> first_use;
-    for (const auto& u : uses) {
-      if (u.enter >= c.exit && (!first_use || u.enter < first_use->enter)) {
+  for (const trace::SyscallRecord* c : checks) {
+    const trace::SyscallRecord* first_use = nullptr;
+    for (const trace::SyscallRecord* u : uses) {
+      if (u->enter >= c->exit &&
+          (first_use == nullptr || u->enter < first_use->enter)) {
         first_use = u;
       }
     }
-    if (!first_use) continue;
-    const Duration gap = first_use->enter - c.exit;
+    if (first_use == nullptr) continue;
+    const Duration gap = first_use->enter - c->exit;
     if (!best_gap || gap < *best_gap) {
       best_gap = gap;
       m.window_found = true;
-      m.window_open = c.exit;
+      m.window_open = c->exit;
       m.t3 = first_use->enter;
     }
   }
   if (!m.window_found) return m;
 
   // --- attacker side: detection stats on the watched path ---
-  const auto stats = journal.for_pid(attacker, "stat");
-  std::optional<trace::SyscallRecord> detect;
-  for (const auto& r : stats) {
-    if (r.path != spec.path) continue;
-    if (r.result == Errno::ok && r.st_uid && *r.st_uid == 0 && r.st_gid &&
-        *r.st_gid == 0) {
-      if (!detect || r.enter < detect->enter) detect = r;
+  std::vector<const trace::SyscallRecord*> stats;
+  for (const auto& r : journal.records()) {
+    if (r.pid == attacker && r.name == "stat") stats.push_back(&r);
+  }
+  const trace::SyscallRecord* detect = nullptr;
+  for (const trace::SyscallRecord* r : stats) {
+    if (r->path != spec.path) continue;
+    if (r->result == Errno::ok && r->st_uid && *r->st_uid == 0 &&
+        r->st_gid && *r->st_gid == 0) {
+      if (detect == nullptr || r->enter < detect->enter) detect = r;
     }
   }
-  if (!detect) return m;
+  if (detect == nullptr) return m;
   m.detected = true;
   // Effective detection start: a stat that *entered* before the window
   // opened (blocked on the directory semaphore behind the check call)
@@ -104,14 +111,14 @@ WindowMeasurement analyze_window(const trace::SyscallJournal& journal,
       Duration total = Duration::zero();
       int gaps = 0;
       std::optional<SimTime> prev;
-      for (const auto& r : stats) {
-        if (r.path != spec.path) continue;
-        if (r.enter > detect->enter) break;
+      for (const trace::SyscallRecord* r : stats) {
+        if (r->path != spec.path) continue;
+        if (r->enter > detect->enter) break;
         if (prev) {
-          total += r.enter - *prev;
+          total += r->enter - *prev;
           ++gaps;
         }
-        prev = r.enter;
+        prev = r->enter;
       }
       if (gaps > 0) m.d = total / gaps;
       break;
@@ -119,13 +126,16 @@ WindowMeasurement analyze_window(const trace::SyscallJournal& journal,
     case DConvention::stat_to_unlink: {
       // Interval from the detecting stat's start to the unlink's start
       // (includes post-detection computation and any libc trap).
-      std::optional<trace::SyscallRecord> unlink;
-      for (const auto& r : journal.for_pid(attacker, "unlink")) {
+      const trace::SyscallRecord* unlink = nullptr;
+      for (const auto& r : journal.records()) {
+        if (r.pid != attacker || r.name != "unlink") continue;
         if (r.path == spec.path && r.enter >= detect->enter) {
-          if (!unlink || r.enter < unlink->enter) unlink = r;
+          if (unlink == nullptr || r.enter < unlink->enter) unlink = &r;
         }
       }
-      if (unlink) m.d = unlink->enter - m.t1;  // from the effective start
+      if (unlink != nullptr) {
+        m.d = unlink->enter - m.t1;  // from the effective start
+      }
       break;
     }
   }

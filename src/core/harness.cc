@@ -9,11 +9,13 @@
 #include <vector>
 
 #include "tocttou/common/strings.h"
+#include "tocttou/core/round_run.h"
 #include "tocttou/explore/token.h"
 #include "tocttou/fs/vfs.h"
 #include "tocttou/programs/attackers.h"
 #include "tocttou/programs/victims.h"
 #include "tocttou/sched/linux_sched.h"
+#include "tocttou/sim/clone.h"
 #include "tocttou/sim/kernel.h"
 
 namespace tocttou::core {
@@ -158,45 +160,6 @@ std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg) {
   return f.h;
 }
 
-namespace {
-
-/// Wall-clock phase bracketing for ScenarioConfig::wall_profile. All
-/// calls are no-ops when profiling is off, so the normal path pays one
-/// branch per phase boundary and zero clock reads.
-class PhaseTimer {
- public:
-  using Clock = std::chrono::steady_clock;
-
-  explicit PhaseTimer(metrics::WallProfile* out) : out_(out) {
-    if (out_ != nullptr) start_ = last_ = Clock::now();
-  }
-
-  void lap(std::uint64_t metrics::WallProfile::* field) {
-    if (out_ == nullptr) return;
-    const auto t = Clock::now();
-    out_->*field += ns_between(last_, t);
-    last_ = t;
-  }
-
-  void finish() {
-    if (out_ == nullptr) return;
-    ++out_->rounds;
-    out_->total_ns += ns_between(start_, Clock::now());
-  }
-
- private:
-  static std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
-  }
-
-  metrics::WallProfile* out_;
-  Clock::time_point start_;
-  Clock::time_point last_;
-};
-
-}  // namespace
-
 RoundContext::RoundContext() = default;
 RoundContext::~RoundContext() = default;
 
@@ -204,27 +167,27 @@ RoundResult run_round(const ScenarioConfig& cfg) {
   return run_round(cfg, nullptr);
 }
 
-RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
-  RoundResult res;
-  PhaseTimer timer(cfg.wall_profile);
+RoundRun::RoundRun(const ScenarioConfig& cfg, RoundContext* ctx)
+    : cfg_(cfg), timer_(cfg.wall_profile) {
+  RoundResult& res = res_;
   Rng setup_rng(mix_seed(cfg.seed, 0xA11CE));
 
   // --- file system tree (context-owned and reset, or a fresh local) ---
-  std::optional<fs::Vfs> local_vfs;
   if (ctx != nullptr) {
     if (ctx->vfs_ == nullptr) {
       ctx->vfs_ = std::make_unique<fs::Vfs>(cfg.profile.costs);
     } else {
       ctx->vfs_->reset(cfg.profile.costs);
     }
+    vfs_ = ctx->vfs_.get();
   } else {
-    local_vfs.emplace(cfg.profile.costs);
+    local_vfs_.emplace(cfg.profile.costs);
+    vfs_ = &*local_vfs_;
   }
-  fs::Vfs& vfs = ctx != nullptr ? *ctx->vfs_ : *local_vfs;
+  fs::Vfs& vfs = *vfs_;
   if (cfg.collect_metrics) vfs.set_metrics(&res.metrics);
   vfs.mkdir_p("/etc", 0, 0, 0755);
-  const fs::Ino passwd =
-      vfs.create_file(cfg.evil_target, 0, 0, 0644, 1536);
+  passwd_ = vfs.create_file(cfg.evil_target, 0, 0, 0644, 1536);
   vfs.mkdir_p("/home/alice", cfg.attacker_uid, cfg.attacker_gid, 0755);
   vfs.mkdir_p("/tmp", 0, 0, 0777);
   vfs.create_file(cfg.watched_path, cfg.attacker_uid, cfg.attacker_gid, 0644,
@@ -232,7 +195,7 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
   vfs.create_file(cfg.dummy_path, cfg.attacker_uid, cfg.attacker_gid, 0644, 0);
 
   // --- fault injector (its own Rng stream; kernel noise untouched) ---
-  std::optional<sim::FaultInjector> injector;
+  std::optional<sim::FaultInjector>& injector = injector_;
   if (!cfg.faults.empty()) {
     injector.emplace(cfg.faults, mix_seed(cfg.seed, 0xFA017));
     vfs.set_fault_injector(&*injector);
@@ -248,7 +211,6 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
     sched =
         std::make_unique<sched::LinuxLikeScheduler>(default_sched_params(cfg));
   }
-  std::optional<sim::Kernel> local_kernel;
   if (ctx != nullptr) {
     if (ctx->kernel_ == nullptr) {
       ctx->kernel_ = std::make_unique<sim::Kernel>(
@@ -260,12 +222,14 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
                           tracing ? &res.trace : nullptr);
       ++ctx->reuses_;
     }
+    kernel_ = ctx->kernel_.get();
   } else {
-    local_kernel.emplace(cfg.profile.machine, std::move(sched),
-                         mix_seed(cfg.seed, 0x5EED),
-                         tracing ? &res.trace : nullptr);
+    local_kernel_.emplace(cfg.profile.machine, std::move(sched),
+                          mix_seed(cfg.seed, 0x5EED),
+                          tracing ? &res.trace : nullptr);
+    kernel_ = &*local_kernel_;
   }
-  sim::Kernel& kernel = ctx != nullptr ? *ctx->kernel_ : *local_kernel;
+  sim::Kernel& kernel = *kernel_;
   if (cfg.collect_metrics) kernel.set_metrics(&res.metrics);
   if (injector) kernel.set_fault_injector(&*injector);
   if (cfg.background_load) kernel.start_background_load();
@@ -281,30 +245,28 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
   aopts.uid = cfg.attacker_uid;
   aopts.gid = cfg.attacker_gid;
 
-  const programs::NaiveAttacker* naive = nullptr;
-  const programs::PrefaultedAttacker* prefaulted = nullptr;
-  auto pipeline_state = std::make_unique<programs::PipelinedAttackState>();
+  pipeline_state_ = std::make_unique<programs::PipelinedAttackState>();
   switch (cfg.attacker) {
     case AttackerKind::naive: {
       auto prog = std::make_unique<programs::NaiveAttacker>(
           vfs, target, loop_comp, t.atk_post_detect_comp, t.retry);
-      naive = prog.get();
+      naive_ = prog.get();
       res.attacker_pid = kernel.spawn(std::move(prog), aopts);
       break;
     }
     case AttackerKind::prefaulted: {
       auto prog = std::make_unique<programs::PrefaultedAttacker>(
           vfs, target, t.atk_v2_comp, t.retry);
-      prefaulted = prog.get();
+      prefaulted_ = prog.get();
       res.attacker_pid = kernel.spawn(std::move(prog), aopts);
       break;
     }
     case AttackerKind::pipelined: {
       auto main = std::make_unique<programs::PipelinedAttackerMain>(
-          vfs, target, loop_comp, t.atk_thread_handoff, pipeline_state.get(),
+          vfs, target, loop_comp, t.atk_thread_handoff, pipeline_state_.get(),
           t.retry);
       auto helper = std::make_unique<programs::PipelinedAttackerSymlinker>(
-          vfs, target, t.atk_thread_handoff, pipeline_state.get());
+          vfs, target, t.atk_thread_handoff, pipeline_state_.get());
       res.attacker_pid = kernel.spawn(std::move(main), aopts);
       sim::SpawnOptions hopts = aopts;
       hopts.name = "attacker/symlink";
@@ -340,8 +302,6 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
   vopts.uid = 0;
   vopts.gid = 0;
   std::unique_ptr<sim::Program> vic;
-  const programs::ViVictim* vi_vic = nullptr;
-  const programs::GeditVictim* gedit_vic = nullptr;
   switch (cfg.victim) {
     case VictimKind::vi: {
       programs::ViVictimConfig vc;
@@ -354,7 +314,7 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
       vc.fd_attr_remedy = cfg.defended_victim;
       vc.t = t;
       auto prog = std::make_unique<programs::ViVictim>(vfs, vc);
-      vi_vic = prog.get();
+      vi_vic_ = prog.get();
       vic = std::move(prog);
       break;
     }
@@ -370,7 +330,7 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
       gc.fd_attr_remedy = cfg.defended_victim;
       gc.t = t;
       auto prog = std::make_unique<programs::GeditVictim>(vfs, gc);
-      gedit_vic = prog.get();
+      gedit_vic_ = prog.get();
       vic = std::move(prog);
       break;
     }
@@ -391,77 +351,160 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
       break;
     }
   }
-  const sim::Pid victim_pid = kernel.spawn(std::move(vic), vopts);
-  res.victim_pid = victim_pid;
-  if (injector) injector->set_role(victim_pid, sim::FaultRole::victim);
+  victim_pid_ = kernel.spawn(std::move(vic), vopts);
+  res.victim_pid = victim_pid_;
+  if (injector) injector->set_role(victim_pid_, sim::FaultRole::victim);
 
-  // --- run: until the victim exits, then drain the attack briefly ---
-  timer.lap(&metrics::WallProfile::setup_ns);
-  const SimTime limit = SimTime::origin() + cfg.round_limit;
-  const bool victim_done = kernel.run_until(
-      [&] { return kernel.process(victim_pid).exited(); }, limit);
-  res.victim_completed = victim_done;
+  timer_.lap(&metrics::WallProfile::setup_ns);
+  limit_ = SimTime::origin() + cfg.round_limit;
+}
+
+RoundRun::RoundRun(const RoundRun& o)
+    : cfg_(o.cfg_),
+      res_(o.res_),
+      timer_(nullptr),  // the parent keeps the wall profile
+      passwd_(o.passwd_),
+      victim_pid_(o.victim_pid_),
+      phase_(o.phase_),
+      limit_(o.limit_),
+      drain_limit_(o.drain_limit_) {
+  sim::CloneMap m;
+  // Registration order matters: sinks the kernel/vfs point into (result
+  // streams, injector, shared attack state) first, then the VFS (which
+  // registers itself and every inode), then the kernel (process table,
+  // scheduler queues, programs, in-flight ops), then the observer
+  // pointers into the now-registered programs.
+  m.add_range(&o.res_, &res_, sizeof(RoundResult));
+  if (o.injector_) {
+    injector_.emplace(*o.injector_);
+    m.add_range(&*o.injector_, &*injector_, sizeof(sim::FaultInjector));
+  }
+  if (o.pipeline_state_ != nullptr) {
+    pipeline_state_ = std::make_unique<programs::PipelinedAttackState>(
+        *o.pipeline_state_, m);
+    m.add_range(o.pipeline_state_.get(), pipeline_state_.get(),
+                sizeof(programs::PipelinedAttackState));
+  }
+  local_vfs_.emplace(*o.vfs_, m);
+  vfs_ = &*local_vfs_;
+  local_kernel_.emplace(*o.kernel_, m);
+  kernel_ = &*local_kernel_;
+  naive_ = m.remap(o.naive_);
+  prefaulted_ = m.remap(o.prefaulted_);
+  vi_vic_ = m.remap(o.vi_vic_);
+  gedit_vic_ = m.remap(o.gedit_vic_);
+}
+
+RoundRun::~RoundRun() = default;
+
+bool RoundRun::attackers_exited() const {
+  if (!kernel_->process(res_.attacker_pid).exited()) return false;
+  return res_.attacker_pid2 == 0 ||
+         kernel_->process(res_.attacker_pid2).exited();
+}
+
+void RoundRun::end_victim_phase(bool victim_done) {
+  res_.victim_completed = victim_done;
   // run_until returns false for both "limit exceeded" and "queue
   // drained"; only the former is a time-limit hit.
-  res.hit_time_limit = !victim_done && !kernel.idle();
-  if (cfg.attacker != AttackerKind::none) {
-    kernel.run_until(
-        [&] {
-          if (!kernel.process(res.attacker_pid).exited()) return false;
-          return res.attacker_pid2 == 0 ||
-                 kernel.process(res.attacker_pid2).exited();
-        },
-        min(limit, kernel.now() + Duration::millis(2)));
+  res_.hit_time_limit = !victim_done && !kernel_->idle();
+  if (cfg_.attacker != AttackerKind::none) {
+    phase_ = Phase::drain;
+    drain_limit_ = min(limit_, kernel_->now() + Duration::millis(2));
+  } else {
+    end_sim();
   }
-  res.end_time = kernel.now();
-  res.events = kernel.events_executed();
-  timer.lap(&metrics::WallProfile::sim_ns);
+}
+
+void RoundRun::end_sim() {
+  res_.end_time = kernel_->now();
+  res_.events = kernel_->events_executed();
+  timer_.lap(&metrics::WallProfile::sim_ns);
+  phase_ = Phase::sim_over;
+}
+
+bool RoundRun::step() {
+  // Each phase mirrors one of run_round's historical run_until calls:
+  // stop condition first, then queue-drained, then the time limit, then
+  // one event — so a stepped round is byte-identical to a run_until one.
+  while (true) {
+    switch (phase_) {
+      case Phase::victim:
+        if (kernel_->process(victim_pid_).exited()) {
+          end_victim_phase(true);
+          continue;
+        }
+        if (kernel_->idle() || kernel_->next_event_time() > limit_) {
+          end_victim_phase(false);
+          continue;
+        }
+        kernel_->step();
+        return true;
+      case Phase::drain:
+        if (attackers_exited() || kernel_->idle() ||
+            kernel_->next_event_time() > drain_limit_) {
+          end_sim();
+          continue;
+        }
+        kernel_->step();
+        return true;
+      case Phase::sim_over:
+        return false;
+    }
+  }
+}
+
+RoundResult RoundRun::finish() {
+  while (step()) {
+  }
+  RoundResult& res = res_;
+  const ScenarioConfig& cfg = cfg_;
 
   // --- judge ---
-  const fs::Inode& pw = vfs.inode(passwd);
+  const fs::Inode& pw = vfs_->inode(passwd_);
   res.success = (pw.uid() == cfg.attacker_uid);
   if (cfg.victim == VictimKind::sendmail) {
     // sendmail success = the message bytes were appended to /etc/passwd.
     res.success = (pw.size_bytes() > 1536);
   }
-  if (naive != nullptr) {
-    res.attacker_finished = naive->status().attack_done;
-    res.attacker_iterations = naive->status().iterations;
-  } else if (prefaulted != nullptr) {
-    res.attacker_finished = prefaulted->status().attack_done;
-    res.attacker_iterations = prefaulted->status().iterations;
+  if (naive_ != nullptr) {
+    res.attacker_finished = naive_->status().attack_done;
+    res.attacker_iterations = naive_->status().iterations;
+  } else if (prefaulted_ != nullptr) {
+    res.attacker_finished = prefaulted_->status().attack_done;
+    res.attacker_iterations = prefaulted_->status().iterations;
   } else if (cfg.attacker == AttackerKind::pipelined) {
-    res.attacker_finished = pipeline_state->status.attack_done;
-    res.attacker_iterations = pipeline_state->status.iterations;
+    res.attacker_finished = pipeline_state_->status.attack_done;
+    res.attacker_iterations = pipeline_state_->status.iterations;
   }
 
   if (cfg.record_journal && cfg.attacker != AttackerKind::none) {
     res.window =
-        analyze_window(res.trace.journal, victim_pid, res.attacker_pid,
+        analyze_window(res.trace.journal, victim_pid_, res.attacker_pid,
                        window_spec_for(cfg), d_convention_for(cfg.victim));
   }
 
   // --- post-round robustness accounting ---
-  timer.lap(&metrics::WallProfile::analyze_ns);
-  res.audit_violations = vfs.audit();
-  timer.lap(&metrics::WallProfile::audit_ns);
-  if (injector) {
-    res.faults = injector->stats();
+  timer_.lap(&metrics::WallProfile::analyze_ns);
+  res.audit_violations = vfs_->audit();
+  timer_.lap(&metrics::WallProfile::audit_ns);
+  if (injector_) {
+    res.faults = injector_->stats();
     int retries = 0;
-    if (vi_vic != nullptr) retries += vi_vic->retries();
-    if (gedit_vic != nullptr) retries += gedit_vic->retries();
-    if (naive != nullptr) {
-      retries += naive->status().retries;
-    } else if (prefaulted != nullptr) {
-      retries += prefaulted->status().retries;
+    if (vi_vic_ != nullptr) retries += vi_vic_->retries();
+    if (gedit_vic_ != nullptr) retries += gedit_vic_->retries();
+    if (naive_ != nullptr) {
+      retries += naive_->status().retries;
+    } else if (prefaulted_ != nullptr) {
+      retries += prefaulted_->status().retries;
     } else if (cfg.attacker == AttackerKind::pipelined) {
-      retries += pipeline_state->status.retries;
+      retries += pipeline_state_->status.retries;
     }
     res.faults.retries += static_cast<std::uint64_t>(retries);
     // A fault-killed victim also "exits", but it did not survive: keep
     // it out of the survived-the-fault accounting.
     if (res.faults.total_injected() > 0 && res.victim_completed &&
-        !injector->was_killed(victim_pid)) {
+        !injector_->was_killed(victim_pid_)) {
       res.faults.degraded_rounds = 1;  // survived the injected faults
     }
   }
@@ -483,8 +526,13 @@ RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
     if (f.kills > 0) res.metrics.count("faults.injected.kill", f.kills);
     if (f.retries > 0) res.metrics.count("faults.retries", f.retries);
   }
-  timer.finish();
-  return res;
+  timer_.finish();
+  return std::move(res_);
+}
+
+RoundResult run_round(const ScenarioConfig& cfg, RoundContext* ctx) {
+  RoundRun run(cfg, ctx);
+  return run.finish();
 }
 
 namespace {

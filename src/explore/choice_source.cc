@@ -52,6 +52,17 @@ GuidedSource::GuidedSource(std::vector<Choice> prefix,
     : prefix_(std::move(prefix)),
       oracle_(oracle != nullptr ? oracle : &default_oracle()) {}
 
+GuidedSource::GuidedSource(std::vector<Choice> prefix,
+                           const IndependenceOracle* oracle,
+                           std::vector<SiteRecord> seeded_sites)
+    : prefix_(std::move(prefix)),
+      oracle_(oracle != nullptr ? oracle : &default_oracle()),
+      sites_(std::move(seeded_sites)),
+      consumed_(sites_.size()) {
+  TOCTTOU_CHECK(consumed_ <= prefix_.size(),
+                "seeded sites extend past the forced prefix");
+}
+
 int GuidedSource::choose(const ChoiceContext& ctx) {
   TOCTTOU_CHECK(ctx.n >= 2, "choice site needs at least two options");
   TOCTTOU_CHECK(ctx.policy >= 0 && ctx.policy < ctx.n,

@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <deque>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "tocttou/common/error.h"
 #include "tocttou/common/rng.h"
+#include "tocttou/core/round_run.h"
 #include "tocttou/explore/exploring_scheduler.h"
 
 namespace tocttou::explore {
@@ -50,10 +55,121 @@ struct LeafOutcome {
   std::optional<double> window_us;
   std::vector<SiteRecord> sites;
   std::vector<Choice> choices;
+  /// Checkpoint mode: the 1-based kernel event index at which each site
+  /// resolved — site j's children fork from the parent's state after
+  /// site_events[j] - 1 events. Empty when checkpointing is off.
+  std::vector<std::uint64_t> site_events;
   // PCT extras.
   int pct_procs = 0;
   int pct_steps = 0;
 };
+
+/// Live seeds the checkpoint mode may hold at once. Each seed is a full
+/// mid-round clone (VFS, kernel, journal), so the budget bounds resident
+/// memory; a group whose seed was crowded out simply replays its parent
+/// from the start of the round — wall time changes, results never do.
+constexpr int kSeedBudget = 512;
+
+/// A retained mid-round checkpoint: the parent round advanced to (one of)
+/// its fork boundaries, kept so the group that later expands that leaf
+/// can resume from the boundary instead of replaying the whole prefix.
+/// Destruction returns the budget slot.
+struct Seed {
+  std::unique_ptr<core::RoundRun> run;
+  std::size_t sites_at = 0;  // choice sites already resolved at this state
+  std::atomic<int>* slots = nullptr;
+
+  Seed(std::unique_ptr<core::RoundRun> r, std::size_t s, std::atomic<int>* c)
+      : run(std::move(r)), sites_at(s), slots(c) {}
+  Seed(const Seed&) = delete;
+  Seed& operator=(const Seed&) = delete;
+  ~Seed() {
+    if (run != nullptr && slots != nullptr) {
+      slots->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// One parent schedule plus every child the expansion derived from it.
+/// Grouping children under their parent is what lets a worker pay for
+/// the shared prefix once: it replays the parent a single time (or
+/// resumes its retained seed), then forks each child from a checkpoint
+/// at its divergence site.
+struct ParentGroup {
+  int bucket = 0;
+  /// Checkpoint mode: the interned parent outcome (stable address in the
+  /// explore-level store). Replay mode owns moved copies instead.
+  const LeafOutcome* parent = nullptr;
+  std::vector<Choice> parent_choices;
+  std::vector<SiteRecord> parent_sites;
+  std::vector<std::uint64_t> parent_events;
+  /// Mid-round checkpoint of the parent, when one was retained.
+  std::unique_ptr<Seed> seed;
+  struct Child {
+    std::size_t site = 0;   // divergence site (index into parent sites)
+    std::uint16_t alt = 0;  // the forced alternative option
+    bool run = true;        // false: outcome already memoized, skip run
+  };
+  std::vector<Child> children;  // canonical (site, option) order
+
+  const std::vector<Choice>& choices() const {
+    return parent != nullptr ? parent->choices : parent_choices;
+  }
+  const std::vector<SiteRecord>& sites() const {
+    return parent != nullptr ? parent->sites : parent_sites;
+  }
+  const std::vector<std::uint64_t>& events() const {
+    return parent != nullptr ? parent->site_events : parent_events;
+  }
+};
+
+/// What one group's execution hands back to the serial reduction. Leaves
+/// and seeds hold one entry per EXECUTED child, in child order.
+struct GroupOutcome {
+  std::vector<LeafOutcome> leaves;
+  std::vector<std::unique_ptr<Seed>> seeds;
+  std::uint64_t checkpoints = 0;    // distinct fork boundaries reached
+  std::uint64_t forks = 0;          // children forked (vs full-replayed)
+  std::uint64_t prefix_ns_saved = 0;  // Σ simulated prefix ns not re-run
+};
+
+/// Cross-iteration state for one exhaustive explore() call. Iterative
+/// deepening re-enumerates every shallower schedule each iteration; the
+/// memo keeps those re-enumerations from re-EXECUTING — a cached leaf
+/// reduces from its stored outcome (deterministically identical to
+/// re-running it), so iteration c only simulates the schedules at depth
+/// c. Outcomes live in a deque for stable addresses.
+struct ExploreState {
+  std::deque<LeafOutcome> store;
+  std::unordered_map<std::string, LeafOutcome*> memo;
+  std::unordered_map<std::string, std::unique_ptr<Seed>> seeds;
+  std::atomic<int> seed_slots{kSeedBudget};
+  std::uint64_t cache_hits = 0;
+};
+
+/// Canonical schedule id: bucket plus the forced choice prefix (each
+/// choice as kind/chosen/n bytes), optionally extended by one forced
+/// alternative. Keys are derived from parent choices, so they identify
+/// the schedule regardless of how (or whether) it was executed.
+std::string schedule_key(int bucket, const std::vector<Choice>& choices,
+                         std::size_t len, const Choice* alt) {
+  std::string key;
+  key.reserve(4 + 5 * (len + (alt != nullptr ? 1 : 0)));
+  for (int b = 0; b < 4; ++b) {
+    key.push_back(static_cast<char>((static_cast<unsigned>(bucket) >>
+                                     (8 * b)) & 0xffu));
+  }
+  const auto put = [&key](const Choice& c) {
+    key.push_back(static_cast<char>(c.kind));
+    key.push_back(static_cast<char>(c.chosen & 0xffu));
+    key.push_back(static_cast<char>(c.chosen >> 8));
+    key.push_back(static_cast<char>(c.n & 0xffu));
+    key.push_back(static_cast<char>(c.n >> 8));
+  };
+  for (std::size_t i = 0; i < len; ++i) put(choices[i]);
+  if (alt != nullptr) put(*alt);
+  return key;
+}
 
 /// One exploration worker: a ScenarioConfig copied ONCE (the per-leaf
 /// cost is an optional<Duration> write and a ChoiceSource pointer swap —
@@ -62,16 +178,26 @@ struct LeafOutcome {
 /// memory: the scheduler factory captures `this`.
 class Worker {
  public:
-  explicit Worker(const core::ScenarioConfig& base) : cfg_(base) {
+  Worker(const core::ScenarioConfig& base, const ExploreConfig& ecfg,
+         std::uint32_t fingerprint, std::atomic<int>* seed_slots)
+      : cfg_(base),
+        ecfg_(&ecfg),
+        fingerprint_(fingerprint),
+        seed_slots_(seed_slots) {
+    // Slot form: the scheduler — and every checkpoint clone of it —
+    // reads the worker's CURRENT source at each decision, so a worker
+    // can swap between a parent's source and a forked child's mid-round.
     cfg_.scheduler_factory = [this](const core::ScenarioConfig& c) {
       return std::make_unique<ExploringScheduler>(
-          core::default_sched_params(c), src_);
+          core::default_sched_params(c), &src_);
     };
   }
 
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
 
+  /// Full-replay leaf: the checkpoint-off path (and the historical
+  /// behavior the fork path must reproduce byte-for-byte).
   LeafOutcome run_guided(Duration think, std::vector<Choice> prefix,
                          const IndependenceOracle* oracle) {
     const std::size_t prefix_len = prefix.size();
@@ -80,17 +206,153 @@ class Worker {
     cfg_.victim_think = think;
     const core::RoundResult r = core::run_round(cfg_, &ctx_);
     src_ = nullptr;
-    LeafOutcome out;
-    // The prefix replays choices an earlier run actually made, so a
-    // deterministic kernel must reach every forced site with matching
-    // shape. Anything else means nondeterminism crept in.
-    out.prefix_ok = src.ok() && src.consumed() == prefix_len;
-    out.success = r.success;
-    if (r.window && r.window->window_found) {
-      out.window_us = r.window->victim_window().us();
+    observe(think, src, r);
+    return make_outcome(src, prefix_len, r, {});
+  }
+
+  /// Stepped leaf: the identical round executed event-by-event through
+  /// a RoundRun, recording the event index at which every choice site
+  /// resolved — the fork boundaries this leaf's children will
+  /// checkpoint at.
+  LeafOutcome run_stepped(Duration think, std::vector<Choice> prefix,
+                          const IndependenceOracle* oracle) {
+    const std::size_t prefix_len = prefix.size();
+    GuidedSource src(std::move(prefix), oracle);
+    src_ = &src;
+    cfg_.victim_think = think;
+    core::RoundRun run(cfg_, &ctx_);
+    std::vector<std::uint64_t> site_events;
+    while (run.step()) note_sites(src, run, &site_events);
+    const core::RoundResult r = run.finish();
+    src_ = nullptr;
+    observe(think, src, r);
+    return make_outcome(src, prefix_len, r, std::move(site_events));
+  }
+
+  /// Checkpoint/fork execution of one parent's children: replay the
+  /// parent ONCE — resuming its retained seed when one exists, instead
+  /// of re-simulating the round from the start — and for each child
+  /// advance that replay to the event just before the child's divergence
+  /// site resolves, deep-clone the whole mid-round state, and run only
+  /// the suffix under the child's source. Children arrive in ascending
+  /// site order, so the parent replay only ever moves forward; memoized
+  /// children are skipped entirely. With `mint_seeds`, each executed
+  /// child also mints a budget-capped seed of the parent at its boundary,
+  /// so the child's OWN eventual group can resume there (the caller turns
+  /// this off in the final deepening iteration, whose seeds could never
+  /// be consumed). If the parent replay diverges
+  /// from its recorded sites (deterministic kernels never do), the
+  /// remaining children fall back to full stepped replay — every result
+  /// field, including divergence accounting, then matches
+  /// checkpoint-off.
+  GroupOutcome run_group(Duration think, ParentGroup& g,
+                         const IndependenceOracle* oracle,
+                         bool mint_seeds) {
+    GroupOutcome out;
+    cfg_.victim_think = think;
+    std::optional<GuidedSource> psrc;
+    std::optional<core::RoundRun> local_parent;
+    core::RoundRun* parent = nullptr;
+    if (g.seed != nullptr && g.seed->run != nullptr) {
+      // Adopt the seed: it may have been minted by another worker, whose
+      // scheduler clone still routes choices to that worker's slot.
+      auto* sched = dynamic_cast<ExploringScheduler*>(
+          &g.seed->run->kernel().sched());
+      TOCTTOU_CHECK(sched != nullptr,
+                    "checkpoint seed lacks an exploring scheduler");
+      sched->set_slot(&src_);
+      psrc.emplace(g.choices(), oracle,
+                   std::vector<SiteRecord>(
+                       g.sites().begin(),
+                       g.sites().begin() +
+                           static_cast<long>(g.seed->sites_at)));
+      src_ = &*psrc;
+      parent = g.seed->run.get();
+    } else {
+      psrc.emplace(g.choices(), oracle);
+      src_ = &*psrc;
+      local_parent.emplace(cfg_, &ctx_);
+      parent = &*local_parent;
     }
-    out.sites = src.sites();
-    out.choices = src.token_choices();
+    bool parent_ok = true;
+    std::optional<std::uint64_t> last_boundary;
+    for (const ParentGroup::Child& c : g.children) {
+      if (!c.run) continue;  // memoized: the reduction reads the cache
+      std::vector<Choice> child_prefix(
+          g.choices().begin(),
+          g.choices().begin() + static_cast<long>(c.site) + 1);
+      child_prefix.back().chosen = c.alt;
+      const std::uint64_t boundary = g.events()[c.site] - 1;
+      while (parent_ok && parent->events_executed() < boundary) {
+        if (!parent->step() || !psrc->ok()) parent_ok = false;
+      }
+      // Sites fully resolved strictly before the boundary event; sites
+      // [s, c.site] all resolve DURING it and re-resolve in the child.
+      std::size_t s = 0;
+      while (s < g.events().size() &&
+             g.events()[s] < g.events()[c.site]) {
+        ++s;
+      }
+      if (parent_ok && psrc->sites().size() != s) parent_ok = false;
+      if (!parent_ok) {
+        local_parent.reset();  // free ctx_ for the full replays
+        out.leaves.push_back(
+            run_stepped(think, std::move(child_prefix), oracle));
+        out.seeds.push_back(nullptr);
+        src_ = &*psrc;
+        continue;
+      }
+      if (!last_boundary || *last_boundary != boundary) {
+        ++out.checkpoints;
+        last_boundary = boundary;
+      }
+      ++out.forks;
+      out.prefix_ns_saved += static_cast<std::uint64_t>(parent->now().ns());
+      std::unique_ptr<Seed> seed;
+      if (mint_seeds && seed_slots_ != nullptr &&
+          seed_slots_->fetch_sub(1, std::memory_order_relaxed) > 0) {
+        seed = std::make_unique<Seed>(
+            std::make_unique<core::RoundRun>(*parent), s, seed_slots_);
+      } else if (mint_seeds && seed_slots_ != nullptr) {
+        seed_slots_->fetch_add(1, std::memory_order_relaxed);
+      }
+      core::RoundRun child(*parent);
+      GuidedSource csrc(std::move(child_prefix), oracle,
+                        std::vector<SiteRecord>(
+                            g.sites().begin(),
+                            g.sites().begin() + static_cast<long>(s)));
+      src_ = &csrc;
+      std::vector<std::uint64_t> cevents(
+          g.events().begin(), g.events().begin() + static_cast<long>(s));
+      while (child.step()) note_sites(csrc, child, &cevents);
+      const core::RoundResult r = child.finish();
+      src_ = &*psrc;  // back to steering the parent replay
+      observe(think, csrc, r);
+      out.leaves.push_back(
+          make_outcome(csrc, c.site + 1, r, std::move(cevents)));
+      out.seeds.push_back(std::move(seed));
+    }
+    src_ = nullptr;
+    return out;
+  }
+
+  /// Checkpoint-off execution of a group: every child is an independent
+  /// full replay of its whole prefix — exactly the historical per-leaf
+  /// behavior, just batched under the same work item.
+  GroupOutcome run_group_replay(Duration think, const ParentGroup& g,
+                                const IndependenceOracle* oracle) {
+    GroupOutcome out;
+    out.leaves.reserve(g.children.size());
+    for (const ParentGroup::Child& c : g.children) {
+      if (!c.run) continue;
+      std::vector<Choice> child_prefix(
+          g.choices().begin(),
+          g.choices().begin() + static_cast<long>(c.site) + 1);
+      child_prefix.back().chosen = c.alt;
+      out.leaves.push_back(
+          run_guided(think, std::move(child_prefix), oracle));
+      out.seeds.push_back(nullptr);
+    }
     return out;
   }
 
@@ -115,7 +377,49 @@ class Worker {
   std::uint64_t ctx_reuses() const { return ctx_.reuses(); }
 
  private:
+  /// The prefix replays choices an earlier run actually made, so a
+  /// deterministic kernel must reach every forced site with matching
+  /// shape. Anything else means nondeterminism crept in.
+  static LeafOutcome make_outcome(const GuidedSource& src,
+                                  std::size_t prefix_len,
+                                  const core::RoundResult& r,
+                                  std::vector<std::uint64_t> site_events) {
+    LeafOutcome out;
+    out.prefix_ok = src.ok() && src.consumed() == prefix_len;
+    out.success = r.success;
+    if (r.window && r.window->window_found) {
+      out.window_us = r.window->victim_window().us();
+    }
+    out.sites = src.sites();
+    out.choices = src.token_choices();
+    out.site_events = std::move(site_events);
+    return out;
+  }
+
+  /// Stamp the current event count onto every site the last step
+  /// resolved (several sites can resolve inside one event).
+  static void note_sites(const GuidedSource& src, const core::RoundRun& run,
+                         std::vector<std::uint64_t>* events) {
+    while (events->size() < src.sites().size()) {
+      events->push_back(run.events_executed());
+    }
+  }
+
+  void observe(Duration think, const GuidedSource& src,
+               const core::RoundResult& r) const {
+    if (!ecfg_->leaf_observer) return;
+    ScheduleToken tok;
+    tok.fingerprint = fingerprint_;
+    tok.seed = cfg_.seed;
+    tok.think_ns = think.ns();
+    tok.choices = src.token_choices();
+    ecfg_->leaf_observer(tok.serialize(), r);
+  }
+
   core::ScenarioConfig cfg_;
+  const ExploreConfig* ecfg_;
+  std::uint32_t fingerprint_;
+  std::atomic<int>* seed_slots_;
   ChoiceSource* src_ = nullptr;
   core::RoundContext ctx_;
 };
@@ -128,11 +432,14 @@ class Worker {
 /// contract) depends on timing.
 class WorkerPool {
  public:
-  WorkerPool(const core::ScenarioConfig& base, int jobs) {
+  WorkerPool(const core::ScenarioConfig& base, const ExploreConfig& ecfg,
+             std::uint32_t fingerprint, std::atomic<int>* seed_slots,
+             int jobs) {
     TOCTTOU_CHECK(jobs >= 1, "worker pool needs at least one worker");
     workers_.reserve(static_cast<std::size_t>(jobs));
     for (int w = 0; w < jobs; ++w) {
-      workers_.push_back(std::make_unique<Worker>(base));
+      workers_.push_back(
+          std::make_unique<Worker>(base, ecfg, fingerprint, seed_slots));
     }
   }
 
@@ -189,9 +496,10 @@ class WorkerPool {
   std::uint64_t steals_ = 0;
 };
 
-/// Leaves per parallel batch. Waves can reach the schedule cap in size;
-/// batching bounds how many LeafOutcomes (with their site records) are
-/// alive at once without touching the canonical reduction order.
+/// Executed leaves per parallel batch. Waves can reach the schedule cap
+/// in size; batching bounds how many LeafOutcomes (with their site
+/// records) are alive at once without touching the canonical reduction
+/// order.
 constexpr int kWaveBatch = 2048;
 
 ExploreResult explore_pct(const core::ScenarioConfig& base,
@@ -271,131 +579,294 @@ struct Iteration {
   std::string witness_key;  // serialized form, for the lexicographic tie
   int witness_divergences = -1;
   RunningStats window_us;
-};
-
-/// One schedule awaiting execution: a think bucket plus the choice
-/// prefix forcing its divergences from the policy.
-struct WaveItem {
-  int bucket = 0;
-  std::vector<Choice> prefix;
+  // Checkpoint/fork accounting (all zero when checkpointing is off).
+  std::uint64_t checkpoints = 0;
+  std::uint64_t forks = 0;
+  std::uint64_t prefix_ns_saved = 0;
 };
 
 /// One iteration of the preemption-bounded enumeration as a wave-front
 /// sweep: wave d holds every schedule with exactly d divergences, in a
 /// CANONICAL order — wave 0 is the per-bucket policy schedules in bucket
 /// order; each child wave appends alternatives in (parent index, choice
-/// site, option) order. Leaves execute in parallel keyed by wave index
-/// and reduce serially in that index order, so counters, quadrature
+/// site, option) order, grouped under their parent so the shared prefix
+/// is paid once (checkpoint fork) or per child (full replay), with
+/// identical outcomes. Leaves execute in parallel keyed by canonical
+/// index and reduce serially in that order, so counters, quadrature
 /// sums, RunningStats accumulation order, cap truncation, the witness,
 /// and schedules_to_first_hit are all independent of worker count and
-/// completion order.
+/// completion order — and of the checkpoint flag.
+///
+/// Checkpoint mode additionally memoizes every executed leaf in `state`:
+/// a schedule re-enumerated by a deeper iteration reduces from its
+/// stored outcome instead of re-running — arithmetic and order are
+/// untouched because a deterministic leaf re-run would reproduce the
+/// stored outcome exactly.
 void run_iteration(const core::ScenarioConfig& base,
                    const std::vector<ThinkBucket>& buckets,
                    const ExploreConfig& ecfg, int bound,
                    std::uint32_t fingerprint, WorkerPool* pool,
-                   Iteration* it) {
-  std::vector<WaveItem> wave;
-  wave.reserve(buckets.size());
-  for (int b = 0; b < static_cast<int>(buckets.size()); ++b) {
-    wave.push_back(WaveItem{b, {}});
-  }
-  for (int level = 0; !wave.empty(); ++level) {
-    // Schedule cap: truncate the wave in canonical order. The dropped
-    // tail (and all its descendants) is exactly what a serial enumerator
-    // hitting the cap would never reach.
-    const int allowed = ecfg.max_schedules - it->schedules;
-    if (static_cast<int>(wave.size()) > allowed) {
-      wave.resize(static_cast<std::size_t>(std::max(allowed, 0)));
-      it->capped = true;
+                   ExploreState* state, Iteration* it) {
+  const bool ckpt = ecfg.checkpoint;
+  // Seeds minted during the FINAL deepening iteration can never be
+  // consumed (there is no deeper iteration to expand this iteration's
+  // frontier); skip the clone when the bound pins the last iteration.
+  const bool mint_seeds =
+      ckpt && (ecfg.preemption_bound < 0 || bound < ecfg.preemption_bound);
+  std::vector<ParentGroup> next;
+
+  // Interns an executed outcome into the cross-iteration store. Only
+  // used in checkpoint mode (replay mode reduces outcomes in place).
+  const auto intern = [&](const std::string& key, LeafOutcome&& o) {
+    state->store.push_back(std::move(o));
+    LeafOutcome* p = &state->store.back();
+    state->memo.emplace(key, p);
+    return p;
+  };
+
+  // Serial reduction + sibling expansion for one leaf, called strictly
+  // in canonical leaf order. A leaf with children to explore becomes a
+  // ParentGroup of the next wave. `key` is the leaf's canonical id
+  // (empty in replay mode); `seed` is its retained checkpoint, if the
+  // executing worker minted one.
+  const auto reduce_leaf = [&](int level, int bucket,
+                               std::size_t prefix_len, LeafOutcome& o,
+                               const std::string& key,
+                               std::unique_ptr<Seed> seed) {
+    const ThinkBucket& bkt = buckets[static_cast<std::size_t>(bucket)];
+    ++it->schedules;
+    if (!o.prefix_ok) {
+      ++it->divergence_errors;
+      return;
     }
-    std::vector<WaveItem> next;
-    std::vector<LeafOutcome> out(static_cast<std::size_t>(
-        std::min(static_cast<int>(wave.size()), kWaveBatch)));
-    for (int begin = 0; begin < static_cast<int>(wave.size());
-         begin += kWaveBatch) {
-      const int count =
-          std::min(kWaveBatch, static_cast<int>(wave.size()) - begin);
-      pool->run(count, [&](Worker& w, int i) {
-        const WaveItem& item = wave[static_cast<std::size_t>(begin + i)];
-        out[static_cast<std::size_t>(i)] = w.run_guided(
-            buckets[static_cast<std::size_t>(item.bucket)].think,
-            item.prefix, ecfg.oracle);
-      });
-      for (int i = 0; i < count; ++i) {
-        const std::size_t wave_i = static_cast<std::size_t>(begin + i);
-        LeafOutcome& o = out[static_cast<std::size_t>(i)];
-        const WaveItem& item = wave[wave_i];
-        const ThinkBucket& bkt =
-            buckets[static_cast<std::size_t>(item.bucket)];
-        ++it->schedules;
-        if (!o.prefix_ok) {
-          ++it->divergence_errors;
+    if (level == 0) {
+      ++it->policy_schedules;
+      it->mass += bkt.mass;
+      if (o.success) it->exact += bkt.mass;
+      if (o.window_us) it->window_us.add(*o.window_us);
+    }
+    if (o.success) {
+      ++it->successes;
+      if (it->schedules_to_first_hit < 0) {
+        it->schedules_to_first_hit = it->schedules;
+      }
+      // Witness: fewest divergences, then the lexicographically
+      // least serialized token — an order-independent total order.
+      // Waves ascend in divergence count, so only the first wave
+      // with a success ever competes.
+      if (!it->witness || level < it->witness_divergences ||
+          (level == it->witness_divergences)) {
+        ScheduleToken tok;
+        tok.fingerprint = fingerprint;
+        tok.seed = base.seed;
+        tok.think_ns = bkt.think.ns();
+        tok.choices = o.choices;
+        std::string wkey = tok.serialize();
+        if (!it->witness || level < it->witness_divergences ||
+            wkey < it->witness_key) {
+          it->witness = std::move(tok);
+          it->witness_key = std::move(wkey);
+          it->witness_divergences = level;
+        }
+      }
+    }
+    // Expand siblings at every site this run resolved beyond the
+    // forced prefix (earlier sites were expanded by ancestors). The
+    // child will replay this run's choices up to site j, then force
+    // the alternative.
+    ParentGroup g;
+    g.bucket = bucket;
+    bool any_run = false;
+    for (std::size_t j = prefix_len; j < o.sites.size(); ++j) {
+      const SiteRecord& site = o.sites[j];
+      for (int opt = 0; opt < static_cast<int>(site.choice.n); ++opt) {
+        if (opt == static_cast<int>(site.choice.chosen)) continue;
+        if (level + 1 > bound) {
+          ++it->cutoffs;
           continue;
         }
-        if (level == 0) {
-          ++it->policy_schedules;
-          it->mass += bkt.mass;
-          if (o.success) it->exact += bkt.mass;
-          if (o.window_us) it->window_us.add(*o.window_us);
+        if (ecfg.use_sleep_sets && site.choice.kind == ChoiceKind::pick &&
+            site.commutes_with_chosen[static_cast<std::size_t>(opt)] != 0) {
+          ++it->pruned;
+          continue;
         }
-        if (o.success) {
-          ++it->successes;
-          if (it->schedules_to_first_hit < 0) {
-            it->schedules_to_first_hit = it->schedules;
-          }
-          // Witness: fewest divergences, then the lexicographically
-          // least serialized token — an order-independent total order.
-          // Waves ascend in divergence count, so only the first wave
-          // with a success ever competes.
-          if (!it->witness || level < it->witness_divergences ||
-              (level == it->witness_divergences)) {
-            ScheduleToken tok;
-            tok.fingerprint = fingerprint;
-            tok.seed = base.seed;
-            tok.think_ns = bkt.think.ns();
-            tok.choices = o.choices;
-            std::string key = tok.serialize();
-            if (!it->witness || level < it->witness_divergences ||
-                key < it->witness_key) {
-              it->witness = std::move(tok);
-              it->witness_key = std::move(key);
-              it->witness_divergences = level;
+        ParentGroup::Child ch{j, static_cast<std::uint16_t>(opt), true};
+        if (ckpt) {
+          Choice alt = o.choices[j];
+          alt.chosen = static_cast<std::uint16_t>(opt);
+          ch.run = state->memo.find(schedule_key(bucket, o.choices, j,
+                                                 &alt)) ==
+                   state->memo.end();
+        }
+        any_run = any_run || ch.run;
+        g.children.push_back(ch);
+      }
+    }
+    if (!g.children.empty()) {
+      if (ckpt) {
+        g.parent = &o;
+        if (any_run) {
+          // Attach the parent's retained checkpoint — minted just now if
+          // the leaf executed this wave, or banked by an earlier
+          // iteration.
+          if (seed != nullptr) {
+            g.seed = std::move(seed);
+          } else {
+            const auto banked = state->seeds.find(key);
+            if (banked != state->seeds.end()) {
+              g.seed = std::move(banked->second);
+              state->seeds.erase(banked);
             }
           }
         }
-        // Expand siblings at every site this run resolved beyond the
-        // forced prefix (earlier sites were expanded by ancestors). The
-        // child's prefix replays this run's choices up to site j, then
-        // forces the alternative.
-        for (std::size_t j = item.prefix.size(); j < o.sites.size(); ++j) {
-          const SiteRecord& site = o.sites[j];
-          for (int opt = 0; opt < static_cast<int>(site.choice.n); ++opt) {
-            if (opt == static_cast<int>(site.choice.chosen)) continue;
-            if (level + 1 > bound) {
-              ++it->cutoffs;
-              continue;
-            }
-            if (ecfg.use_sleep_sets &&
-                site.choice.kind == ChoiceKind::pick &&
-                site.commutes_with_chosen[static_cast<std::size_t>(opt)] !=
-                    0) {
-              ++it->pruned;
-              continue;
-            }
-            WaveItem child;
-            child.bucket = item.bucket;
-            child.prefix.assign(o.choices.begin(),
-                                o.choices.begin() + static_cast<long>(j));
-            Choice alt = site.choice;
-            alt.chosen = static_cast<std::uint16_t>(opt);
-            child.prefix.push_back(alt);
-            next.push_back(std::move(child));
+      } else {
+        g.parent_choices = std::move(o.choices);
+        g.parent_sites = std::move(o.sites);
+        g.parent_events = std::move(o.site_events);
+      }
+      next.push_back(std::move(g));
+    } else if (ckpt && seed != nullptr && o.sites.size() > prefix_len) {
+      // Terminal only because of this iteration's bound: bank the seed
+      // for the deeper iteration that will expand this leaf.
+      state->seeds.emplace(key, std::move(seed));
+    }
+  };
+
+  // Wave 0: the per-bucket policy schedules, in bucket order.
+  {
+    int count0 = static_cast<int>(buckets.size());
+    const int allowed = ecfg.max_schedules - it->schedules;
+    if (count0 > allowed) {
+      count0 = std::max(allowed, 0);
+      it->capped = true;
+    }
+    std::vector<std::string> keys;
+    std::vector<int> todo;
+    std::vector<LeafOutcome> out;
+    for (int begin = 0; begin < count0; begin += kWaveBatch) {
+      const int count = std::min(kWaveBatch, count0 - begin);
+      keys.assign(static_cast<std::size_t>(count), {});
+      todo.clear();
+      for (int i = 0; i < count; ++i) {
+        if (ckpt) {
+          keys[static_cast<std::size_t>(i)] =
+              schedule_key(begin + i, {}, 0, nullptr);
+          if (state->memo.count(keys[static_cast<std::size_t>(i)]) != 0) {
+            continue;
           }
+        }
+        todo.push_back(i);
+      }
+      out.assign(todo.size(), {});
+      pool->run(static_cast<int>(todo.size()), [&](Worker& w, int t) {
+        const int i = todo[static_cast<std::size_t>(t)];
+        const Duration think =
+            buckets[static_cast<std::size_t>(begin + i)].think;
+        out[static_cast<std::size_t>(t)] =
+            ckpt ? w.run_stepped(think, {}, ecfg.oracle)
+                 : w.run_guided(think, {}, ecfg.oracle);
+      });
+      std::size_t t = 0;
+      for (int i = 0; i < count; ++i) {
+        const std::string& key = keys[static_cast<std::size_t>(i)];
+        if (t < todo.size() && todo[t] == i) {
+          LeafOutcome& o = ckpt ? *intern(key, std::move(out[t]))
+                                : out[t];
+          ++t;
+          reduce_leaf(0, begin + i, 0, o, key, nullptr);
+        } else {
+          // Skipped only in checkpoint mode, when the memo already holds
+          // this bucket's policy outcome from an earlier iteration.
+          ++state->cache_hits;
+          reduce_leaf(0, begin + i, 0, *state->memo.at(key), key, nullptr);
         }
       }
     }
     if (it->capped) return;
-    wave = std::move(next);
+  }
+
+  for (int level = 1; !next.empty(); ++level) {
+    std::vector<ParentGroup> wave = std::move(next);
+    next.clear();
+    // Schedule cap: truncate the wave's LEAVES in canonical order. The
+    // dropped tail (and all its descendants) is exactly what a serial
+    // enumerator hitting the cap would never reach.
+    const int allowed = ecfg.max_schedules - it->schedules;
+    int total = 0;
+    for (std::size_t gi = 0; gi < wave.size(); ++gi) {
+      const int n = static_cast<int>(wave[gi].children.size());
+      if (total + n > allowed) {
+        wave[gi].children.resize(
+            static_cast<std::size_t>(std::max(allowed - total, 0)));
+        wave.resize(wave[gi].children.empty() ? gi : gi + 1);
+        it->capped = true;
+        break;
+      }
+      total += n;
+    }
+    const auto exec_count = [](const ParentGroup& g) {
+      int n = 0;
+      for (const ParentGroup::Child& c : g.children) n += c.run ? 1 : 0;
+      return n;
+    };
+    // Batch groups so at most ~kWaveBatch executed leaf outcomes are
+    // alive at once (a single oversized group still runs whole; fully
+    // memoized groups ride along for free).
+    std::vector<GroupOutcome> out;
+    std::size_t gbegin = 0;
+    while (gbegin < wave.size()) {
+      std::size_t gend = gbegin;
+      int batch_leaves = 0;
+      while (gend < wave.size()) {
+        const int n = exec_count(wave[gend]);
+        if (gend > gbegin && batch_leaves + n > kWaveBatch) break;
+        batch_leaves += n;
+        ++gend;
+      }
+      out.clear();
+      out.resize(gend - gbegin);
+      pool->run(static_cast<int>(gend - gbegin), [&](Worker& w, int i) {
+        ParentGroup& g = wave[gbegin + static_cast<std::size_t>(i)];
+        if (exec_count(g) == 0) return;  // every child memoized
+        const Duration think =
+            buckets[static_cast<std::size_t>(g.bucket)].think;
+        out[static_cast<std::size_t>(i)] =
+            ckpt ? w.run_group(think, g, ecfg.oracle, mint_seeds)
+                 : w.run_group_replay(think, g, ecfg.oracle);
+      });
+      for (std::size_t i = 0; i < gend - gbegin; ++i) {
+        GroupOutcome& go = out[i];
+        ParentGroup& g = wave[gbegin + i];
+        it->checkpoints += go.checkpoints;
+        it->forks += go.forks;
+        it->prefix_ns_saved += go.prefix_ns_saved;
+        std::size_t e = 0;
+        for (std::size_t ci = 0; ci < g.children.size(); ++ci) {
+          const ParentGroup::Child& c = g.children[ci];
+          std::string ckey;
+          if (ckpt) {
+            Choice alt = g.choices()[c.site];
+            alt.chosen = c.alt;
+            ckey = schedule_key(g.bucket, g.choices(), c.site, &alt);
+          }
+          if (!c.run) {
+            ++state->cache_hits;
+            reduce_leaf(level, g.bucket, c.site + 1,
+                        *state->memo.at(ckey), ckey, nullptr);
+          } else {
+            std::unique_ptr<Seed> seed = std::move(go.seeds[e]);
+            LeafOutcome& o = ckpt
+                                 ? *intern(ckey, std::move(go.leaves[e]))
+                                 : go.leaves[e];
+            ++e;
+            reduce_leaf(level, g.bucket, c.site + 1, o, ckey,
+                        std::move(seed));
+          }
+        }
+      }
+      gbegin = gend;
+    }
+    if (it->capped) return;
   }
 }
 
@@ -433,7 +904,8 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
                  ? ecfg.jobs
                  : static_cast<int>(std::thread::hardware_concurrency());
   jobs = std::max(jobs, 1);
-  WorkerPool pool(base, jobs);
+  ExploreState state;
+  WorkerPool pool(base, ecfg, fingerprint, &state.seed_slots, jobs);
 
   if (ecfg.mode == ExploreMode::pct) {
     ExploreResult res = explore_pct(base, ecfg, fingerprint, &pool);
@@ -453,9 +925,15 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
   // Each iteration subsumes the previous one, so the last iteration's
   // per-schedule statistics stand alone; rounds_executed keeps the
   // cumulative cost honest.
+  std::uint64_t checkpoints = 0;
+  std::uint64_t forks = 0;
+  std::uint64_t prefix_ns_saved = 0;
   for (int c = 0;; ++c) {
     Iteration it;
-    run_iteration(base, buckets, ecfg, c, fingerprint, &pool, &it);
+    run_iteration(base, buckets, ecfg, c, fingerprint, &pool, &state, &it);
+    checkpoints += it.checkpoints;
+    forks += it.forks;
+    prefix_ns_saved += it.prefix_ns_saved;
     res.rounds_executed += it.schedules;
     res.schedules = it.schedules;
     res.policy_schedules = it.policy_schedules;
@@ -486,6 +964,15 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
                     static_cast<std::uint64_t>(res.rounds_executed));
   res.metrics.count("explore.steals", pool.steals());
   res.metrics.count("explore.ctx_reuses", pool.ctx_reuses());
+  // Checkpoint accounting — deterministic (jobs-invariant) but only
+  // emitted when checkpointing is on, keeping the off-mode metrics
+  // byte-identical to a build without the fork machinery.
+  if (ecfg.checkpoint) {
+    res.metrics.count("explore.checkpoints", checkpoints);
+    res.metrics.count("explore.forks", forks);
+    res.metrics.count("explore.prefix_ns_saved", prefix_ns_saved);
+    res.metrics.count("explore.cache_hits", state.cache_hits);
+  }
   return res;
 }
 

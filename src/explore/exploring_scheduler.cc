@@ -14,8 +14,29 @@ ExploringScheduler::ExploringScheduler(sched::LinuxSchedParams params,
                                        ChoiceSource* source)
     : inner_(params),
       wake_preempts_equal_priority_(params.wake_preempts_equal_priority),
-      source_(source) {
-  TOCTTOU_CHECK(source_ != nullptr, "exploring scheduler needs a source");
+      direct_(source),
+      slot_(&direct_) {
+  TOCTTOU_CHECK(source != nullptr, "exploring scheduler needs a source");
+}
+
+ExploringScheduler::ExploringScheduler(sched::LinuxSchedParams params,
+                                       ChoiceSource* const* slot)
+    : inner_(params),
+      wake_preempts_equal_priority_(params.wake_preempts_equal_priority),
+      slot_(slot) {
+  TOCTTOU_CHECK(slot != nullptr, "exploring scheduler needs a source slot");
+}
+
+ExploringScheduler::ExploringScheduler(const ExploringScheduler& o,
+                                       sim::CloneMap& m)
+    : inner_(o.inner_, m),
+      wake_preempts_equal_priority_(o.wake_preempts_equal_priority_),
+      direct_(o.direct_),
+      slot_(o.slot_ == &o.direct_ ? &direct_ : o.slot_) {}
+
+std::unique_ptr<sim::Scheduler> ExploringScheduler::clone(
+    sim::CloneMap& m) const {
+  return std::unique_ptr<sim::Scheduler>(new ExploringScheduler(*this, m));
 }
 
 void ExploringScheduler::init(int n_cpus) { inner_.init(n_cpus); }
@@ -33,7 +54,7 @@ CpuId ExploringScheduler::place(const Process& p,
   ctx.n = static_cast<int>(idle_cpus.size());
   ctx.policy = static_cast<int>(it - idle_cpus.begin());
   ctx.cpus = idle_cpus;
-  return idle_cpus[static_cast<std::size_t>(source_->choose(ctx))];
+  return idle_cpus[static_cast<std::size_t>((*slot_)->choose(ctx))];
 }
 
 void ExploringScheduler::enqueue(Process& p, CpuId cpu, bool front) {
@@ -48,7 +69,7 @@ Process* ExploringScheduler::pick_next(CpuId cpu) {
   ctx.n = static_cast<int>(cand.size());
   ctx.policy = 0;  // FIFO order: the policy runs the head
   ctx.procs.assign(cand.begin(), cand.end());
-  Process* chosen = cand[static_cast<std::size_t>(source_->choose(ctx))];
+  Process* chosen = cand[static_cast<std::size_t>((*slot_)->choose(ctx))];
   TOCTTOU_CHECK(inner_.take(*chosen, cpu), "chosen candidate left the queue");
   return chosen;
 }
@@ -73,7 +94,7 @@ bool ExploringScheduler::should_preempt(const Process& woken,
   ctx.n = 2;  // 0 = don't preempt, 1 = preempt
   ctx.policy = wake_preempts_equal_priority_ ? 1 : 0;
   ctx.procs = {&woken, &running};
-  return source_->choose(ctx) == 1;
+  return (*slot_)->choose(ctx) == 1;
 }
 
 bool ExploringScheduler::should_yield_on_expiry(const Process& running,

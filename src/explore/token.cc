@@ -22,16 +22,28 @@ bool fail(std::string* err, std::string why) {
   return false;
 }
 
-/// Parses a decimal u64 from [s, end); advances `s` past the digits.
-bool take_u64(const char*& s, const char* end, std::uint64_t* out) {
-  if (s == end || *s < '0' || *s > '9') return false;
+enum class U64Parse { ok, no_digits, overflow };
+
+/// Parses a decimal u64 from [s, end); advances `s` past the digits
+/// (all of them, even on overflow, so callers report the right span).
+/// A value exceeding uint64 is an error, never a silent wrap — a wrapped
+/// seed would replay a VALID but wrong schedule.
+U64Parse take_u64(const char*& s, const char* end, std::uint64_t* out) {
+  if (s == end || *s < '0' || *s > '9') return U64Parse::no_digits;
   std::uint64_t v = 0;
+  bool overflow = false;
   while (s != end && *s >= '0' && *s <= '9') {
-    v = v * 10 + static_cast<std::uint64_t>(*s - '0');
+    const auto d = static_cast<std::uint64_t>(*s - '0');
+    if (v > (UINT64_MAX - d) / 10) {
+      overflow = true;
+    } else {
+      v = v * 10 + d;
+    }
     ++s;
   }
+  if (overflow) return U64Parse::overflow;
   *out = v;
-  return true;
+  return U64Parse::ok;
 }
 
 }  // namespace
@@ -100,7 +112,14 @@ bool ScheduleToken::parse(std::string_view text, ScheduleToken* out,
     return fail(err, "expected ':seed=' after the fingerprint");
   }
   s += 6;
-  if (!take_u64(s, end, &tok.seed)) return fail(err, "seed must be decimal");
+  switch (take_u64(s, end, &tok.seed)) {
+    case U64Parse::ok:
+      break;
+    case U64Parse::no_digits:
+      return fail(err, "seed must be decimal");
+    case U64Parse::overflow:
+      return fail(err, "seed overflows uint64");
+  }
 
   if (s != end && *s == ':' && end - s >= 7 &&
       std::string_view(s + 1, 6) == "think=") {
@@ -111,9 +130,24 @@ bool ScheduleToken::parse(std::string_view text, ScheduleToken* out,
       ++s;
     }
     std::uint64_t ns = 0;
-    if (!take_u64(s, end, &ns)) return fail(err, "think must be decimal ns");
-    tok.think_ns = neg ? -static_cast<std::int64_t>(ns)
-                       : static_cast<std::int64_t>(ns);
+    switch (take_u64(s, end, &ns)) {
+      case U64Parse::ok:
+        break;
+      case U64Parse::no_digits:
+        return fail(err, "think must be decimal ns");
+      case U64Parse::overflow:
+        return fail(err, "think magnitude overflows int64 ns");
+    }
+    // Range-check before converting: the valid magnitudes are
+    // [0, 2^63 - 1] unsigned and [0, 2^63] negated (INT64_MIN is a legal
+    // think value, and negating it via int64 would be UB — convert the
+    // unsigned negation instead, well-defined two's complement).
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(INT64_MAX) + (neg ? 1u : 0u);
+    if (ns > limit) {
+      return fail(err, "think magnitude overflows int64 ns");
+    }
+    tok.think_ns = static_cast<std::int64_t>(neg ? 0 - ns : ns);
   }
 
   if (s != end) {
@@ -127,11 +161,19 @@ bool ScheduleToken::parse(std::string_view text, ScheduleToken* out,
       c.kind = static_cast<ChoiceKind>(*s);
       ++s;
       std::uint64_t chosen = 0, n = 0;
-      if (!take_u64(s, end, &chosen) || s == end || *s != '/') {
+      const U64Parse pc = take_u64(s, end, &chosen);
+      if (pc == U64Parse::overflow) {
+        return fail(err, "choice value overflows uint64");
+      }
+      if (pc != U64Parse::ok || s == end || *s != '/') {
         return fail(err, "choice must look like p<chosen>/<n>");
       }
       ++s;
-      if (!take_u64(s, end, &n)) {
+      const U64Parse pn = take_u64(s, end, &n);
+      if (pn == U64Parse::overflow) {
+        return fail(err, "choice value overflows uint64");
+      }
+      if (pn != U64Parse::ok) {
         return fail(err, "choice must look like p<chosen>/<n>");
       }
       if (n < 2 || chosen >= n || n > UINT16_MAX) {

@@ -8,6 +8,7 @@
 #include "tocttou/common/strings.h"
 #include "tocttou/fs/vfs.h"
 #include "tocttou/metrics/metrics.h"
+#include "tocttou/sim/clone.h"
 #include "tocttou/sim/faults.h"
 #include "tocttou/sim/kernel.h"
 #include "tocttou/trace/journal.h"
@@ -54,6 +55,16 @@ class Walker {
 
   Walker(Vfs& vfs, std::string path, SemPolicy policy, Follow follow)
       : vfs_(vfs), path_(std::move(path)), policy_(policy), follow_(follow) {}
+
+  /// Checkpoint rebind: mid-walk state carries a Vfs reference and
+  /// possibly a held `Semaphore*` into an inode — both remap to the
+  /// cloned filesystem (the Vfs clone registered every inode range).
+  Walker(const Walker& o, sim::CloneMap& m)
+      : vfs_(*m.remap(&o.vfs_)), path_(o.path_), policy_(o.policy_),
+        follow_(o.follow_), st_(o.st_), depth_(o.depth_), err_(o.err_),
+        parent_(o.parent_), final_name_(o.final_name_), target_(o.target_),
+        snapshot_(o.snapshot_), held_(m.remap(o.held_)),
+        slow_path_(o.slow_path_) {}
 
   /// Returns the next step to execute, or nullopt when resolution is done.
   std::optional<Step> advance(ServiceContext& ctx);
@@ -223,6 +234,13 @@ class FsOp : public ServiceOp {
   }
 
  protected:
+  /// Checkpoint rebind: the Vfs reference and the program-owned errno
+  /// slot both live in cloned state and remap through `m` (programs are
+  /// cloned before their in-flight ops, so the slot range is known).
+  FsOp(const FsOp& o, sim::CloneMap& m)
+      : vfs_(*m.remap(&o.vfs_)), path_(o.path_),
+        err_out_(m.remap(o.err_out_)) {}
+
   Step finish(Errno e) {
     if (err_out_ != nullptr) *err_out_ = e;
     return Step::done(e);
@@ -279,7 +297,17 @@ class StatOp final : public FsOp {
     }
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new StatOp(*this, m));
+  }
+
  private:
+  StatOp(const StatOp& o, sim::CloneMap& m)
+      : FsOp(o, m), follow_(o.follow_), out_(m.remap(o.out_)),
+        phase_(o.phase_), ok_(o.ok_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   bool follow_;
   StatBuf* out_;
   std::optional<Walker> walker_;
@@ -316,7 +344,16 @@ class AccessOp final : public FsOp {
     }
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new AccessOp(*this, m));
+  }
+
  private:
+  AccessOp(const AccessOp& o, sim::CloneMap& m)
+      : FsOp(o, m), phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   std::optional<Walker> walker_;
   int phase_ = 0;
 };
@@ -400,7 +437,18 @@ class OpenOp final : public FsOp {
     if (ino_ != kNoIno) rec.applied_ino = ino_;
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new OpenOp(*this, m));
+  }
+
  private:
+  OpenOp(const OpenOp& o, sim::CloneMap& m)
+      : FsOp(o, m), flags_(o.flags_), mode_(o.mode_), out_(m.remap(o.out_)),
+        sem_(m.remap(o.sem_)), ino_(o.ino_), phase_(o.phase_),
+        pending_err_(o.pending_err_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   Step done_err(Errno e) {
     if (out_ != nullptr) {
       out_->fd = -1;
@@ -443,7 +491,15 @@ class CloseOp final : public ServiceOp {
     return Step::done(e);
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new CloseOp(*this, m));
+  }
+
  private:
+  CloseOp(const CloseOp& o, sim::CloneMap& m)
+      : vfs_(*m.remap(&o.vfs_)), fd_(o.fd_),
+        err_out_(m.remap(o.err_out_)), phase_(o.phase_) {}
+
   Vfs& vfs_;
   int fd_;
   Errno* err_out_;
@@ -498,7 +554,15 @@ class WriteOp final : public ServiceOp {
     if (ino_ != kNoIno) rec.applied_ino = ino_;
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new WriteOp(*this, m));
+  }
+
  private:
+  WriteOp(const WriteOp& o, sim::CloneMap& m)
+      : vfs_(*m.remap(&o.vfs_)), fd_(o.fd_), bytes_(o.bytes_),
+        err_out_(m.remap(o.err_out_)), ino_(o.ino_), phase_(o.phase_) {}
+
   Step finish(Errno e) {
     if (err_out_ != nullptr) *err_out_ = e;
     return Step::done(e);
@@ -535,7 +599,15 @@ class ReadOp final : public ServiceOp {
     }
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new ReadOp(*this, m));
+  }
+
  private:
+  ReadOp(const ReadOp& o, sim::CloneMap& m)
+      : vfs_(*m.remap(&o.vfs_)), fd_(o.fd_), bytes_(o.bytes_),
+        err_out_(m.remap(o.err_out_)), phase_(o.phase_) {}
+
   Step finish(Errno e) {
     if (err_out_ != nullptr) *err_out_ = e;
     return Step::done(e);
@@ -615,7 +687,18 @@ class RenameOp final : public FsOp {
     if (applied_ != kNoIno) rec.applied_ino = applied_;
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new RenameOp(*this, m));
+  }
+
  private:
+  RenameOp(const RenameOp& o, sim::CloneMap& m)
+      : FsOp(o, m), newpath_(o.newpath_), new_final_(o.new_final_),
+        sem_(m.remap(o.sem_)), applied_(o.applied_),
+        pending_err_(o.pending_err_), phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   Step fail(Errno e) {
     pending_err_ = e;
     phase_ = 3;
@@ -699,7 +782,18 @@ class UnlinkOp final : public FsOp {
     if (ino_ != kNoIno) rec.applied_ino = ino_;
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new UnlinkOp(*this, m));
+  }
+
  private:
+  UnlinkOp(const UnlinkOp& o, sim::CloneMap& m)
+      : FsOp(o, m), dir_sem_(m.remap(o.dir_sem_)), ino_(o.ino_),
+        pending_err_(o.pending_err_), truncating_(o.truncating_),
+        phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   Step fail(Errno e) {
     pending_err_ = e;
     phase_ = 5;
@@ -761,7 +855,18 @@ class SymlinkOp final : public FsOp {
     if (applied_ != kNoIno) rec.applied_ino = applied_;
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new SymlinkOp(*this, m));
+  }
+
  private:
+  SymlinkOp(const SymlinkOp& o, sim::CloneMap& m)
+      : FsOp(o, m), target_(o.target_), sem_(m.remap(o.sem_)),
+        applied_(o.applied_), pending_err_(o.pending_err_),
+        phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   Step fail(Errno e) {
     pending_err_ = e;
     phase_ = 2;
@@ -814,7 +919,17 @@ class MkdirOp final : public FsOp {
     }
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new MkdirOp(*this, m));
+  }
+
  private:
+  MkdirOp(const MkdirOp& o, sim::CloneMap& m)
+      : FsOp(o, m), mode_(o.mode_), sem_(m.remap(o.sem_)),
+        pending_err_(o.pending_err_), phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   Step fail(Errno e) {
     pending_err_ = e;
     phase_ = 2;
@@ -858,7 +973,16 @@ class ReadlinkOp final : public FsOp {
     }
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new ReadlinkOp(*this, m));
+  }
+
  private:
+  ReadlinkOp(const ReadlinkOp& o, sim::CloneMap& m)
+      : FsOp(o, m), out_(m.remap(o.out_)), phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   std::string* out_;
   std::optional<Walker> walker_;
   int phase_ = 0;
@@ -923,7 +1047,19 @@ class LinkOp final : public FsOp {
     if (target_ino_ != kNoIno) rec.applied_ino = target_ino_;
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new LinkOp(*this, m));
+  }
+
  private:
+  LinkOp(const LinkOp& o, sim::CloneMap& m)
+      : FsOp(o, m), newpath_(o.newpath_), sem_(m.remap(o.sem_)),
+        target_ino_(o.target_ino_), pending_err_(o.pending_err_),
+        phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+    if (o.new_walker_) new_walker_.emplace(*o.new_walker_, m);
+  }
+
   Step fail(Errno e) {
     pending_err_ = e;
     phase_ = 3;
@@ -967,7 +1103,15 @@ class FstatOp final : public ServiceOp {
     if (ino_ != kNoIno) rec.applied_ino = ino_;
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new FstatOp(*this, m));
+  }
+
  private:
+  FstatOp(const FstatOp& o, sim::CloneMap& m)
+      : vfs_(*m.remap(&o.vfs_)), fd_(o.fd_), out_(m.remap(o.out_)),
+        err_out_(m.remap(o.err_out_)), ino_(o.ino_), phase_(o.phase_) {}
+
   Step finish(Errno e) {
     if (err_out_ != nullptr) *err_out_ = e;
     return Step::done(e);
@@ -1022,6 +1166,10 @@ class FSetAttrOp : public ServiceOp {
   }
 
  protected:
+  FSetAttrOp(const FSetAttrOp& o, sim::CloneMap& m)
+      : vfs_(*m.remap(&o.vfs_)), fd_(o.fd_),
+        err_out_(m.remap(o.err_out_)), ino_(o.ino_), phase_(o.phase_) {}
+
   virtual bool permitted(const Inode& target, const Creds& c) const = 0;
   virtual Duration work_cost() const = 0;
   virtual void apply(Inode& target) = 0;
@@ -1047,6 +1195,10 @@ class FchmodOp final : public FSetAttrOp {
 
   std::string_view name() const override { return "fchmod"; }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new FchmodOp(*this, m));
+  }
+
  protected:
   bool permitted(const Inode& t, const Creds& c) const override {
     return c.is_root() || t.uid() == c.uid;
@@ -1055,6 +1207,9 @@ class FchmodOp final : public FSetAttrOp {
   void apply(Inode& t) override { t.set_mode(mode_); }
 
  private:
+  FchmodOp(const FchmodOp& o, sim::CloneMap& m)
+      : FSetAttrOp(o, m), mode_(o.mode_) {}
+
   Mode mode_;
 };
 
@@ -1065,6 +1220,10 @@ class FchownOp final : public FSetAttrOp {
 
   std::string_view name() const override { return "fchown"; }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new FchownOp(*this, m));
+  }
+
  protected:
   bool permitted(const Inode& t, const Creds& c) const override {
     (void)t;
@@ -1074,6 +1233,9 @@ class FchownOp final : public FSetAttrOp {
   void apply(Inode& t) override { t.set_owner(uid_, gid_); }
 
  private:
+  FchownOp(const FchownOp& o, sim::CloneMap& m)
+      : FSetAttrOp(o, m), uid_(o.uid_), gid_(o.gid_) {}
+
   sim::Uid uid_;
   sim::Gid gid_;
 };
@@ -1134,6 +1296,11 @@ class SetAttrOp : public FsOp {
   }
 
  protected:
+  SetAttrOp(const SetAttrOp& o, sim::CloneMap& m)
+      : FsOp(o, m), ino_(o.ino_), phase_(o.phase_) {
+    if (o.walker_) walker_.emplace(*o.walker_, m);
+  }
+
   virtual bool permitted(const Inode& target, const Creds& c) const = 0;
   virtual Duration work_cost() const = 0;
   virtual void apply(Inode& target) = 0;
@@ -1151,6 +1318,10 @@ class ChmodOp final : public SetAttrOp {
 
   std::string_view name() const override { return "chmod"; }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new ChmodOp(*this, m));
+  }
+
  protected:
   bool permitted(const Inode& t, const Creds& c) const override {
     return c.is_root() || t.uid() == c.uid;
@@ -1159,6 +1330,9 @@ class ChmodOp final : public SetAttrOp {
   void apply(Inode& t) override { t.set_mode(mode_); }
 
  private:
+  ChmodOp(const ChmodOp& o, sim::CloneMap& m)
+      : SetAttrOp(o, m), mode_(o.mode_) {}
+
   Mode mode_;
 };
 
@@ -1169,6 +1343,10 @@ class ChownOp final : public SetAttrOp {
       : SetAttrOp(vfs, std::move(path), err_out), uid_(uid), gid_(gid) {}
 
   std::string_view name() const override { return "chown"; }
+
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new ChownOp(*this, m));
+  }
 
  protected:
   bool permitted(const Inode& t, const Creds& c) const override {
@@ -1181,6 +1359,9 @@ class ChownOp final : public SetAttrOp {
   }
 
  private:
+  ChownOp(const ChownOp& o, sim::CloneMap& m)
+      : SetAttrOp(o, m), uid_(o.uid_), gid_(o.gid_) {}
+
   sim::Uid uid_;
   sim::Gid gid_;
 };
@@ -1225,7 +1406,16 @@ class FaultableOp final : public ServiceOp {
     return inner_->advance(ctx);
   }
 
+  std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
+    return std::unique_ptr<ServiceOp>(new FaultableOp(*this, m));
+  }
+
  private:
+  FaultableOp(const FaultableOp& o, sim::CloneMap& m)
+      : faults_(m.remap(o.faults_)), inner_(o.inner_->clone(m)),
+        path_(o.path_), err_out_(m.remap(o.err_out_)),
+        open_out_(m.remap(o.open_out_)), decided_(o.decided_) {}
+
   sim::FaultInjector* faults_;
   std::unique_ptr<ServiceOp> inner_;
   std::string path_;  // for path-prefix filters ("" for fd-based ops)

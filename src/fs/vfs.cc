@@ -3,6 +3,7 @@
 #include <new>
 
 #include "tocttou/common/strings.h"
+#include "tocttou/sim/clone.h"
 
 namespace tocttou::fs {
 
@@ -19,6 +20,22 @@ const char* to_string(FileType t) {
 }
 
 Vfs::Vfs(SyscallCosts costs) : costs_(costs) { init_root(); }
+
+Vfs::Vfs(const Vfs& o, sim::CloneMap& m)
+    : next_ino_(o.next_ino_),
+      costs_(o.costs_),
+      root_(o.root_),
+      fd_tables_(o.fd_tables_),
+      faults_(m.remap(o.faults_)),
+      metrics_(m.remap(o.metrics_)),
+      arena_reuses_(o.arena_reuses_) {
+  m.add_range(&o, this, sizeof(Vfs));
+  for (const auto& [ino, node] : o.inodes_) {
+    auto copy = std::make_unique<Inode>(*node, m);
+    m.add_range(node.get(), copy.get(), sizeof(Inode));
+    inodes_.emplace(ino, std::move(copy));
+  }
+}
 
 Vfs::~Vfs() = default;
 

@@ -1,5 +1,7 @@
 #include "tocttou/programs/attackers.h"
 
+#include "tocttou/sim/clone.h"
+
 namespace tocttou::programs {
 
 using sim::Action;
@@ -23,6 +25,18 @@ NaiveAttacker::NaiveAttacker(fs::Vfs& vfs, AttackTarget target,
       loop_comp_(loop_comp),
       post_detect_comp_(post_detect_comp),
       retry_(retry) {}
+
+NaiveAttacker::NaiveAttacker(const NaiveAttacker& o, sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), target_(o.target_), loop_comp_(o.loop_comp_),
+      post_detect_comp_(o.post_detect_comp_), retry_(o.retry_),
+      phase_(o.phase_), stat_out_(o.stat_out_), stat_err_(o.stat_err_),
+      status_(o.status_), attempt_(o.attempt_) {}
+
+std::unique_ptr<sim::Program> NaiveAttacker::clone(sim::CloneMap& m) const {
+  auto* raw = new NaiveAttacker(*this, m);
+  m.add_range(this, raw, sizeof(NaiveAttacker));
+  return std::unique_ptr<sim::Program>(raw);
+}
 
 std::optional<Action> NaiveAttacker::retry_eintr(Errno e, Phase redo) {
   if (e != Errno::eintr || attempt_ + 1 >= retry_.max_attempts) {
@@ -88,6 +102,20 @@ PrefaultedAttacker::PrefaultedAttacker(fs::Vfs& vfs, AttackTarget target,
       target_(std::move(target)),
       select_comp_(select_comp),
       retry_(retry) {}
+
+PrefaultedAttacker::PrefaultedAttacker(const PrefaultedAttacker& o,
+                                       sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), target_(o.target_),
+      select_comp_(o.select_comp_), retry_(o.retry_), phase_(o.phase_),
+      window_now_(o.window_now_), fname_(o.fname_), stat_out_(o.stat_out_),
+      stat_err_(o.stat_err_), status_(o.status_), attempt_(o.attempt_) {}
+
+std::unique_ptr<sim::Program> PrefaultedAttacker::clone(
+    sim::CloneMap& m) const {
+  auto* raw = new PrefaultedAttacker(*this, m);
+  m.add_range(this, raw, sizeof(PrefaultedAttacker));
+  return std::unique_ptr<sim::Program>(raw);
+}
 
 std::optional<Action> PrefaultedAttacker::retry_eintr(Errno e, Phase redo) {
   if (e != Errno::eintr || attempt_ + 1 >= retry_.max_attempts) {
@@ -164,6 +192,20 @@ PipelinedAttackerMain::PipelinedAttackerMain(fs::Vfs& vfs, AttackTarget target,
       state_(state),
       retry_(retry) {}
 
+PipelinedAttackerMain::PipelinedAttackerMain(const PipelinedAttackerMain& o,
+                                             sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), target_(o.target_), loop_comp_(o.loop_comp_),
+      handoff_comp_(o.handoff_comp_), state_(m.remap(o.state_)),
+      retry_(o.retry_), phase_(o.phase_), stat_out_(o.stat_out_),
+      stat_err_(o.stat_err_), attempt_(o.attempt_) {}
+
+std::unique_ptr<sim::Program> PipelinedAttackerMain::clone(
+    sim::CloneMap& m) const {
+  auto* raw = new PipelinedAttackerMain(*this, m);
+  m.add_range(this, raw, sizeof(PipelinedAttackerMain));
+  return std::unique_ptr<sim::Program>(raw);
+}
+
 std::optional<Action> PipelinedAttackerMain::retry_eintr(Errno e, Phase redo) {
   if (e != Errno::eintr || attempt_ + 1 >= retry_.max_attempts) {
     attempt_ = 0;
@@ -217,6 +259,20 @@ PipelinedAttackerSymlinker::PipelinedAttackerSymlinker(
       target_(std::move(target)),
       retry_comp_(retry_comp),
       state_(state) {}
+
+PipelinedAttackerSymlinker::PipelinedAttackerSymlinker(
+    const PipelinedAttackerSymlinker& o, sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), target_(o.target_),
+      retry_comp_(o.retry_comp_), state_(m.remap(o.state_)),
+      phase_(o.phase_), symlink_err_(o.symlink_err_),
+      attempts_(o.attempts_) {}
+
+std::unique_ptr<sim::Program> PipelinedAttackerSymlinker::clone(
+    sim::CloneMap& m) const {
+  auto* raw = new PipelinedAttackerSymlinker(*this, m);
+  m.add_range(this, raw, sizeof(PipelinedAttackerSymlinker));
+  return std::unique_ptr<sim::Program>(raw);
+}
 
 Action PipelinedAttackerSymlinker::next(ProgramContext& ctx) {
   (void)ctx;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tocttou/sim/clone.h"
+
 namespace tocttou::programs {
 
 using sim::Action;
@@ -13,6 +15,18 @@ using sim::ProgramContext;
 
 ViVictim::ViVictim(fs::Vfs& vfs, ViVictimConfig cfg)
     : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+ViVictim::ViVictim(const ViVictim& o, sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), cfg_(o.cfg_), phase_(o.phase_),
+      written_(o.written_), pending_chunk_(o.pending_chunk_),
+      open_out_(o.open_out_), load_out_(o.load_out_), err_(o.err_),
+      attempt_(o.attempt_), retries_(o.retries_) {}
+
+std::unique_ptr<sim::Program> ViVictim::clone(sim::CloneMap& m) const {
+  auto* raw = new ViVictim(*this, m);
+  m.add_range(this, raw, sizeof(ViVictim));
+  return std::unique_ptr<sim::Program>(raw);
+}
 
 std::optional<Action> ViVictim::retry_eintr(Errno e, Phase redo) {
   if (e != Errno::eintr || attempt_ + 1 >= cfg_.t.retry.max_attempts) {
@@ -134,6 +148,18 @@ Action ViVictim::next(ProgramContext& ctx) {
 
 GeditVictim::GeditVictim(fs::Vfs& vfs, GeditVictimConfig cfg)
     : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+GeditVictim::GeditVictim(const GeditVictim& o, sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), cfg_(o.cfg_), phase_(o.phase_),
+      written_(o.written_), pending_chunk_(o.pending_chunk_),
+      open_out_(o.open_out_), load_out_(o.load_out_), err_(o.err_),
+      attempt_(o.attempt_), retries_(o.retries_) {}
+
+std::unique_ptr<sim::Program> GeditVictim::clone(sim::CloneMap& m) const {
+  auto* raw = new GeditVictim(*this, m);
+  m.add_range(this, raw, sizeof(GeditVictim));
+  return std::unique_ptr<sim::Program>(raw);
+}
 
 std::optional<Action> GeditVictim::retry_eintr(Errno e, Phase redo) {
   if (e != Errno::eintr || attempt_ + 1 >= cfg_.t.retry.max_attempts) {
@@ -283,6 +309,16 @@ Action GeditVictim::next(ProgramContext& ctx) {
 SuspendingVictim::SuspendingVictim(fs::Vfs& vfs, SuspendingVictimConfig cfg)
     : vfs_(vfs), cfg_(std::move(cfg)) {}
 
+SuspendingVictim::SuspendingVictim(const SuspendingVictim& o, sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), cfg_(o.cfg_), phase_(o.phase_),
+      open_out_(o.open_out_), err_(o.err_) {}
+
+std::unique_ptr<sim::Program> SuspendingVictim::clone(sim::CloneMap& m) const {
+  auto* raw = new SuspendingVictim(*this, m);
+  m.add_range(this, raw, sizeof(SuspendingVictim));
+  return std::unique_ptr<sim::Program>(raw);
+}
+
 Action SuspendingVictim::next(ProgramContext& ctx) {
   (void)ctx;
   switch (phase_) {
@@ -330,6 +366,17 @@ Action SuspendingVictim::next(ProgramContext& ctx) {
 
 SendmailVictim::SendmailVictim(fs::Vfs& vfs, SendmailVictimConfig cfg)
     : vfs_(vfs), cfg_(std::move(cfg)) {}
+
+SendmailVictim::SendmailVictim(const SendmailVictim& o, sim::CloneMap& m)
+    : vfs_(*m.remap(&o.vfs_)), cfg_(o.cfg_), phase_(o.phase_),
+      stat_out_(o.stat_out_), open_out_(o.open_out_), err_(o.err_),
+      rejected_(o.rejected_) {}
+
+std::unique_ptr<sim::Program> SendmailVictim::clone(sim::CloneMap& m) const {
+  auto* raw = new SendmailVictim(*this, m);
+  m.add_range(this, raw, sizeof(SendmailVictim));
+  return std::unique_ptr<sim::Program>(raw);
+}
 
 Action SendmailVictim::next(ProgramContext& ctx) {
   (void)ctx;

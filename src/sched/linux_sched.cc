@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tocttou/common/error.h"
+#include "tocttou/sim/clone.h"
 
 namespace tocttou::sched {
 
@@ -14,6 +15,26 @@ LinuxLikeScheduler::LinuxLikeScheduler(LinuxSchedParams params)
 
 void LinuxLikeScheduler::init(int n_cpus) {
   queues_.assign(static_cast<std::size_t>(n_cpus), RunQueue{});
+}
+
+LinuxLikeScheduler::LinuxLikeScheduler(const LinuxLikeScheduler& o,
+                                       sim::CloneMap& m)
+    : params_(o.params_) {
+  queues_.reserve(o.queues_.size());
+  for (const RunQueue& src : o.queues_) {
+    RunQueue q;
+    q.size = src.size;
+    for (const auto& [prio, fifo] : src.by_prio) {
+      auto& dst = q.by_prio[prio];
+      for (Process* p : fifo) dst.push_back(m.remap(p));
+    }
+    queues_.push_back(std::move(q));
+  }
+}
+
+std::unique_ptr<sim::Scheduler> LinuxLikeScheduler::clone(
+    sim::CloneMap& m) const {
+  return std::unique_ptr<sim::Scheduler>(new LinuxLikeScheduler(*this, m));
 }
 
 LinuxLikeScheduler::RunQueue& LinuxLikeScheduler::rq(CpuId cpu) {

@@ -61,14 +61,16 @@ void EventQueue::sift_down(std::size_t i) {
 void EventQueue::schedule_at(SimTime t, Callback cb) {
   TOCTTOU_CHECK(t >= now_, "cannot schedule an event in the past");
   if (impl_ == Impl::legacy) {
-    legacy_.push(LegacyEntry{t, next_seq_++, std::function<void()>(cb)});
+    legacy_.push(LegacyEntry{
+        t, next_seq_++,
+        std::function<void(void*)>([cb](void* ctx) mutable { cb(ctx); })});
     return;
   }
   heap_.push_back(Entry{t, next_seq_++, cb});
   sift_up(heap_.size() - 1);
 }
 
-bool EventQueue::run_next() {
+bool EventQueue::run_next(void* ctx) {
   if (impl_ == Impl::legacy) {
     if (legacy_.empty()) return false;
     // priority_queue::top() is const; move out via const_cast is
@@ -77,7 +79,7 @@ bool EventQueue::run_next() {
     legacy_.pop();
     now_ = e.t;
     ++executed_;
-    e.cb();
+    e.cb(ctx);
     return true;
   }
   if (heap_.empty()) return false;
@@ -92,7 +94,7 @@ bool EventQueue::run_next() {
   }
   now_ = e.t;
   ++executed_;
-  e.cb();
+  e.cb(ctx);
   return true;
 }
 

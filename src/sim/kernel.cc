@@ -5,6 +5,7 @@
 #include "tocttou/common/error.h"
 #include "tocttou/common/strings.h"
 #include "tocttou/metrics/metrics.h"
+#include "tocttou/sim/clone.h"
 #include "tocttou/sim/faults.h"
 
 namespace tocttou::sim {
@@ -31,6 +32,12 @@ class BackgroundDaemon : public Program {
         ctx.rng.normal_duration(cfg_.burst_mean, cfg_.burst_stdev,
                                 Duration::micros(10)),
         "kthread");
+  }
+
+  std::unique_ptr<Program> clone(CloneMap& m) const override {
+    auto* raw = new BackgroundDaemon(*this);
+    m.add_range(this, raw, sizeof(BackgroundDaemon));
+    return std::unique_ptr<Program>(raw);
   }
 
  private:
@@ -77,6 +84,76 @@ void Kernel::reset(MachineSpec spec, std::unique_ptr<Scheduler> sched,
 
 Kernel::~Kernel() = default;
 
+Kernel::Kernel(const Kernel& o, CloneMap& m)
+    : spec_(o.spec_),
+      rng_(o.rng_),
+      trace_(m.remap(o.trace_)),
+      faults_(m.remap(o.faults_)),
+      metrics_(m.remap(o.metrics_)),
+      legacy_hotpath_(o.legacy_hotpath_),
+      allowed_scratch_(o.allowed_scratch_),
+      idle_scratch_(o.idle_scratch_),
+      queue_(o.queue_),
+      cpus_(o.cpus_),
+      background_started_(o.background_started_) {
+  m.add_range(&o, this, sizeof(Kernel));
+  // Pass 1: build the process table and register every Process range, so
+  // scheduler queues, held semaphores, and program/op internals can remap
+  // Process* (and pointers into programs) afterwards.
+  procs_.reserve(o.procs_.size());
+  for (const auto& src : o.procs_) {
+    const Process& q = *src;
+    auto proc = std::unique_ptr<Process>(new Process());
+    Process& p = *proc;
+    m.add_range(&q, &p, sizeof(Process));
+    p.pid_ = q.pid_;
+    p.name_ = q.name_;
+    p.priority_ = q.priority_;
+    p.uid_ = q.uid_;
+    p.gid_ = q.gid_;
+    p.affinity_mask_ = q.affinity_mask_;
+    p.kernel_thread_ = q.kernel_thread_;
+    p.state_ = q.state_;
+    p.cpu_ = q.cpu_;
+    p.last_cpu_ = q.last_cpu_;
+    p.slice_left_ = q.slice_left_;
+    p.cpu_time_ = q.cpu_time_;
+    p.preemptions_ = q.preemptions_;
+    p.compute_left_ = q.compute_left_;
+    p.compute_label_ = q.compute_label_;
+    p.op_enter_ = q.op_enter_;
+    p.op_path_ = q.op_path_;
+    p.op_path2_ = q.op_path2_;
+    p.need_resched_ = q.need_resched_;
+    p.mapped_libc_pages_ = q.mapped_libc_pages_;
+    p.seg_gen_ = q.seg_gen_;
+    p.pending_result_ = q.pending_result_;
+    p.seg_start_ = q.seg_start_;
+    p.seg_kind_ = q.seg_kind_;
+    p.seg_len_ = q.seg_len_;
+    p.block_start_ = q.block_start_;
+    p.block_label_ = q.block_label_;
+    p.wake_time_ = q.wake_time_;
+    p.wake_pending_ = q.wake_pending_;
+    procs_.push_back(std::move(proc));
+  }
+  sched_ = o.sched_->clone(m);
+  // Pass 2: clone every program first (each registers its own range, so
+  // service-op output slots pointing into ANY program resolve), then the
+  // in-flight ops and held-semaphore lists.
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const Process& q = *o.procs_[i];
+    if (q.program_) procs_[i]->program_ = q.program_->clone(m);
+  }
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const Process& q = *o.procs_[i];
+    Process& p = *procs_[i];
+    if (q.op_) p.op_ = q.op_->clone(m);
+    p.held_sems_.reserve(q.held_sems_.size());
+    for (Semaphore* s : q.held_sems_) p.held_sems_.push_back(m.remap(s));
+  }
+}
+
 Pid Kernel::spawn(std::unique_ptr<Program> program, SpawnOptions opts) {
   TOCTTOU_CHECK(program != nullptr, "spawn requires a program");
   auto proc = std::unique_ptr<Process>(new Process());
@@ -99,10 +176,14 @@ Pid Kernel::spawn(std::unique_ptr<Program> program, SpawnOptions opts) {
   }
   if (trace_) trace_->log.set_process_name(p.pid_, p.name_);
   // Enqueue via an event so that spawning inside program code is safe.
-  queue_.schedule_at(now(), [this, pid = p.pid_] {
-    Process& q = process(pid);
+  // Event callbacks capture stable ids only and receive the owning
+  // kernel via run_next(this): pending events stay valid across a deep
+  // clone of the kernel (the clone replays them against itself).
+  queue_.schedule_at(now(), [pid = p.pid_](void* ctx) {
+    auto* k = static_cast<Kernel*>(ctx);
+    Process& q = k->process(pid);
     if (q.state_ == ProcState::ready && q.cpu_ == kNoCpu) {
-      make_ready(q, /*just_woken=*/false);
+      k->make_ready(q, /*just_woken=*/false);
     }
   });
   return p.pid_;
@@ -136,7 +217,7 @@ bool Kernel::run_until(const std::function<bool()>& stop, SimTime limit) {
     if (stop()) return true;
     if (queue_.empty()) return false;
     if (queue_.peek_time() > limit) return false;
-    queue_.run_next();
+    queue_.run_next(this);
   }
 }
 
@@ -391,8 +472,8 @@ void Kernel::start_next_action(Process& p) {
         p.state_ = ProcState::sleeping;
         p.block_start_ = now();
         const Pid pid = p.pid_;
-        queue_.schedule_at(now() + a.dur, [this, pid] {
-          wake(pid, /*from_io=*/false);
+        queue_.schedule_at(now() + a.dur, [pid](void* k) {
+          static_cast<Kernel*>(k)->wake(pid, /*from_io=*/false);
         });
         free_cpu(p);
         return;
@@ -411,8 +492,8 @@ void Kernel::start_next_action(Process& p) {
         TOCTTOU_CHECK(a.flag != nullptr, "set_flag needs a flag");
         a.flag->set_ = true;
         for (Pid w : a.flag->waiters_) {
-          queue_.schedule_at(now() + spec_.wakeup_latency, [this, w] {
-            wake(w, /*from_io=*/false);
+          queue_.schedule_at(now() + spec_.wakeup_latency, [w](void* k) {
+            static_cast<Kernel*>(k)->wake(w, /*from_io=*/false);
           });
         }
         a.flag->waiters_.clear();
@@ -465,8 +546,8 @@ void Kernel::advance_service(Process& p) {
         p.block_start_ = now();
         p.block_label_ = std::string(p.op_->name());
         const Pid pid = p.pid_;
-        queue_.schedule_at(now() + step.dur, [this, pid] {
-          wake(pid, /*from_io=*/true);
+        queue_.schedule_at(now() + step.dur, [pid](void* k) {
+          static_cast<Kernel*>(k)->wake(pid, /*from_io=*/true);
         });
         free_cpu(p);
         return;
@@ -547,8 +628,8 @@ void Kernel::release_sem(Process& p, Semaphore& sem) {
   sem.owner_ = next;
   Process& w = process(next);
   w.held_sems_.push_back(&sem);
-  queue_.schedule_at(now() + spec_.wakeup_latency, [this, next] {
-    wake(next, /*from_io=*/false);
+  queue_.schedule_at(now() + spec_.wakeup_latency, [next](void* k) {
+    static_cast<Kernel*>(k)->wake(next, /*from_io=*/false);
   });
 }
 
@@ -566,8 +647,8 @@ void Kernel::wake(Pid pid, bool from_io, bool faultable) {
       case FaultInjector::WakeFault::delay:
         // Redeliver later; faultable=false so the late wake cannot be
         // re-faulted into an unbounded delay chain.
-        queue_.schedule_at(now() + delay, [this, pid, from_io] {
-          wake(pid, from_io, /*faultable=*/false);
+        queue_.schedule_at(now() + delay, [pid, from_io](void* k) {
+          static_cast<Kernel*>(k)->wake(pid, from_io, /*faultable=*/false);
         });
         return;
       case FaultInjector::WakeFault::none:
@@ -651,8 +732,9 @@ void Kernel::begin_segment(Process& p, Process::SegKind kind,
   if (kind != Process::SegKind::user_compute) p.block_label_ = label;
   const std::uint64_t gen = ++p.seg_gen_;
   const Pid pid = p.pid_;
-  queue_.schedule_at(now() + effective,
-                     [this, pid, gen] { on_segment_end(pid, gen); });
+  queue_.schedule_at(now() + effective, [pid, gen](void* k) {
+    static_cast<Kernel*>(k)->on_segment_end(pid, gen);
+  });
 }
 
 void Kernel::on_segment_end(Pid pid, std::uint64_t gen) {

@@ -102,6 +102,44 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+TEST(RunningStatsTest, MergePropertyWithEmptyShard) {
+  // Property: merging shards equals sequential add even when one shard
+  // received no samples — in particular min/max must come from the
+  // non-empty shards, not from an empty shard's zero-initialized
+  // min_/max_ (all samples here are > 0, so a leaked 0.0 would show).
+  Rng rng(11);
+  RunningStats all;
+  std::vector<RunningStats> shards(4);  // shard 2 stays empty
+  for (int i = 0; i < 300; ++i) {
+    const double x = 5.0 + std::abs(rng.normal(0.0, 2.0));
+    all.add(x);
+    shards[static_cast<std::size_t>(i % 4 == 2 ? 3 : i % 4)].add(x);
+  }
+  ASSERT_TRUE(shards[2].empty());
+  for (const auto& order : {std::vector<int>{0, 1, 2, 3},
+                            std::vector<int>{2, 0, 1, 3},
+                            std::vector<int>{3, 2, 1, 0}}) {
+    RunningStats merged;
+    for (int idx : order) merged.merge(shards[static_cast<std::size_t>(idx)]);
+    EXPECT_EQ(merged.count(), all.count());
+    EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), all.min());
+    EXPECT_DOUBLE_EQ(merged.max(), all.max());
+    EXPECT_GT(merged.min(), 0.0);
+  }
+}
+
+TEST(RunningStatsTest, SummaryFormatsAllFields) {
+  // summary() forwards the size_t count through strfmt's varargs; pin
+  // the rendered text so a format/argument mismatch (which would print
+  // garbage or desynchronize the float fields) cannot slip through.
+  RunningStats s;
+  EXPECT_EQ(s.summary(), "n=0 mean=0.000 stdev=0.000 min=0.000 max=0.000");
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.summary(), "n=8 mean=5.000 stdev=2.138 min=2.000 max=9.000");
+}
+
 TEST(SamplesTest, Quantiles) {
   Samples s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "tocttou/core/harness.h"
+#include "tocttou/core/round_run.h"
 
 namespace tocttou::core {
 namespace {
@@ -115,6 +116,48 @@ TEST(RoundContextTest, ManyReusedRoundsMatchManyFreshRounds) {
     expect_identical(fresh, reused);
   }
   EXPECT_EQ(ctx.reuses(), 7u);
+}
+
+// Checkpoint fork vs reset-and-replay: a round staged in a RECYCLED
+// context, stepped partway, then forked via the RoundRun copy ctor must
+// finish byte-identical to the same round replayed whole through a
+// reset context. This is the clone side of the Vfs::reset/Kernel::reset
+// contract the explorer's checkpoint mode depends on: leftover arena
+// state in the context, or a miscloned pointer in the fork, would both
+// surface as a journal/metrics diff.
+void expect_clone_matches_reset_replay(ScenarioConfig cfg,
+                                       ScenarioConfig dirty) {
+  cfg.record_journal = true;
+  cfg.record_events = true;
+  cfg.collect_metrics = true;
+
+  RoundContext ctx;
+  (void)run_round(dirty, &ctx);  // dirty the arenas first
+  const RoundResult replayed = run_round(cfg, &ctx);
+
+  // Same context again (now dirtied by `cfg` itself): step partway,
+  // fork, and drive only the FORK to completion.
+  RoundRun parent(cfg, &ctx);
+  const std::uint64_t boundary = replayed.events / 2;
+  while (parent.events_executed() < boundary && parent.step()) {
+  }
+  RoundRun fork(parent);
+  while (fork.step()) {
+  }
+  const RoundResult cloned = fork.finish();
+  expect_identical(replayed, cloned);
+}
+
+TEST(RoundContextTest, CloneMatchesResetReplayOnSmpTestbed) {
+  expect_clone_matches_reset_replay(smp_vi(42), up_gedit(7));
+}
+
+TEST(RoundContextTest, CloneMatchesResetReplayOnUniprocessorTestbed) {
+  expect_clone_matches_reset_replay(up_gedit(13), multicore_gedit(3));
+}
+
+TEST(RoundContextTest, CloneMatchesResetReplayOnMulticoreTestbed) {
+  expect_clone_matches_reset_replay(multicore_gedit(21), smp_vi(8));
 }
 
 TEST(RoundContextTest, FaultPlanRoundsAreIdenticalUnderReuse) {

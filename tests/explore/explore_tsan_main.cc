@@ -1,9 +1,11 @@
 // Standalone (gtest-free) determinism check for the parallel explorer.
-// CI builds exactly this binary under -fsanitize=thread: an exhaustive
-// and a PCT exploration each run with 1 and 4 workers, and every
-// deterministic result field must match — proving the work-stealing
-// wave executor race-free without instrumenting the gtest/benchmark
-// binaries. Exits non-zero on divergence.
+// CI builds exactly this binary under -fsanitize=thread: exhaustive
+// exploration (with checkpoint/fork ON and OFF) and a PCT exploration
+// each run with 1 and 4 workers, and every deterministic result field
+// must match — proving the work-stealing wave executor AND the
+// checkpoint seed hand-off between workers race-free without
+// instrumenting the gtest/benchmark binaries. Exits non-zero on
+// divergence.
 #include <cstdio>
 
 #include "tocttou/explore/explorer.h"
@@ -65,7 +67,12 @@ int main() {
   ex.think_buckets = 6;
   ex.preemption_bound = 1;
   ex.max_schedules = 300;
-  bool ok = check_pair(cfg, ex, "exhaustive");
+  // Checkpoint mode first: mid-round clones minted by one worker may be
+  // adopted by another, the exact hand-off TSan needs to see.
+  ex.checkpoint = true;
+  bool ok = check_pair(cfg, ex, "exhaustive-checkpoint");
+  ex.checkpoint = false;
+  ok = check_pair(cfg, ex, "exhaustive-replay") && ok;
 
   explore::ExploreConfig pct;
   pct.mode = explore::ExploreMode::pct;

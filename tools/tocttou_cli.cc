@@ -64,6 +64,11 @@ using namespace tocttou;
       "                               $TOCTTOU_JOBS, else all cores; 1 =\n"
       "                               serial; results are bit-identical at\n"
       "                               any job count)\n"
+      "  --explore-checkpoint=on|off  fork leaves from a checkpoint of\n"
+      "                               their parent instead of replaying\n"
+      "                               the shared prefix (default on;\n"
+      "                               results are bit-identical either\n"
+      "                               way)\n"
       "  --pct-depth=N                PCT bug depth d (default 3)\n"
       "  --pct-schedules=N            PCT schedules to run (default 1000)\n"
       "  --replay=TOKEN               re-run one recorded schedule token\n"
@@ -236,6 +241,10 @@ int main(int argc, char** argv) {
       explore_jobs =
           static_cast<int>(parse_int("--explore-jobs", v, -1000000, 1000000));
       explore_jobs_set = true;
+    } else if (take(argv[i], "--explore-checkpoint", &v)) {
+      if (v == "on") ecfg.checkpoint = true;
+      else if (v == "off") ecfg.checkpoint = false;
+      else bad_value("--explore-checkpoint", v, "on or off");
     } else if (take(argv[i], "--pct-depth", &v)) {
       ecfg.pct_depth = static_cast<int>(parse_int("--pct-depth", v, 1, 64));
     } else if (take(argv[i], "--pct-schedules", &v)) {
