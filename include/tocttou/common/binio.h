@@ -1,0 +1,107 @@
+// Little-endian binary serialization helpers for the durable on-disk
+// formats (the exploration sweep journal). Header-only, byte-exact on
+// every platform: integers are written LSB-first byte by byte, doubles
+// through their IEEE-754 bit pattern, so a journal written on one
+// machine resumes on any other.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace tocttou {
+
+/// Appends little-endian primitives onto an owned byte string.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void bytes(std::string_view b) { out_.append(b.data(), b.size()); }
+  /// Length-prefixed byte string (u32 length, then the bytes).
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s);
+  }
+
+  const std::string& data() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte view. A read past the end (or a
+/// length prefix that overruns the buffer) returns a zero value and
+/// latches ok() to false — callers validate once at the end instead of
+/// checking every field, and a truncated record can never fake success
+/// because the CRC framing is verified before parsing starts.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view buf) : buf_(buf) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(le(8)); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string_view bytes(std::size_t n) {
+    if (buf_.size() - off_ < n) {
+      ok_ = false;
+      off_ = buf_.size();
+      return {};
+    }
+    std::string_view out = buf_.substr(off_, n);
+    off_ += n;
+    return out;
+  }
+  std::string_view str() { return bytes(u32()); }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return buf_.size() - off_; }
+  /// A fully consumed, error-free buffer — the usual end-of-parse check.
+  bool done() const { return ok_ && off_ == buf_.size(); }
+
+ private:
+  std::uint64_t le(int n) {
+    if (buf_.size() - off_ < static_cast<std::size_t>(n)) {
+      ok_ = false;
+      off_ = buf_.size();
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(buf_[off_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    off_ += static_cast<std::size_t>(n);
+    return v;
+  }
+
+  std::string_view buf_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace tocttou

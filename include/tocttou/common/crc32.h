@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320), table-driven.
+// Used to frame the sweep-journal records: a resumed exploration must be
+// able to detect a torn or corrupted tail (the process was SIGKILLed or
+// the disk filled mid-append) and truncate it instead of trusting it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tocttou {
+
+/// CRC-32 of `n` bytes, continuing from `crc` (pass 0 to start). The
+/// conventional reflected algorithm: crc32(crc32(0, a), b) ==
+/// crc32(0, ab), and crc32 of "123456789" from 0 is 0xCBF43926.
+std::uint32_t crc32(std::uint32_t crc, const void* data, std::size_t n);
+
+inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(0, bytes.data(), bytes.size());
+}
+
+}  // namespace tocttou

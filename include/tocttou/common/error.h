@@ -39,6 +39,16 @@ class SimError : public std::logic_error {
   explicit SimError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown by core::RoundRun when a round crosses its kernel step budget
+/// (ScenarioConfig::step_budget): the watchdog that turns a livelocked
+/// simulation into a reported, replayable anomaly instead of a hang.
+/// Campaigns count it as a failed round; the explorer quarantines the
+/// schedule under ErrorKind::step_budget_exhausted.
+class StepBudgetError : public SimError {
+ public:
+  explicit StepBudgetError(const std::string& what) : SimError(what) {}
+};
+
 #define TOCTTOU_CHECK(cond, msg)                                       \
   do {                                                                 \
     if (!(cond)) {                                                     \

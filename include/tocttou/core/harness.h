@@ -28,6 +28,7 @@ class Vfs;
 
 namespace tocttou::sim {
 class Kernel;
+class Program;
 class Scheduler;
 }
 
@@ -103,6 +104,31 @@ struct ScenarioConfig {
   /// choice the way the policy would IS the same scenario.
   std::function<std::unique_ptr<sim::Scheduler>(const ScenarioConfig&)>
       scheduler_factory;
+
+  /// Watchdog: hard cap on kernel events one round may execute before
+  /// RoundRun::step() throws StepBudgetError (0 = unlimited). The
+  /// default is far beyond any healthy round (~10^4-10^5 events), so a
+  /// livelocked simulation — a program spinning without advancing the
+  /// scenario — surfaces as a failed-round anomaly / quarantined
+  /// schedule instead of burning the whole round_limit of simulated
+  /// time. Excluded from scenario_fingerprint(), like round_limit's
+  /// cousins the record flags: previously minted replay tokens stay
+  /// valid, and a budget generous enough never to trip is unobservable.
+  std::uint64_t step_budget = 100'000'000;
+
+  /// Extra processes spawned into the round AFTER the victim (so victim
+  /// and attacker pids — and thus journals, traces, and tokens — are
+  /// untouched when the list is empty). Test hook for fault/livelock
+  /// scenarios; excluded from scenario_fingerprint() like
+  /// scheduler_factory. Programs that should survive checkpoint forking
+  /// must implement sim::Program::clone().
+  struct ExtraProgram {
+    std::string name = "extra";
+    sim::Uid uid = 0;
+    sim::Gid gid = 0;
+    std::function<std::unique_ptr<sim::Program>(fs::Vfs&)> make;
+  };
+  std::vector<ExtraProgram> extra_programs;
 };
 
 struct RoundResult {
@@ -254,8 +280,10 @@ std::pair<Duration, Duration> victim_think_range(const ScenarioConfig& cfg);
 /// space: testbed, machine/noise/background parameters, victim,
 /// attacker, file size, defenses, paths, fault plan, round limit.
 /// Excludes seed, victim_think, the record flags, collect_metrics,
-/// wall_profile, and scheduler_factory — those vary across rounds of
-/// the SAME scenario (a schedule token pins seed and think itself).
+/// wall_profile, scheduler_factory, step_budget, and extra_programs —
+/// those vary across rounds of the SAME scenario (a schedule token pins
+/// seed and think itself; a watchdog budget that never trips is
+/// unobservable, and tokens from budgeted runs must replay unbudgeted).
 std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg);
 
 /// The DConvention the paper uses for each victim.

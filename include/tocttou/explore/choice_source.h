@@ -79,6 +79,8 @@ struct SiteRecord {
   /// pick sites: option i commutes with the chosen option per the oracle
   /// (never set for the chosen option itself).
   std::vector<std::uint8_t> commutes_with_chosen;
+
+  bool operator==(const SiteRecord&) const = default;
 };
 
 class GuidedSource final : public ChoiceSource {

@@ -45,10 +45,12 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "tocttou/common/stats.h"
 #include "tocttou/core/harness.h"
 #include "tocttou/explore/choice_source.h"
+#include "tocttou/explore/resilience.h"
 #include "tocttou/explore/token.h"
 
 namespace tocttou::explore {
@@ -106,6 +108,30 @@ struct ExploreConfig {
   /// counters (jobs-invariant, on-only) in ExploreResult::metrics.
   bool checkpoint = true;
 
+  /// Live mid-round checkpoints (full VFS/kernel/journal clones) the
+  /// fork path may retain at once; the cap bounds resident memory. A
+  /// group whose seed was crowded out falls back to replaying its
+  /// parent's prefix from the start of the round (counted as
+  /// explore.degraded_groups) — wall time changes, results never do.
+  int seed_budget = 512;
+
+  /// Durable progress journal (see sweep_journal.h): every completed
+  /// reduction batch is CRC-framed and flushed to this path. Empty = no
+  /// journal. With `resume` set, an existing journal at the path is
+  /// validated and its leaves are replayed into the reduction instead of
+  /// re-executing; the final ExploreResult is byte-identical to an
+  /// uninterrupted run (journal/resume counters and throughput metrics
+  /// excepted — see DESIGN.md §8).
+  std::string journal_path;
+  bool resume = false;
+
+  /// Graceful-stop poll, checked between reduction batches (never
+  /// mid-leaf). Returning true ends the sweep with a valid partial
+  /// result (`ExploreResult::interrupted`) after flushing the journal,
+  /// so a --resume run can pick up where it stopped. The CLI wires
+  /// SIGINT/SIGTERM and --deadline-s through this.
+  std::function<bool()> should_stop;
+
   /// Test hook: called for every executed exhaustive leaf with a unique
   /// replay key (the leaf's serialized schedule token) and the leaf's
   /// full RoundResult, BEFORE it is compacted into the reduction. May be
@@ -117,6 +143,10 @@ struct ExploreConfig {
                      const core::RoundResult& r)>
       leaf_observer;
 };
+
+/// Cap on quarantined-schedule replay tokens retained per exploration
+/// (mirrors core::kMaxAnomalyTokens for campaigns).
+inline constexpr int kMaxQuarantineTokens = 8;
 
 struct ExploreResult {
   ExploreMode mode = ExploreMode::exhaustive;
@@ -166,6 +196,29 @@ struct ExploreResult {
   /// Rounds where a forced prefix failed to match the sites the kernel
   /// reached (should stay 0; nonzero means nondeterminism crept in).
   int divergence_errors = 0;
+
+  /// The sweep stopped early via ExploreConfig::should_stop (signal or
+  /// deadline). Everything reduced so far is valid; `complete` is false
+  /// and, when a journal is active, the on-disk state resumes exactly
+  /// here.
+  bool interrupted = false;
+
+  /// Schedules whose execution threw twice (see resilience.h): counted
+  /// and enumerated but excluded from probability mass and expansion.
+  /// quarantined + healthy schedules == `schedules`.
+  int quarantined = 0;
+  /// Replay tokens of the first kMaxQuarantineTokens quarantined
+  /// schedules, in canonical enumeration order (jobs-invariant).
+  std::vector<QuarantineRecord> quarantine;
+
+  /// Journal bookkeeping: leaves loaded from a resumed journal (0 on a
+  /// fresh run) and the first journal error. A create/resume failure
+  /// (unwritable path, header mismatch) aborts the sweep before any
+  /// round runs (`schedules` == 0); a write error mid-sweep is latched
+  /// here but the sweep itself still completes — it just stops being
+  /// resumable past the last intact batch.
+  int journal_leaves_loaded = 0;
+  std::string journal_error;
 
   /// Exploration throughput counters: explore.leaves (leaf rounds
   /// executed — deterministic), explore.steals (work-stealing events)

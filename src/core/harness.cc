@@ -355,6 +355,17 @@ RoundRun::RoundRun(const ScenarioConfig& cfg, RoundContext* ctx)
   res.victim_pid = victim_pid_;
   if (injector) injector->set_role(victim_pid_, sim::FaultRole::victim);
 
+  // --- extra programs (test hook): spawned last so victim/attacker pids
+  // match the plain scenario exactly ---
+  for (const ScenarioConfig::ExtraProgram& ep : cfg.extra_programs) {
+    TOCTTOU_CHECK(static_cast<bool>(ep.make), "extra program lacks a factory");
+    sim::SpawnOptions eopts;
+    eopts.name = ep.name;
+    eopts.uid = ep.uid;
+    eopts.gid = ep.gid;
+    kernel.spawn(ep.make(vfs), eopts);
+  }
+
   timer_.lap(&metrics::WallProfile::setup_ns);
   limit_ = SimTime::origin() + cfg.round_limit;
 }
@@ -424,6 +435,20 @@ void RoundRun::end_sim() {
 }
 
 bool RoundRun::step() {
+  // Watchdog: a round that executes this many kernel events without
+  // finishing is livelocked (healthy rounds take orders of magnitude
+  // fewer). Checked only when another event is about to run, so a round
+  // that ends exactly at the budget still finishes normally.
+  const auto check_budget = [this] {
+    if (cfg_.step_budget != 0 &&
+        kernel_->events_executed() >= cfg_.step_budget) {
+      throw StepBudgetError(strfmt(
+          "round exceeded its kernel step budget (%llu events executed, "
+          "budget %llu): livelocked simulation",
+          static_cast<unsigned long long>(kernel_->events_executed()),
+          static_cast<unsigned long long>(cfg_.step_budget)));
+    }
+  };
   // Each phase mirrors one of run_round's historical run_until calls:
   // stop condition first, then queue-drained, then the time limit, then
   // one event — so a stepped round is byte-identical to a run_until one.
@@ -438,6 +463,7 @@ bool RoundRun::step() {
           end_victim_phase(false);
           continue;
         }
+        check_budget();
         kernel_->step();
         return true;
       case Phase::drain:
@@ -446,6 +472,7 @@ bool RoundRun::step() {
           end_sim();
           continue;
         }
+        check_budget();
         kernel_->step();
         return true;
       case Phase::sim_over:

@@ -16,6 +16,8 @@
 #include "tocttou/common/rng.h"
 #include "tocttou/core/round_run.h"
 #include "tocttou/explore/exploring_scheduler.h"
+#include "tocttou/explore/resilience.h"
+#include "tocttou/explore/sweep_journal.h"
 
 namespace tocttou::explore {
 
@@ -46,29 +48,10 @@ std::vector<ThinkBucket> make_buckets(const core::ScenarioConfig& cfg,
   return out;
 }
 
-/// Everything a leaf round contributes to the reduction, compacted so a
-/// whole wave of outcomes stays cheap to hold (the RoundResult with its
-/// journal is dropped inside the worker).
-struct LeafOutcome {
-  bool prefix_ok = false;
-  bool success = false;
-  std::optional<double> window_us;
-  std::vector<SiteRecord> sites;
-  std::vector<Choice> choices;
-  /// Checkpoint mode: the 1-based kernel event index at which each site
-  /// resolved — site j's children fork from the parent's state after
-  /// site_events[j] - 1 events. Empty when checkpointing is off.
-  std::vector<std::uint64_t> site_events;
-  // PCT extras.
-  int pct_procs = 0;
-  int pct_steps = 0;
-};
-
-/// Live seeds the checkpoint mode may hold at once. Each seed is a full
-/// mid-round clone (VFS, kernel, journal), so the budget bounds resident
-/// memory; a group whose seed was crowded out simply replays its parent
-/// from the start of the round — wall time changes, results never do.
-constexpr int kSeedBudget = 512;
+/// Everything a leaf round contributes to the reduction — now the
+/// journal's on-disk record type (sweep_journal.h), so re-reducing a
+/// resumed leaf is the same code path as reducing a fresh one.
+using LeafOutcome = LeafRecord;
 
 /// A retained mid-round checkpoint: the parent round advanced to (one of)
 /// its fork boundaries, kept so the group that later expands that leaf
@@ -140,10 +123,13 @@ struct GroupOutcome {
 /// re-running it), so iteration c only simulates the schedules at depth
 /// c. Outcomes live in a deque for stable addresses.
 struct ExploreState {
+  explicit ExploreState(int seed_budget) : seed_slots(seed_budget) {}
+
   std::deque<LeafOutcome> store;
   std::unordered_map<std::string, LeafOutcome*> memo;
   std::unordered_map<std::string, std::unique_ptr<Seed>> seeds;
-  std::atomic<int> seed_slots{kSeedBudget};
+  /// ExploreConfig::seed_budget slots for live mid-round clones.
+  std::atomic<int> seed_slots;
   std::uint64_t cache_hits = 0;
 };
 
@@ -204,7 +190,7 @@ class Worker {
     GuidedSource src(std::move(prefix), oracle);
     src_ = &src;
     cfg_.victim_think = think;
-    const core::RoundResult r = core::run_round(cfg_, &ctx_);
+    const core::RoundResult r = core::run_round(cfg_, ctx());
     src_ = nullptr;
     observe(think, src, r);
     return make_outcome(src, prefix_len, r, {});
@@ -220,13 +206,43 @@ class Worker {
     GuidedSource src(std::move(prefix), oracle);
     src_ = &src;
     cfg_.victim_think = think;
-    core::RoundRun run(cfg_, &ctx_);
+    core::RoundRun run(cfg_, ctx());
     std::vector<std::uint64_t> site_events;
     while (run.step()) note_sites(src, run, &site_events);
     const core::RoundResult r = run.finish();
     src_ = nullptr;
     observe(think, src, r);
     return make_outcome(src, prefix_len, r, std::move(site_events));
+  }
+
+  /// Leaf fault containment (DESIGN.md §8): runs the leaf and, if it
+  /// throws, discards the worker's reused RoundContext (a fault mid-round
+  /// may leave recycled arenas inconsistent) and retries ONCE in a fresh
+  /// one; a second throw quarantines the schedule — the stand-in outcome
+  /// carries the ErrorKind and the forced prefix (the schedule's
+  /// identity, from which a reproducing replay token is minted), with no
+  /// sites (no expansion) and no mass. `attempts` lets the fork path
+  /// charge an already-failed forked execution as the first try.
+  LeafOutcome run_contained(Duration think, std::vector<Choice> prefix,
+                            const IndependenceOracle* oracle, bool stepped,
+                            int attempts = 2) {
+    for (;;) {
+      std::vector<Choice> p = prefix;  // retries need the original
+      try {
+        return stepped ? run_stepped(think, std::move(p), oracle)
+                       : run_guided(think, std::move(p), oracle);
+      } catch (const std::exception& e) {
+        src_ = nullptr;  // the throwing run's GuidedSource is gone
+        reset_context();
+        if (--attempts <= 0) {
+          LeafOutcome out;
+          out.prefix_ok = true;
+          out.error = classify_exception(e);
+          out.choices = std::move(prefix);
+          return out;
+        }
+      }
+    }
   }
 
   /// Checkpoint/fork execution of one parent's children: replay the
@@ -253,28 +269,44 @@ class Worker {
     std::optional<GuidedSource> psrc;
     std::optional<core::RoundRun> local_parent;
     core::RoundRun* parent = nullptr;
-    if (g.seed != nullptr && g.seed->run != nullptr) {
-      // Adopt the seed: it may have been minted by another worker, whose
-      // scheduler clone still routes choices to that worker's slot.
-      auto* sched = dynamic_cast<ExploringScheduler*>(
-          &g.seed->run->kernel().sched());
-      TOCTTOU_CHECK(sched != nullptr,
-                    "checkpoint seed lacks an exploring scheduler");
-      sched->set_slot(&src_);
-      psrc.emplace(g.choices(), oracle,
-                   std::vector<SiteRecord>(
-                       g.sites().begin(),
-                       g.sites().begin() +
-                           static_cast<long>(g.seed->sites_at)));
-      src_ = &*psrc;
-      parent = g.seed->run.get();
-    } else {
-      psrc.emplace(g.choices(), oracle);
-      src_ = &*psrc;
-      local_parent.emplace(cfg_, &ctx_);
-      parent = &*local_parent;
+    // Fork boundaries are recorded per site; a parent loaded from a
+    // checkpoint-off journal carries none, so its children degrade to
+    // full prefix replay (byte-identical outcomes, just slower).
+    bool parent_ok = g.events().size() == g.sites().size();
+    if (parent_ok) {
+      try {
+        if (g.seed != nullptr && g.seed->run != nullptr) {
+          // Adopt the seed: it may have been minted by another worker,
+          // whose scheduler clone still routes choices to that worker's
+          // slot.
+          auto* sched = dynamic_cast<ExploringScheduler*>(
+              &g.seed->run->kernel().sched());
+          TOCTTOU_CHECK(sched != nullptr,
+                        "checkpoint seed lacks an exploring scheduler");
+          sched->set_slot(&src_);
+          psrc.emplace(g.choices(), oracle,
+                       std::vector<SiteRecord>(
+                           g.sites().begin(),
+                           g.sites().begin() +
+                               static_cast<long>(g.seed->sites_at)));
+          src_ = &*psrc;
+          parent = g.seed->run.get();
+        } else {
+          psrc.emplace(g.choices(), oracle);
+          src_ = &*psrc;
+          local_parent.emplace(cfg_, ctx());
+          parent = &*local_parent;
+        }
+      } catch (const std::exception&) {
+        // Parent setup threw before any child ran. Fall back below:
+        // each child full-replays in containment, so a real per-child
+        // fault is charged to the children that actually hit it.
+        src_ = nullptr;
+        local_parent.reset();
+        reset_context();
+        parent_ok = false;
+      }
     }
-    bool parent_ok = true;
     std::optional<std::uint64_t> last_boundary;
     for (const ParentGroup::Child& c : g.children) {
       if (!c.run) continue;  // memoized: the reduction reads the cache
@@ -282,55 +314,79 @@ class Worker {
           g.choices().begin(),
           g.choices().begin() + static_cast<long>(c.site) + 1);
       child_prefix.back().chosen = c.alt;
-      const std::uint64_t boundary = g.events()[c.site] - 1;
-      while (parent_ok && parent->events_executed() < boundary) {
-        if (!parent->step() || !psrc->ok()) parent_ok = false;
+      int attempts = 2;
+      if (parent_ok) {
+        try {
+          const std::uint64_t boundary = g.events()[c.site] - 1;
+          bool advanced = true;
+          while (advanced && parent->events_executed() < boundary) {
+            if (!parent->step() || !psrc->ok()) advanced = false;
+          }
+          // Sites fully resolved strictly before the boundary event;
+          // sites [s, c.site] all resolve DURING it and re-resolve in
+          // the child.
+          std::size_t s = 0;
+          while (s < g.events().size() &&
+                 g.events()[s] < g.events()[c.site]) {
+            ++s;
+          }
+          if (advanced && psrc->sites().size() != s) advanced = false;
+          if (advanced) {
+            if (!last_boundary || *last_boundary != boundary) {
+              ++out.checkpoints;
+              last_boundary = boundary;
+            }
+            ++out.forks;
+            out.prefix_ns_saved +=
+                static_cast<std::uint64_t>(parent->now().ns());
+            std::unique_ptr<Seed> seed;
+            if (mint_seeds && seed_slots_ != nullptr &&
+                seed_slots_->fetch_sub(1, std::memory_order_relaxed) > 0) {
+              seed = std::make_unique<Seed>(
+                  std::make_unique<core::RoundRun>(*parent), s, seed_slots_);
+            } else if (mint_seeds && seed_slots_ != nullptr) {
+              seed_slots_->fetch_add(1, std::memory_order_relaxed);
+            }
+            core::RoundRun child(*parent);
+            GuidedSource csrc(child_prefix, oracle,
+                              std::vector<SiteRecord>(
+                                  g.sites().begin(),
+                                  g.sites().begin() + static_cast<long>(s)));
+            src_ = &csrc;
+            std::vector<std::uint64_t> cevents(
+                g.events().begin(),
+                g.events().begin() + static_cast<long>(s));
+            while (child.step()) note_sites(csrc, child, &cevents);
+            const core::RoundResult r = child.finish();
+            src_ = &*psrc;  // back to steering the parent replay
+            observe(think, csrc, r);
+            out.leaves.push_back(
+                make_outcome(csrc, c.site + 1, r, std::move(cevents)));
+            out.seeds.push_back(std::move(seed));
+            continue;
+          }
+          // Parent replay diverged from its recorded sites: the
+          // remaining children fall back to full stepped replay — every
+          // result field then matches checkpoint-off.
+          parent_ok = false;
+          src_ = nullptr;
+          local_parent.reset();  // free ctx_ for the full replays
+        } catch (const std::exception&) {
+          // The fork — or the parent replay feeding it — threw. The
+          // parent's mid-round state is suspect: drop it, discard the
+          // context, and charge this child its first attempt (the retry
+          // below is its second and last before quarantine).
+          parent_ok = false;
+          src_ = nullptr;
+          local_parent.reset();
+          reset_context();
+          attempts = 1;
+        }
       }
-      // Sites fully resolved strictly before the boundary event; sites
-      // [s, c.site] all resolve DURING it and re-resolve in the child.
-      std::size_t s = 0;
-      while (s < g.events().size() &&
-             g.events()[s] < g.events()[c.site]) {
-        ++s;
-      }
-      if (parent_ok && psrc->sites().size() != s) parent_ok = false;
-      if (!parent_ok) {
-        local_parent.reset();  // free ctx_ for the full replays
-        out.leaves.push_back(
-            run_stepped(think, std::move(child_prefix), oracle));
-        out.seeds.push_back(nullptr);
-        src_ = &*psrc;
-        continue;
-      }
-      if (!last_boundary || *last_boundary != boundary) {
-        ++out.checkpoints;
-        last_boundary = boundary;
-      }
-      ++out.forks;
-      out.prefix_ns_saved += static_cast<std::uint64_t>(parent->now().ns());
-      std::unique_ptr<Seed> seed;
-      if (mint_seeds && seed_slots_ != nullptr &&
-          seed_slots_->fetch_sub(1, std::memory_order_relaxed) > 0) {
-        seed = std::make_unique<Seed>(
-            std::make_unique<core::RoundRun>(*parent), s, seed_slots_);
-      } else if (mint_seeds && seed_slots_ != nullptr) {
-        seed_slots_->fetch_add(1, std::memory_order_relaxed);
-      }
-      core::RoundRun child(*parent);
-      GuidedSource csrc(std::move(child_prefix), oracle,
-                        std::vector<SiteRecord>(
-                            g.sites().begin(),
-                            g.sites().begin() + static_cast<long>(s)));
-      src_ = &csrc;
-      std::vector<std::uint64_t> cevents(
-          g.events().begin(), g.events().begin() + static_cast<long>(s));
-      while (child.step()) note_sites(csrc, child, &cevents);
-      const core::RoundResult r = child.finish();
-      src_ = &*psrc;  // back to steering the parent replay
-      observe(think, csrc, r);
-      out.leaves.push_back(
-          make_outcome(csrc, c.site + 1, r, std::move(cevents)));
-      out.seeds.push_back(std::move(seed));
+      out.leaves.push_back(run_contained(think, std::move(child_prefix),
+                                         oracle, /*stepped=*/true,
+                                         attempts));
+      out.seeds.push_back(nullptr);
     }
     src_ = nullptr;
     return out;
@@ -349,32 +405,51 @@ class Worker {
           g.choices().begin(),
           g.choices().begin() + static_cast<long>(c.site) + 1);
       child_prefix.back().chosen = c.alt;
-      out.leaves.push_back(
-          run_guided(think, std::move(child_prefix), oracle));
+      out.leaves.push_back(run_contained(think, std::move(child_prefix),
+                                         oracle, /*stepped=*/false));
       out.seeds.push_back(nullptr);
     }
     return out;
   }
 
   LeafOutcome run_pct(Duration think, const PctParams& pp) {
-    PctSource src(pp);
-    src_ = &src;
-    cfg_.victim_think = think;
-    const core::RoundResult r = core::run_round(cfg_, &ctx_);
-    src_ = nullptr;
-    LeafOutcome out;
-    out.prefix_ok = true;
-    out.success = r.success;
-    if (r.window && r.window->window_found) {
-      out.window_us = r.window->victim_window().us();
+    for (int attempts = 2;;) {
+      PctSource src(pp);
+      src_ = &src;
+      cfg_.victim_think = think;
+      core::RoundResult r;
+      try {
+        r = core::run_round(cfg_, ctx());
+      } catch (const std::exception& e) {
+        src_ = nullptr;
+        reset_context();
+        if (--attempts > 0) continue;
+        // Quarantined: the choices recorded up to the throw replay the
+        // identical deterministic execution, so the minted token
+        // reproduces the failure.
+        LeafOutcome out;
+        out.prefix_ok = true;
+        out.error = classify_exception(e);
+        out.choices = src.token_choices();
+        out.pct_procs = src.procs_seen();
+        out.pct_steps = src.steps();
+        return out;
+      }
+      src_ = nullptr;
+      LeafOutcome out;
+      out.prefix_ok = true;
+      out.success = r.success;
+      if (r.window && r.window->window_found) {
+        out.window_us = r.window->victim_window().us();
+      }
+      out.choices = src.token_choices();
+      out.pct_procs = src.procs_seen();
+      out.pct_steps = src.steps();
+      return out;
     }
-    out.choices = src.token_choices();
-    out.pct_procs = src.procs_seen();
-    out.pct_steps = src.steps();
-    return out;
   }
 
-  std::uint64_t ctx_reuses() const { return ctx_.reuses(); }
+  std::uint64_t ctx_reuses() const { return ctx_->reuses(); }
 
  private:
   /// The prefix replays choices an earlier run actually made, so a
@@ -416,12 +491,21 @@ class Worker {
     ecfg_->leaf_observer(tok.serialize(), r);
   }
 
+  core::RoundContext* ctx() { return &*ctx_; }
+
+  /// Discards the reusable arenas after a leaf threw out of a round: a
+  /// fault mid-simulation can leave the recycled Vfs/Kernel in a state
+  /// no later leaf should inherit. The next round rebuilds from scratch
+  /// (the reuse counter restarts — a throughput metric outside the
+  /// determinism contract).
+  void reset_context() { ctx_.emplace(); }
+
   core::ScenarioConfig cfg_;
   const ExploreConfig* ecfg_;
   std::uint32_t fingerprint_;
   std::atomic<int>* seed_slots_;
   ChoiceSource* src_ = nullptr;
-  core::RoundContext ctx_;
+  std::optional<core::RoundContext> ctx_{std::in_place};
 };
 
 /// Work-stealing pool over canonically indexed leaves. Each worker owns
@@ -502,9 +586,22 @@ class WorkerPool {
 /// order.
 constexpr int kWaveBatch = 2048;
 
-ExploreResult explore_pct(const core::ScenarioConfig& base,
-                          const ExploreConfig& ecfg,
-                          std::uint32_t fingerprint, WorkerPool* pool) {
+/// Canonical journal key of PCT schedule i: "P" + 4 index bytes. Never
+/// collides with an exhaustive key (those are 4 bucket bytes plus a
+/// multiple of 5 — length 5 only ever means PCT).
+std::string pct_key(int i) {
+  std::string key(1, 'P');
+  for (int b = 0; b < 4; ++b) {
+    key.push_back(static_cast<char>((static_cast<unsigned>(i) >> (8 * b)) &
+                                    0xffu));
+  }
+  return key;
+}
+
+ExploreResult explore_pct(
+    const core::ScenarioConfig& base, const ExploreConfig& ecfg,
+    std::uint32_t fingerprint, WorkerPool* pool, SweepJournal* journal,
+    const std::vector<std::pair<std::string, LeafRecord>>& loaded) {
   ExploreResult res;
   res.mode = ExploreMode::pct;
   const auto [lo, hi] = core::victim_think_range(base);
@@ -515,30 +612,69 @@ ExploreResult explore_pct(const core::ScenarioConfig& base,
     return base.victim_think ? *base.victim_think
                              : draw.uniform_duration(lo, hi);
   };
-  std::vector<LeafOutcome> out(static_cast<std::size_t>(
-      std::min(ecfg.pct_schedules, kWaveBatch)));
+  std::unordered_map<std::string, const LeafRecord*> cache;
+  for (const auto& [key, rec] : loaded) cache.emplace(key, &rec);
+  std::vector<std::string> keys;
+  std::vector<int> todo;
+  std::vector<LeafOutcome> out;
+  std::vector<std::pair<std::string, const LeafRecord*>> fresh;
   for (int begin = 0; begin < ecfg.pct_schedules; begin += kWaveBatch) {
+    if (ecfg.should_stop && ecfg.should_stop()) {
+      res.interrupted = true;
+      break;
+    }
     const int count = std::min(kWaveBatch, ecfg.pct_schedules - begin);
-    pool->run(count, [&](Worker& w, int i) {
-      const int sched_i = begin + i;
+    keys.assign(static_cast<std::size_t>(count), {});
+    todo.clear();
+    for (int i = 0; i < count; ++i) {
+      keys[static_cast<std::size_t>(i)] = pct_key(begin + i);
+      if (cache.count(keys[static_cast<std::size_t>(i)]) != 0) continue;
+      todo.push_back(i);
+    }
+    out.assign(todo.size(), {});
+    pool->run(static_cast<int>(todo.size()), [&](Worker& w, int t) {
+      const int sched_i = begin + todo[static_cast<std::size_t>(t)];
       const std::uint64_t stream =
           mix_seed(ecfg.pct_seed, static_cast<std::uint64_t>(sched_i));
       PctParams pp;
       pp.seed = mix_seed(stream, 0x9C7);
       pp.depth = ecfg.pct_depth;
       pp.expected_steps = ecfg.pct_expected_steps;
-      out[static_cast<std::size_t>(i)] = w.run_pct(think_for(sched_i), pp);
+      out[static_cast<std::size_t>(t)] = w.run_pct(think_for(sched_i), pp);
     });
     // Serial reduction in schedule-index order: identical arithmetic for
-    // any worker count.
+    // any worker count, fresh or resumed.
+    std::size_t t = 0;
     for (int i = 0; i < count; ++i) {
-      const LeafOutcome& o = out[static_cast<std::size_t>(i)];
+      const LeafOutcome* o;
+      if (t < todo.size() && todo[t] == i) {
+        o = &out[t];
+        if (journal != nullptr) {
+          fresh.emplace_back(keys[static_cast<std::size_t>(i)], o);
+        }
+        ++t;
+      } else {
+        o = cache.at(keys[static_cast<std::size_t>(i)]);
+      }
       ++res.schedules;
       ++res.rounds_executed;
-      res.pct_procs = std::max(res.pct_procs, o.pct_procs);
-      res.pct_max_steps = std::max(res.pct_max_steps, o.pct_steps);
-      if (o.window_us) res.window_us.add(*o.window_us);
-      if (o.success) {
+      if (o->error != ErrorKind::none) {
+        ++res.quarantined;
+        if (static_cast<int>(res.quarantine.size()) < kMaxQuarantineTokens) {
+          ScheduleToken tok;
+          tok.fingerprint = fingerprint;
+          tok.seed = base.seed;
+          tok.think_ns = think_for(begin + i).ns();
+          tok.choices = o->choices;
+          res.quarantine.push_back(
+              QuarantineRecord{tok.serialize(), o->error, -1});
+        }
+        continue;
+      }
+      res.pct_procs = std::max(res.pct_procs, o->pct_procs);
+      res.pct_max_steps = std::max(res.pct_max_steps, o->pct_steps);
+      if (o->window_us) res.window_us.add(*o->window_us);
+      if (o->success) {
         ++res.successes;
         if (res.schedules_to_first_hit < 0) {
           res.schedules_to_first_hit = res.schedules;
@@ -548,11 +684,15 @@ ExploreResult explore_pct(const core::ScenarioConfig& base,
           tok.fingerprint = fingerprint;
           tok.seed = base.seed;
           tok.think_ns = think_for(begin + i).ns();
-          tok.choices = o.choices;
+          tok.choices = o->choices;
           res.witness = std::move(tok);
           res.witness_divergences = -1;  // not meaningful for PCT
         }
       }
+    }
+    if (journal != nullptr) {
+      journal->append_batch(fresh);
+      fresh.clear();
     }
   }
   if (res.pct_procs > 0 && res.pct_max_steps > 0) {
@@ -583,6 +723,17 @@ struct Iteration {
   std::uint64_t checkpoints = 0;
   std::uint64_t forks = 0;
   std::uint64_t prefix_ns_saved = 0;
+  // Fault containment: schedules whose execution threw twice, with a
+  // capped token list in canonical order (resilience.h).
+  int quarantined = 0;
+  std::vector<QuarantineRecord> quarantine;
+  // Parent groups that fell back from checkpoint-fork to prefix replay
+  // (seed crowded out by the budget, or a journaled parent without fork
+  // boundaries).
+  std::uint64_t degraded = 0;
+  // ExploreConfig::should_stop fired between batches: the iteration is
+  // a valid canonical prefix of itself, nothing beyond it ran.
+  bool stopped = false;
 };
 
 /// One iteration of the preemption-bounded enumeration as a wave-front
@@ -606,8 +757,15 @@ void run_iteration(const core::ScenarioConfig& base,
                    const std::vector<ThinkBucket>& buckets,
                    const ExploreConfig& ecfg, int bound,
                    std::uint32_t fingerprint, WorkerPool* pool,
-                   ExploreState* state, Iteration* it) {
+                   bool memo_on, SweepJournal* journal, ExploreState* state,
+                   Iteration* it) {
   const bool ckpt = ecfg.checkpoint;
+  const auto stop = [&ecfg] {
+    return ecfg.should_stop && ecfg.should_stop();
+  };
+  // Executed leaves of the batch in flight, journaled after the batch's
+  // reduction (pointers are interned store entries — stable).
+  std::vector<std::pair<std::string, const LeafRecord*>> fresh;
   // Seeds minted during the FINAL deepening iteration can never be
   // consumed (there is no deeper iteration to expand this iteration's
   // frontier); skip the clone when the bound pins the last iteration.
@@ -635,6 +793,22 @@ void run_iteration(const core::ScenarioConfig& base,
                                std::unique_ptr<Seed> seed) {
     const ThinkBucket& bkt = buckets[static_cast<std::size_t>(bucket)];
     ++it->schedules;
+    if (o.error != ErrorKind::none) {
+      // Quarantined: enumerated and counted, but it carries no mass, no
+      // window sample, and no children. The capped token list follows
+      // canonical order, so it is jobs-invariant and resume-stable.
+      ++it->quarantined;
+      if (static_cast<int>(it->quarantine.size()) < kMaxQuarantineTokens) {
+        ScheduleToken tok;
+        tok.fingerprint = fingerprint;
+        tok.seed = base.seed;
+        tok.think_ns = bkt.think.ns();
+        tok.choices = o.choices;
+        it->quarantine.push_back(
+            QuarantineRecord{tok.serialize(), o.error, level});
+      }
+      return;
+    }
     if (!o.prefix_ok) {
       ++it->divergence_errors;
       return;
@@ -691,7 +865,7 @@ void run_iteration(const core::ScenarioConfig& base,
           continue;
         }
         ParentGroup::Child ch{j, static_cast<std::uint16_t>(opt), true};
-        if (ckpt) {
+        if (memo_on) {
           Choice alt = o.choices[j];
           alt.chosen = static_cast<std::uint16_t>(opt);
           ch.run = state->memo.find(schedule_key(bucket, o.choices, j,
@@ -703,9 +877,12 @@ void run_iteration(const core::ScenarioConfig& base,
       }
     }
     if (!g.children.empty()) {
-      if (ckpt) {
+      if (memo_on) {
+        // The parent outcome lives in the cross-iteration store; the
+        // group holds the interned pointer (never a moved-out copy —
+        // journal-only runs share this path so the memo stays intact).
         g.parent = &o;
-        if (any_run) {
+        if (ckpt && any_run) {
           // Attach the parent's retained checkpoint — minted just now if
           // the leaf executed this wave, or banked by an earlier
           // iteration.
@@ -744,11 +921,15 @@ void run_iteration(const core::ScenarioConfig& base,
     std::vector<int> todo;
     std::vector<LeafOutcome> out;
     for (int begin = 0; begin < count0; begin += kWaveBatch) {
+      if (stop()) {
+        it->stopped = true;
+        return;
+      }
       const int count = std::min(kWaveBatch, count0 - begin);
       keys.assign(static_cast<std::size_t>(count), {});
       todo.clear();
       for (int i = 0; i < count; ++i) {
-        if (ckpt) {
+        if (memo_on) {
           keys[static_cast<std::size_t>(i)] =
               schedule_key(begin + i, {}, 0, nullptr);
           if (state->memo.count(keys[static_cast<std::size_t>(i)]) != 0) {
@@ -763,23 +944,28 @@ void run_iteration(const core::ScenarioConfig& base,
         const Duration think =
             buckets[static_cast<std::size_t>(begin + i)].think;
         out[static_cast<std::size_t>(t)] =
-            ckpt ? w.run_stepped(think, {}, ecfg.oracle)
-                 : w.run_guided(think, {}, ecfg.oracle);
+            w.run_contained(think, {}, ecfg.oracle, /*stepped=*/ckpt);
       });
       std::size_t t = 0;
       for (int i = 0; i < count; ++i) {
         const std::string& key = keys[static_cast<std::size_t>(i)];
         if (t < todo.size() && todo[t] == i) {
-          LeafOutcome& o = ckpt ? *intern(key, std::move(out[t]))
-                                : out[t];
+          LeafOutcome& o = memo_on ? *intern(key, std::move(out[t]))
+                                   : out[t];
           ++t;
+          if (journal != nullptr) fresh.emplace_back(key, &o);
           reduce_leaf(0, begin + i, 0, o, key, nullptr);
         } else {
-          // Skipped only in checkpoint mode, when the memo already holds
-          // this bucket's policy outcome from an earlier iteration.
+          // Skipped only when the memo is live and already holds this
+          // bucket's policy outcome (an earlier iteration ran it, or a
+          // resumed journal loaded it).
           ++state->cache_hits;
           reduce_leaf(0, begin + i, 0, *state->memo.at(key), key, nullptr);
         }
+      }
+      if (journal != nullptr) {
+        journal->append_batch(fresh);
+        fresh.clear();
       }
     }
     if (it->capped) return;
@@ -815,6 +1001,10 @@ void run_iteration(const core::ScenarioConfig& base,
     std::vector<GroupOutcome> out;
     std::size_t gbegin = 0;
     while (gbegin < wave.size()) {
+      if (stop()) {
+        it->stopped = true;
+        return;
+      }
       std::size_t gend = gbegin;
       int batch_leaves = 0;
       while (gend < wave.size()) {
@@ -822,6 +1012,21 @@ void run_iteration(const core::ScenarioConfig& base,
         if (gend > gbegin && batch_leaves + n > kWaveBatch) break;
         batch_leaves += n;
         ++gend;
+      }
+      // Graceful degradation accounting: groups whose children pay the
+      // full prefix replay instead of forking — the parent's seed was
+      // crowded out by the budget (level-1 parents never mint seeds, so
+      // they are the baseline, not degradation), or a journaled parent
+      // resumed without fork boundaries.
+      if (ckpt) {
+        for (std::size_t i = gbegin; i < gend; ++i) {
+          const ParentGroup& g = wave[i];
+          if (exec_count(g) == 0) continue;
+          if (g.events().size() != g.sites().size() ||
+              (level >= 2 && g.seed == nullptr)) {
+            ++it->degraded;
+          }
+        }
       }
       out.clear();
       out.resize(gend - gbegin);
@@ -844,7 +1049,7 @@ void run_iteration(const core::ScenarioConfig& base,
         for (std::size_t ci = 0; ci < g.children.size(); ++ci) {
           const ParentGroup::Child& c = g.children[ci];
           std::string ckey;
-          if (ckpt) {
+          if (memo_on) {
             Choice alt = g.choices()[c.site];
             alt.chosen = c.alt;
             ckey = schedule_key(g.bucket, g.choices(), c.site, &alt);
@@ -855,14 +1060,19 @@ void run_iteration(const core::ScenarioConfig& base,
                         *state->memo.at(ckey), ckey, nullptr);
           } else {
             std::unique_ptr<Seed> seed = std::move(go.seeds[e]);
-            LeafOutcome& o = ckpt
+            LeafOutcome& o = memo_on
                                  ? *intern(ckey, std::move(go.leaves[e]))
                                  : go.leaves[e];
             ++e;
+            if (journal != nullptr) fresh.emplace_back(ckey, &o);
             reduce_leaf(level, g.bucket, c.site + 1, o, ckey,
                         std::move(seed));
           }
         }
+      }
+      if (journal != nullptr) {
+        journal->append_batch(fresh);
+        fresh.clear();
       }
       gbegin = gend;
     }
@@ -904,15 +1114,61 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
                  ? ecfg.jobs
                  : static_cast<int>(std::thread::hardware_concurrency());
   jobs = std::max(jobs, 1);
-  ExploreState state;
+  ExploreState state(std::max(ecfg.seed_budget, 0));
   WorkerPool pool(base, ecfg, fingerprint, &state.seed_slots, jobs);
 
+  // Durable progress: open (or resume) the sweep journal before any
+  // round runs. The header pins everything that shapes the schedule
+  // space — NOT jobs or the checkpoint flag, which the determinism
+  // contract keeps invisible in outcomes.
+  std::unique_ptr<SweepJournal> journal;
+  std::vector<std::pair<std::string, LeafRecord>> loaded;
+  if (!ecfg.journal_path.empty()) {
+    SweepJournal::Meta meta;
+    meta.fingerprint = fingerprint;
+    meta.seed = base.seed;
+    meta.mode = static_cast<std::uint8_t>(ecfg.mode);
+    meta.think_buckets = ecfg.think_buckets;
+    meta.preemption_bound = ecfg.preemption_bound;
+    meta.max_schedules = ecfg.max_schedules;
+    meta.use_sleep_sets = ecfg.use_sleep_sets ? 1 : 0;
+    meta.think_ns = base.victim_think ? base.victim_think->ns() : INT64_MIN;
+    meta.step_budget = base.step_budget;
+    meta.pct_depth = ecfg.pct_depth;
+    meta.pct_schedules = ecfg.pct_schedules;
+    meta.pct_expected_steps = ecfg.pct_expected_steps;
+    meta.pct_seed = ecfg.pct_seed;
+    std::string err;
+    journal = ecfg.resume
+                  ? SweepJournal::resume(ecfg.journal_path, meta, &loaded,
+                                         &err)
+                  : SweepJournal::create(ecfg.journal_path, meta, &err);
+    if (journal == nullptr) {
+      ExploreResult res;
+      res.mode = ecfg.mode;
+      res.journal_error = err;
+      return res;
+    }
+  }
+
   if (ecfg.mode == ExploreMode::pct) {
-    ExploreResult res = explore_pct(base, ecfg, fingerprint, &pool);
+    ExploreResult res =
+        explore_pct(base, ecfg, fingerprint, &pool, journal.get(), loaded);
+    res.journal_leaves_loaded = static_cast<int>(loaded.size());
+    if (res.interrupted && journal != nullptr && journal->ok()) {
+      journal->append_stop(static_cast<std::uint64_t>(res.rounds_executed));
+    }
+    if (journal != nullptr && !journal->ok()) {
+      res.journal_error = journal->error();
+    }
     res.metrics.count("explore.leaves",
                       static_cast<std::uint64_t>(res.rounds_executed));
     res.metrics.count("explore.steals", pool.steals());
     res.metrics.count("explore.ctx_reuses", pool.ctx_reuses());
+    if (res.quarantined > 0) {
+      res.metrics.count("explore.quarantined",
+                        static_cast<std::uint64_t>(res.quarantined));
+    }
     return res;
   }
 
@@ -921,6 +1177,17 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
   const std::vector<ThinkBucket> buckets =
       make_buckets(base, ecfg.think_buckets);
 
+  // Resume: replay the journal into the cross-iteration memo, so every
+  // journaled schedule reduces from its stored outcome — in canonical
+  // order, with the same arithmetic — instead of re-executing.
+  const bool memo_on = ecfg.checkpoint || journal != nullptr;
+  res.journal_leaves_loaded = static_cast<int>(loaded.size());
+  for (auto& [key, rec] : loaded) {
+    if (state.memo.count(key) != 0) continue;
+    state.store.push_back(std::move(rec));
+    state.memo.emplace(key, &state.store.back());
+  }
+
   // Iterative preemption bounding: enumerate with bound c = 0, 1, 2, ...
   // Each iteration subsumes the previous one, so the last iteration's
   // per-schedule statistics stand alone; rounds_executed keeps the
@@ -928,12 +1195,15 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
   std::uint64_t checkpoints = 0;
   std::uint64_t forks = 0;
   std::uint64_t prefix_ns_saved = 0;
+  std::uint64_t degraded = 0;
   for (int c = 0;; ++c) {
     Iteration it;
-    run_iteration(base, buckets, ecfg, c, fingerprint, &pool, &state, &it);
+    run_iteration(base, buckets, ecfg, c, fingerprint, &pool, memo_on,
+                  journal.get(), &state, &it);
     checkpoints += it.checkpoints;
     forks += it.forks;
     prefix_ns_saved += it.prefix_ns_saved;
+    degraded += it.degraded;
     res.rounds_executed += it.schedules;
     res.schedules = it.schedules;
     res.policy_schedules = it.policy_schedules;
@@ -947,6 +1217,8 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
     res.witness = it.witness;
     res.witness_divergences = it.witness_divergences;
     res.window_us = it.window_us;
+    res.quarantined = it.quarantined;
+    res.quarantine = std::move(it.quarantine);
     res.bound_reached = c;
     // "complete" = every schedule within the final bound was enumerated
     // (bounded completeness, as in context-bounded model checking). When
@@ -954,24 +1226,44 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
     // space and deepening stops on its own; on scenarios where every
     // divergence exposes fresh wakeup sites the space is unbounded in
     // depth and the preemption bound / round budget is the only exit.
-    res.complete = !it.capped;
+    res.complete = !it.capped && !it.stopped;
+    if (it.stopped) {
+      // Graceful stop: everything reduced so far is a valid canonical
+      // prefix; the journal (when active) resumes exactly here.
+      res.interrupted = true;
+      break;
+    }
     if (it.capped) break;
     if (it.cutoffs == 0) break;  // nothing beyond this bound exists
     if (ecfg.preemption_bound >= 0 && c >= ecfg.preemption_bound) break;
     if (res.rounds_executed >= ecfg.max_schedules) break;  // total budget
   }
+  if (res.interrupted && journal != nullptr && journal->ok()) {
+    journal->append_stop(static_cast<std::uint64_t>(res.rounds_executed));
+  }
+  if (journal != nullptr && !journal->ok()) {
+    res.journal_error = journal->error();
+  }
   res.metrics.count("explore.leaves",
                     static_cast<std::uint64_t>(res.rounds_executed));
   res.metrics.count("explore.steals", pool.steals());
   res.metrics.count("explore.ctx_reuses", pool.ctx_reuses());
+  if (res.quarantined > 0) {
+    res.metrics.count("explore.quarantined",
+                      static_cast<std::uint64_t>(res.quarantined));
+  }
   // Checkpoint accounting — deterministic (jobs-invariant) but only
   // emitted when checkpointing is on, keeping the off-mode metrics
   // byte-identical to a build without the fork machinery.
+  // explore.degraded_groups is the exception: like explore.steals it
+  // depends on timing (seed-slot contention), so it sits outside the
+  // jobs-invariance contract.
   if (ecfg.checkpoint) {
     res.metrics.count("explore.checkpoints", checkpoints);
     res.metrics.count("explore.forks", forks);
     res.metrics.count("explore.prefix_ns_saved", prefix_ns_saved);
     res.metrics.count("explore.cache_hits", state.cache_hits);
+    res.metrics.count("explore.degraded_groups", degraded);
   }
   return res;
 }

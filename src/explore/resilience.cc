@@ -1,0 +1,33 @@
+#include "tocttou/explore/resilience.h"
+
+#include <new>
+
+#include "tocttou/common/error.h"
+
+namespace tocttou::explore {
+
+const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::none:
+      return "none";
+    case ErrorKind::invariant_violation:
+      return "invariant_violation";
+    case ErrorKind::step_budget_exhausted:
+      return "step_budget_exhausted";
+    case ErrorKind::allocation_failure:
+      return "allocation_failure";
+  }
+  return "?";
+}
+
+ErrorKind classify_exception(const std::exception& e) {
+  if (dynamic_cast<const StepBudgetError*>(&e) != nullptr) {
+    return ErrorKind::step_budget_exhausted;
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return ErrorKind::allocation_failure;
+  }
+  return ErrorKind::invariant_violation;
+}
+
+}  // namespace tocttou::explore

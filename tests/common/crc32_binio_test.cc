@@ -1,0 +1,119 @@
+// CRC-32 check vectors and the little-endian binio layer the sweep
+// journal's durability rests on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "tocttou/common/binio.h"
+#include "tocttou/common/crc32.h"
+
+namespace tocttou {
+namespace {
+
+TEST(Crc32Test, MatchesTheIeeeCheckVector) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(crc32(""), 0u); }
+
+TEST(Crc32Test, IsIncremental) {
+  const std::string a = "hello, ";
+  const std::string b = "journal";
+  const std::uint32_t whole = crc32(a + b);
+  const std::uint32_t split = crc32(crc32(0, a.data(), a.size()), b.data(), b.size());
+  EXPECT_EQ(split, whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string payload = "the quick brown fox";
+  const std::uint32_t good = crc32(payload);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    std::string corrupt = payload;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x01);
+    EXPECT_NE(crc32(corrupt), good) << "flip at byte " << i;
+  }
+}
+
+TEST(BinioTest, RoundTripsEveryPrimitive) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("key");
+  w.str("");  // empty strings are legal
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "key");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BinioTest, IntegersAreLittleEndianOnTheWire) {
+  ByteWriter w;
+  w.u32(0x01020304u);
+  const std::string& b = w.data();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[1]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(b[2]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x01);
+}
+
+TEST(BinioTest, DoublesRoundTripThroughBitPattern) {
+  for (double v : {0.0, -0.0, 1.5, -1e308, 1e-308,
+                   std::numeric_limits<double>::infinity()}) {
+    ByteWriter w;
+    w.f64(v);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.f64(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(BinioTest, TruncatedReadLatchesNotOk) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u32(), 0u);  // only 2 bytes available
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+  // Latched: further reads stay zero and never recover.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinioTest, OverrunningLengthPrefixLatchesNotOk) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.bytes("short");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinioTest, DoneRequiresFullConsumption) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 1u);
+  EXPECT_FALSE(r.done());  // one byte left
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_EQ(r.u8(), 2u);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace tocttou

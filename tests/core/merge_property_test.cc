@@ -1,0 +1,105 @@
+// Property test for CampaignStats::merge: folding per-block stats in
+// fixed block order must give the same anomaly_tokens — capped at
+// kMaxAnomalyTokens — no matter how the blocks were grouped into
+// per-worker accumulators first. That associativity (capped
+// concatenation is a prefix-take, and prefix-takes compose) is what
+// makes the token list jobs-invariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "tocttou/core/harness.h"
+
+namespace tocttou::core {
+namespace {
+
+CampaignStats block_with_tokens(int block, int count) {
+  CampaignStats s;
+  for (int i = 0; i < count; ++i) {
+    s.anomaly_tokens.push_back("st1:block" + std::to_string(block) + "-" +
+                               std::to_string(i));
+    ++s.failed_rounds;
+    ++s.anomalies;
+  }
+  return s;
+}
+
+std::vector<std::string> flat_concat(const std::vector<CampaignStats>& blocks) {
+  std::vector<std::string> all;
+  for (const CampaignStats& b : blocks) {
+    for (const std::string& t : b.anomaly_tokens) all.push_back(t);
+  }
+  if (static_cast<int>(all.size()) > kMaxAnomalyTokens) {
+    all.resize(static_cast<std::size_t>(kMaxAnomalyTokens));
+  }
+  return all;
+}
+
+/// Merges blocks[begin, end) left to right into one accumulator.
+CampaignStats fold(const std::vector<CampaignStats>& blocks,
+                   std::size_t begin, std::size_t end) {
+  CampaignStats acc;
+  for (std::size_t i = begin; i < end; ++i) acc.merge(blocks[i]);
+  return acc;
+}
+
+TEST(MergePropertyTest, AnomalyTokensArePartitionInvariant) {
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> count_dist(0, 4);
+  std::uniform_int_distribution<int> blocks_dist(1, 12);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = blocks_dist(rng);
+    std::vector<CampaignStats> blocks;
+    for (int b = 0; b < n; ++b) {
+      blocks.push_back(block_with_tokens(b, count_dist(rng)));
+    }
+    const CampaignStats serial = fold(blocks, 0, blocks.size());
+    // The capped list is exactly the first kMaxAnomalyTokens of the
+    // concatenation in block order...
+    EXPECT_EQ(serial.anomaly_tokens, flat_concat(blocks));
+    EXPECT_LE(static_cast<int>(serial.anomaly_tokens.size()),
+              kMaxAnomalyTokens);
+
+    // ...and any contiguous partition — one sub-accumulator per worker,
+    // merged in block order, exactly what the parallel campaign engine
+    // does — reduces to the same list.
+    std::uniform_int_distribution<std::size_t> cut_dist(0, blocks.size());
+    for (int part = 0; part < 8; ++part) {
+      std::vector<std::size_t> cuts = {0, blocks.size()};
+      cuts.push_back(cut_dist(rng));
+      cuts.push_back(cut_dist(rng));
+      std::sort(cuts.begin(), cuts.end());
+      CampaignStats grouped;
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        grouped.merge(fold(blocks, cuts[i], cuts[i + 1]));
+      }
+      ASSERT_EQ(grouped.anomaly_tokens, serial.anomaly_tokens)
+          << "trial " << trial << " partition " << part;
+      EXPECT_EQ(grouped.failed_rounds, serial.failed_rounds);
+      EXPECT_EQ(grouped.anomalies, serial.anomalies);
+    }
+  }
+}
+
+TEST(MergePropertyTest, MergeKeepsEarliestBlocksUnderTheCap) {
+  // 3 blocks of 5 tokens: the cap keeps all of block 0 and the first
+  // three of block 1 — never anything from block 2, and never a
+  // reordering.
+  std::vector<CampaignStats> blocks = {block_with_tokens(0, 5),
+                                       block_with_tokens(1, 5),
+                                       block_with_tokens(2, 5)};
+  const CampaignStats merged = fold(blocks, 0, blocks.size());
+  ASSERT_EQ(static_cast<int>(merged.anomaly_tokens.size()),
+            kMaxAnomalyTokens);
+  EXPECT_EQ(merged.anomaly_tokens[0], "st1:block0-0");
+  EXPECT_EQ(merged.anomaly_tokens[4], "st1:block0-4");
+  EXPECT_EQ(merged.anomaly_tokens[5], "st1:block1-0");
+  EXPECT_EQ(merged.anomaly_tokens[7], "st1:block1-2");
+}
+
+}  // namespace
+}  // namespace tocttou::core

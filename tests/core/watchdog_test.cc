@@ -1,0 +1,96 @@
+// The per-round step-budget watchdog: a livelocked simulation trips
+// StepBudgetError instead of burning the whole round_limit, campaigns
+// contain the failure as an anomaly, and a budget that never trips is
+// unobservable.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../testing/programs.h"
+#include "tocttou/common/error.h"
+#include "tocttou/core/harness.h"
+
+namespace tocttou::core {
+namespace {
+
+ScenarioConfig smp_gedit() {
+  ScenarioConfig c;
+  c.profile = programs::testbed_smp_dual_xeon();
+  c.victim = VictimKind::gedit;
+  c.attacker = AttackerKind::naive;
+  c.file_bytes = 4096;
+  c.seed = 7;
+  return c;
+}
+
+ScenarioConfig livelocked(std::uint64_t budget) {
+  ScenarioConfig c = smp_gedit();
+  c.step_budget = budget;
+  c.extra_programs.push_back({"livelock", 0, 0, [](fs::Vfs&) {
+                                return std::make_unique<
+                                    tocttou::testing::LivelockProgram>();
+                              }});
+  return c;
+}
+
+TEST(WatchdogTest, TinyBudgetTripsOnAHealthyRound) {
+  // A healthy round runs tens of thousands of kernel events; a budget of
+  // 100 must throw long before the round completes.
+  ScenarioConfig cfg = smp_gedit();
+  cfg.step_budget = 100;
+  EXPECT_THROW(run_round(cfg), StepBudgetError);
+}
+
+TEST(WatchdogTest, ZeroBudgetMeansUnlimited) {
+  ScenarioConfig with_default = smp_gedit();
+  ScenarioConfig unlimited = smp_gedit();
+  unlimited.step_budget = 0;
+  const RoundResult a = run_round(with_default);
+  const RoundResult b = run_round(unlimited);
+  // A budget generous enough never to trip is unobservable.
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.schedule_token, b.schedule_token);
+}
+
+TEST(WatchdogTest, BudgetAndExtraProgramsStayOutOfTheFingerprint) {
+  // Replay tokens minted under a watchdog budget (or with test-only
+  // bystander processes) must stay valid for the plain scenario.
+  ScenarioConfig plain = smp_gedit();
+  EXPECT_EQ(scenario_fingerprint(plain),
+            scenario_fingerprint(livelocked(1000)));
+  ScenarioConfig zero = smp_gedit();
+  zero.step_budget = 0;
+  EXPECT_EQ(scenario_fingerprint(plain), scenario_fingerprint(zero));
+}
+
+TEST(WatchdogTest, LivelockTripsTheBudgetInsteadOfHanging) {
+  // The bystander spins in 100ns slices for as long as the victim runs,
+  // inflating a ~150-event round into tens of thousands of events. A
+  // budget below that spin volume must trip.
+  EXPECT_THROW(run_round(livelocked(1'000)), StepBudgetError);
+}
+
+TEST(WatchdogTest, CampaignContainsLivelockedRounds) {
+  const ScenarioConfig cfg = livelocked(1'000);
+  const CampaignStats stats = run_campaign(cfg, 6, /*measure_ld=*/false,
+                                           /*jobs=*/2);
+  // Every round trips the watchdog; the campaign records each as a
+  // failed round and carries on instead of aborting.
+  EXPECT_EQ(stats.failed_rounds, 6);
+  EXPECT_EQ(stats.anomalies, 6);
+  EXPECT_EQ(stats.success.successes(), 0u);
+  EXPECT_EQ(static_cast<int>(stats.anomaly_tokens.size()), 6);
+}
+
+TEST(WatchdogTest, CampaignAnomalyTokensAreJobsInvariant) {
+  const ScenarioConfig cfg = livelocked(1'000);
+  const CampaignStats j1 = run_campaign(cfg, 6, false, /*jobs=*/1);
+  const CampaignStats j4 = run_campaign(cfg, 6, false, /*jobs=*/4);
+  EXPECT_EQ(j1.failed_rounds, j4.failed_rounds);
+  EXPECT_EQ(j1.anomaly_tokens, j4.anomaly_tokens);
+}
+
+}  // namespace
+}  // namespace tocttou::core

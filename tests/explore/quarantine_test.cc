@@ -1,0 +1,201 @@
+// Leaf fault containment: a schedule that livelocks (or throws) is
+// retried once, then quarantined as a replay token — counted, excluded
+// from probability mass, deterministic at any jobs value — instead of
+// taking the sweep down.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "../testing/programs.h"
+#include "tocttou/common/error.h"
+#include "tocttou/explore/explorer.h"
+#include "tocttou/explore/replay.h"
+#include "tocttou/explore/resilience.h"
+
+namespace tocttou::explore {
+namespace {
+
+/// SMP gedit with a livelocking bystander process and a step budget low
+/// enough that EVERY schedule trips the watchdog.
+core::ScenarioConfig livelocked_smp_gedit() {
+  core::ScenarioConfig c;
+  c.profile = programs::testbed_smp_dual_xeon();
+  c.victim = core::VictimKind::gedit;
+  c.attacker = core::AttackerKind::naive;
+  c.file_bytes = 4096;
+  c.seed = 7;
+  // Low enough that the bystander's 100ns spin slices (>= ~2000 events
+  // during the victim's 0.2-1ms think alone) trip it on EVERY schedule,
+  // before the round can complete.
+  c.step_budget = 1'000;
+  c.extra_programs.push_back({"livelock", 0, 0, [](fs::Vfs&) {
+                                return std::make_unique<
+                                    testing::LivelockProgram>();
+                              }});
+  return c;
+}
+
+TEST(ResilienceTest, ClassifiesTheExceptionTaxonomy) {
+  EXPECT_EQ(classify_exception(StepBudgetError("budget")),
+            ErrorKind::step_budget_exhausted);
+  EXPECT_EQ(classify_exception(std::bad_alloc()),
+            ErrorKind::allocation_failure);
+  EXPECT_EQ(classify_exception(SimError("invariant")),
+            ErrorKind::invariant_violation);
+  EXPECT_EQ(classify_exception(std::runtime_error("other")),
+            ErrorKind::invariant_violation);
+}
+
+TEST(ResilienceTest, ErrorKindNamesAreStable) {
+  EXPECT_STREQ(to_string(ErrorKind::none), "none");
+  EXPECT_STREQ(to_string(ErrorKind::invariant_violation),
+               "invariant_violation");
+  EXPECT_STREQ(to_string(ErrorKind::step_budget_exhausted),
+               "step_budget_exhausted");
+  EXPECT_STREQ(to_string(ErrorKind::allocation_failure),
+               "allocation_failure");
+}
+
+TEST(QuarantineTest, LivelockedSchedulesAreQuarantinedNotFatal) {
+  ExploreConfig ecfg;
+  ecfg.think_buckets = 4;
+  ecfg.preemption_bound = 2;
+  const ExploreResult res = explore(livelocked_smp_gedit(), ecfg);
+
+  // Every bucket's policy schedule trips the watchdog; a quarantined
+  // leaf exposes no choice sites, so nothing expands past wave 0 and the
+  // totals must balance: quarantined + healthy == enumerated.
+  EXPECT_EQ(res.schedules, 4);
+  EXPECT_EQ(res.quarantined, 4);
+  EXPECT_EQ(res.schedules - res.quarantined, 0);
+  EXPECT_EQ(res.policy_schedules, 0);
+  EXPECT_EQ(res.successes, 0);
+  EXPECT_EQ(res.total_mass, 0.0);
+  EXPECT_EQ(res.exact_success, 0.0);
+  EXPECT_FALSE(res.witness.has_value());
+  EXPECT_EQ(res.divergence_errors, 0);
+  EXPECT_EQ(res.metrics.counter("explore.quarantined"), 4u);
+
+  ASSERT_EQ(res.quarantine.size(), 4u);
+  for (const QuarantineRecord& q : res.quarantine) {
+    EXPECT_EQ(q.kind, ErrorKind::step_budget_exhausted);
+    EXPECT_EQ(q.divergences, 0);  // policy schedules: wave 0
+    EXPECT_FALSE(q.token.empty());
+  }
+}
+
+TEST(QuarantineTest, QuarantineTokensReplayTheFailure) {
+  ExploreConfig ecfg;
+  ecfg.think_buckets = 2;
+  ecfg.preemption_bound = 0;
+  core::ScenarioConfig cfg = livelocked_smp_gedit();
+  const ExploreResult res = explore(cfg, ecfg);
+  ASSERT_FALSE(res.quarantine.empty());
+
+  ScheduleToken tok;
+  std::string err;
+  ASSERT_TRUE(ScheduleToken::parse(res.quarantine[0].token, &tok, &err))
+      << err;
+  // Replaying the token under the same scenario reproduces the watchdog
+  // trip standalone — the quarantine record is a debugging handle.
+  core::RoundResult out;
+  EXPECT_THROW(replay_token(cfg, tok, &out, &err), StepBudgetError);
+
+  // Under a healthy budget the same token replays to completion: the
+  // budget is a watchdog, not part of the schedule identity.
+  core::ScenarioConfig unbudgeted = cfg;
+  unbudgeted.extra_programs.clear();
+  unbudgeted.step_budget = 0;
+  ASSERT_TRUE(replay_token(unbudgeted, tok, &out, &err)) << err;
+}
+
+TEST(QuarantineTest, QuarantineListIsJobsInvariant) {
+  ExploreConfig a;
+  a.think_buckets = 4;
+  a.preemption_bound = 1;
+  a.jobs = 1;
+  ExploreConfig b = a;
+  b.jobs = 4;
+  const ExploreResult r1 = explore(livelocked_smp_gedit(), a);
+  const ExploreResult r4 = explore(livelocked_smp_gedit(), b);
+  EXPECT_EQ(r1.quarantined, r4.quarantined);
+  EXPECT_EQ(r1.quarantine, r4.quarantine);
+  EXPECT_EQ(r1.schedules, r4.schedules);
+}
+
+TEST(QuarantineTest, QuarantinedLeavesJournalAndResume) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "quarantine_journal.bin")
+          .string();
+  std::remove(path.c_str());
+  ExploreConfig ecfg;
+  ecfg.think_buckets = 4;
+  ecfg.preemption_bound = 1;
+  ecfg.journal_path = path;
+  const ExploreResult first = explore(livelocked_smp_gedit(), ecfg);
+  ASSERT_EQ(first.quarantined, 4);
+
+  ExploreConfig resume_cfg = ecfg;
+  resume_cfg.resume = true;
+  const ExploreResult resumed = explore(livelocked_smp_gedit(), resume_cfg);
+  EXPECT_EQ(resumed.quarantined, first.quarantined);
+  EXPECT_EQ(resumed.quarantine, first.quarantine);
+  EXPECT_EQ(resumed.schedules, first.schedules);
+  // The failures were journaled too: resume re-executes nothing (and in
+  // particular does not re-pay the two watchdog trips per leaf), so no
+  // worker ever ran — let alone recycled — a round context.
+  EXPECT_EQ(resumed.metrics.counter("explore.ctx_reuses"), 0u);
+}
+
+TEST(QuarantineTest, PctQuarantinesLivelockedSchedules) {
+  core::ScenarioConfig cfg = livelocked_smp_gedit();
+  // PCT's random priorities can starve the spinner (it may simply never
+  // win a CPU), so pin the budget below even a healthy round's ~150
+  // events: every schedule must trip regardless of where the priorities
+  // land.
+  cfg.step_budget = 100;
+  ExploreConfig ecfg;
+  ecfg.mode = ExploreMode::pct;
+  ecfg.pct_schedules = 6;
+  ecfg.pct_depth = 3;
+  ecfg.pct_seed = 11;
+  const ExploreResult res = explore(cfg, ecfg);
+  EXPECT_EQ(res.quarantined, 6);
+  EXPECT_EQ(res.successes, 0);
+  ASSERT_EQ(res.quarantine.size(), 6u);
+  for (const QuarantineRecord& q : res.quarantine) {
+    EXPECT_EQ(q.kind, ErrorKind::step_budget_exhausted);
+    EXPECT_EQ(q.divergences, -1);  // PCT has no wave level
+  }
+}
+
+TEST(QuarantineTest, HealthyScenarioQuarantinesNothing) {
+  core::ScenarioConfig cfg = livelocked_smp_gedit();
+  cfg.extra_programs.clear();
+  cfg.step_budget = 100'000'000;
+  ExploreConfig ecfg;
+  ecfg.think_buckets = 4;
+  ecfg.preemption_bound = 1;
+  const ExploreResult res = explore(cfg, ecfg);
+  EXPECT_EQ(res.quarantined, 0);
+  EXPECT_TRUE(res.quarantine.empty());
+  EXPECT_EQ(res.metrics.counter("explore.quarantined"), 0u);
+  EXPECT_GT(res.successes, 0);
+}
+
+TEST(QuarantineTest, TokenListCapsAtKMaxQuarantineTokens) {
+  ExploreConfig ecfg;
+  ecfg.think_buckets = 12;  // > kMaxQuarantineTokens quarantined leaves
+  ecfg.preemption_bound = 0;
+  const ExploreResult res = explore(livelocked_smp_gedit(), ecfg);
+  EXPECT_EQ(res.quarantined, 12);
+  EXPECT_EQ(static_cast<int>(res.quarantine.size()), kMaxQuarantineTokens);
+}
+
+}  // namespace
+}  // namespace tocttou::explore

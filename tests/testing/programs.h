@@ -38,6 +38,25 @@ class LambdaProgram final : public sim::Program {
   Fn fn_;
 };
 
+/// Spins forever in tiny compute slices without ever advancing the
+/// scenario — the livelock the step-budget watchdog exists to catch.
+/// Spinning must go through compute actions (each one a kernel event);
+/// an instantaneous action like mark would loop inside a single kernel
+/// step and never reach the budget check. Stateless, so checkpoint
+/// cloning is trivial.
+class LivelockProgram final : public sim::Program {
+ public:
+  sim::Action next(sim::ProgramContext& ctx) override {
+    (void)ctx;
+    return sim::Action::compute(Duration::nanos(100), "spin");
+  }
+
+  std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override {
+    (void)m;
+    return std::make_unique<LivelockProgram>();
+  }
+};
+
 /// A ServiceOp replaying a fixed step sequence (must end with done).
 class ScriptOp final : public sim::ServiceOp {
  public:

@@ -11,6 +11,8 @@
 //   tocttou --testbed=smp --victim=vi --defended --rounds=100
 //   tocttou --testbed=up --victim=vi --file-kb=1000 --journal-csv=out.csv
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +32,22 @@
 namespace {
 
 using namespace tocttou;
+
+// Exit codes (see usage text): distinct so scripts can tell a typo'd
+// flag from a failed write from an interrupted sweep.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;          // bad flags or invalid input
+constexpr int kExitAttackFailed = 2;   // single round ran; attack lost
+constexpr int kExitIo = 3;             // file/journal write or open error
+constexpr int kExitInterrupted = 4;    // sweep stopped by signal/deadline
+constexpr int kExitSimError = 5;       // simulation threw (single round)
+
+/// Graceful-stop flag for long sweeps: SIGINT/SIGTERM set it, the
+/// explorer polls it between reduction batches, flushes the progress
+/// journal, and returns a valid partial result.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_stop_signal(int) { g_stop = 1; }
 
 [[noreturn]] void usage(int code) {
   std::fprintf(
@@ -69,6 +87,22 @@ using namespace tocttou;
       "                               the shared prefix (default on;\n"
       "                               results are bit-identical either\n"
       "                               way)\n"
+      "  --explore-seed-budget=N      live mid-round checkpoints retained\n"
+      "                               at once (default 512; exhausted\n"
+      "                               groups degrade to prefix replay)\n"
+      "  --progress=FILE              journal completed batches to FILE\n"
+      "                               so a killed sweep can resume\n"
+      "  --resume=FILE                resume a sweep from FILE (missing\n"
+      "                               file starts fresh); the final\n"
+      "                               report is byte-identical to an\n"
+      "                               uninterrupted run\n"
+      "  --deadline-s=N               stop an exploration gracefully\n"
+      "                               after ~N seconds (partial result +\n"
+      "                               resume checkpoint; exit code 4)\n"
+      "  --step-budget=N              per-round kernel event budget: a\n"
+      "                               livelocked round is cut off and\n"
+      "                               reported instead of hanging\n"
+      "                               (default 100000000; 0 = unlimited)\n"
       "  --pct-depth=N                PCT bug depth d (default 3)\n"
       "  --pct-schedules=N            PCT schedules to run (default 1000)\n"
       "  --replay=TOKEN               re-run one recorded schedule token\n"
@@ -81,7 +115,10 @@ using namespace tocttou;
       "                               bit-identical at any --jobs\n"
       "  --metrics-csv=PATH           same snapshot as RFC-4180 CSV\n"
       "  --interference               report detected cross-process races\n"
-      "  --help\n");
+      "  --help\n"
+      "exit codes: 0 ok; 1 usage or invalid input; 2 single round ran\n"
+      "  and the attack failed; 3 file or journal I/O error; 4 sweep\n"
+      "  interrupted (signal or --deadline-s); 5 simulation error\n");
   std::exit(code);
 }
 
@@ -133,13 +170,24 @@ std::uint64_t parse_u64(const char* flag, const std::string& v) {
   return static_cast<std::uint64_t>(n);
 }
 
+/// Writes `body` to `path` or exits with the I/O error code. The flush
+/// + good() check matters: operator<< on a full disk can fail silently
+/// and the stream destructor swallows the error, so without it the tool
+/// would print "wrote ..." for a truncated file and exit 0.
 void write_file_or_die(const std::string& path, const std::string& body) {
   std::ofstream f(path);
   if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    std::exit(1);
+    std::fprintf(stderr, "tocttou: cannot open %s for writing\n",
+                 path.c_str());
+    std::exit(kExitIo);
   }
   f << body;
+  f.flush();
+  if (!f.good()) {
+    std::fprintf(stderr, "tocttou: write to %s failed (disk full?)\n",
+                 path.c_str());
+    std::exit(kExitIo);
+  }
   std::printf("wrote %s (%zu bytes)\n", path.c_str(), body.size());
 }
 
@@ -174,6 +222,7 @@ int main(int argc, char** argv) {
   std::optional<Duration> timeslice_override;
   bool metrics_json = false;
   std::string metrics_json_path, metrics_csv_path;
+  int deadline_s = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -245,6 +294,20 @@ int main(int argc, char** argv) {
       if (v == "on") ecfg.checkpoint = true;
       else if (v == "off") ecfg.checkpoint = false;
       else bad_value("--explore-checkpoint", v, "on or off");
+    } else if (take(argv[i], "--explore-seed-budget", &v)) {
+      ecfg.seed_budget = static_cast<int>(
+          parse_int("--explore-seed-budget", v, 0, 100000000));
+    } else if (take(argv[i], "--progress", &v)) {
+      ecfg.journal_path = v;
+      ecfg.resume = false;
+    } else if (take(argv[i], "--resume", &v)) {
+      ecfg.journal_path = v;
+      ecfg.resume = true;
+    } else if (take(argv[i], "--deadline-s", &v)) {
+      deadline_s = static_cast<int>(parse_int("--deadline-s", v, 1,
+                                              1000000000));
+    } else if (take(argv[i], "--step-budget", &v)) {
+      cfg.step_budget = parse_u64("--step-budget", v);
     } else if (take(argv[i], "--pct-depth", &v)) {
       ecfg.pct_depth = static_cast<int>(parse_int("--pct-depth", v, 1, 64));
     } else if (take(argv[i], "--pct-schedules", &v)) {
@@ -306,11 +369,41 @@ int main(int argc, char** argv) {
     } else {
       ecfg.jobs = 0;
     }
+    // Graceful interruption: SIGINT/SIGTERM (or the deadline) stop the
+    // sweep between batches with a valid partial result; with
+    // --progress the journal resumes exactly there. Wall-clock time
+    // stays here in the CLI — the explorer itself never reads a clock,
+    // so WHAT it computes remains deterministic; the stop only decides
+    // where the canonical reduction pauses.
+    std::signal(SIGINT, on_stop_signal);
+    std::signal(SIGTERM, on_stop_signal);
+    std::optional<std::chrono::steady_clock::time_point> deadline_at;
+    if (deadline_s > 0) {
+      deadline_at = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(deadline_s);
+    }
+    ecfg.should_stop = [deadline_at] {
+      if (g_stop != 0) return true;
+      return deadline_at &&
+             std::chrono::steady_clock::now() >= *deadline_at;
+    };
     const explore::ExploreResult res = explore::explore(cfg, ecfg);
+    if (!res.journal_error.empty() && res.schedules == 0 &&
+        res.rounds_executed == 0) {
+      // The journal could not be created or resumed; nothing ran.
+      std::fprintf(stderr, "tocttou: sweep journal: %s\n",
+                   res.journal_error.c_str());
+      return kExitIo;
+    }
+    if (res.journal_leaves_loaded > 0) {
+      std::fprintf(stderr, "tocttou: resumed %d journaled leaves from %s\n",
+                   res.journal_leaves_loaded, ecfg.journal_path.c_str());
+    }
     if (res.mode == explore::ExploreMode::exhaustive) {
       std::printf("explore: mode=exhaustive buckets=%d bound=%d%s\n",
                   ecfg.think_buckets, res.bound_reached,
-                  !res.complete               ? " [truncated]"
+                  res.interrupted             ? " [interrupted]"
+                  : !res.complete             ? " [truncated]"
                   : res.bound_cutoffs == 0    ? " [complete: full space]"
                                               : " [complete at this bound]");
       std::printf(
@@ -347,6 +440,37 @@ int main(int argc, char** argv) {
       std::printf("WARNING: %d rounds diverged from their forced prefix\n",
                   res.divergence_errors);
     }
+    // Quarantined schedules (a leaf threw twice — livelock watchdog,
+    // allocation failure, or a simulator invariant): counted, excluded
+    // from the probability mass, and reproducible standalone. The
+    // capped token list is canonical, so these lines are jobs-invariant.
+    if (res.quarantined > 0) {
+      std::printf("quarantined: %d schedules excluded from the mass\n",
+                  res.quarantined);
+      for (const auto& q : res.quarantine) {
+        std::printf("quarantine: kind=%s", explore::to_string(q.kind));
+        if (q.divergences >= 0) {
+          std::printf(" (divergences=%d)", q.divergences);
+        }
+        std::printf(" rerun with --replay=%s\n", q.token.c_str());
+      }
+    }
+    if (res.interrupted) {
+      if (!ecfg.journal_path.empty()) {
+        std::fprintf(stderr,
+                     "tocttou: sweep interrupted; resume with --resume=%s\n",
+                     ecfg.journal_path.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "tocttou: sweep interrupted (no --progress journal; a "
+                     "rerun starts from scratch)\n");
+      }
+      if (metrics_json || !metrics_csv_path.empty()) {
+        export_metrics(res.metrics, metrics_json, metrics_json_path,
+                       metrics_csv_path);
+      }
+      return kExitInterrupted;
+    }
     // Monte Carlo cross-check on the same deterministic config the
     // explorer ran under (think time back to its continuous draw).
     const auto mc_cfg = explore::canonical_explore_config(cfg);
@@ -366,7 +490,14 @@ int main(int argc, char** argv) {
       export_metrics(res.metrics, metrics_json, metrics_json_path,
                      metrics_csv_path);
     }
-    return 0;
+    if (!res.journal_error.empty()) {
+      // The sweep finished but the journal stopped being writable
+      // mid-way: the report above is valid, resumability is not.
+      std::fprintf(stderr, "tocttou: sweep journal: %s\n",
+                   res.journal_error.c_str());
+      return kExitIo;
+    }
+    return kExitOk;
   }
 
   const bool single_round = gantt || interference || !journal_csv.empty() ||
@@ -375,22 +506,31 @@ int main(int argc, char** argv) {
     cfg.record_journal = true;
     cfg.record_events = gantt || !events_csv.empty();
     core::RoundResult r;
-    if (!replay_text.empty()) {
-      explore::ScheduleToken tok;
-      std::string err;
-      if (!explore::ScheduleToken::parse(replay_text, &tok, &err)) {
-        std::fprintf(stderr, "tocttou: bad --replay token: %s\n", err.c_str());
-        return 1;
+    // A single round runs unshielded (no campaign run_block, no explorer
+    // quarantine), so a simulator throw — the livelock watchdog tripping
+    // on a quarantined schedule's replay, most likely — surfaces here.
+    try {
+      if (!replay_text.empty()) {
+        explore::ScheduleToken tok;
+        std::string err;
+        if (!explore::ScheduleToken::parse(replay_text, &tok, &err)) {
+          std::fprintf(stderr, "tocttou: bad --replay token: %s\n",
+                       err.c_str());
+          return kExitUsage;
+        }
+        if (!explore::replay_token(cfg, tok, &r, &err)) {
+          std::fprintf(stderr, "tocttou: replay failed: %s\n", err.c_str());
+          return kExitUsage;
+        }
+        std::printf("replay: seed=%llu, %zu forced choices\n",
+                    static_cast<unsigned long long>(tok.seed),
+                    tok.choices.size());
+      } else {
+        r = core::run_round(cfg);
       }
-      if (!explore::replay_token(cfg, tok, &r, &err)) {
-        std::fprintf(stderr, "tocttou: replay failed: %s\n", err.c_str());
-        return 1;
-      }
-      std::printf("replay: seed=%llu, %zu forced choices\n",
-                  static_cast<unsigned long long>(tok.seed),
-                  tok.choices.size());
-    } else {
-      r = core::run_round(cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tocttou: simulation error: %s\n", e.what());
+      return kExitSimError;
     }
     std::printf("round: %s (victim %s, attacker %s, %llu events)\n",
                 r.success ? "ATTACK SUCCEEDED" : "attack failed",
@@ -437,7 +577,7 @@ int main(int argc, char** argv) {
       export_metrics(r.metrics, metrics_json, metrics_json_path,
                      metrics_csv_path);
     }
-    return r.success ? 0 : 2;
+    return r.success ? kExitOk : kExitAttackFailed;
   }
 
   const auto stats = core::run_campaign(cfg, rounds, measure_ld, jobs);
