@@ -1,0 +1,130 @@
+// Measures what --detect costs: rounds/sec on the paper's campaign
+// workloads with detection off (the PR 4 zero-overhead contract — one
+// dead null-check per emission site) versus on (sync log + vector-clock
+// replay + window matching per round). The campaign statistics must be
+// identical in both runs — detection is an observer, never a
+// perturbation — and the bench CHECKs that before reporting.
+//
+//   ./bench_detect_overhead [output.json]
+//
+// Writes BENCH_detect_overhead.json by default; round counts scale with
+// TOCTTOU_ROUNDS (default 400 per workload).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tocttou/common/error.h"
+#include "tocttou/common/strings.h"
+#include "tocttou/core/harness.h"
+#include "tocttou/programs/testbeds.h"
+
+namespace tocttou {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int rounds_or(int dflt) {
+  if (const char* env = std::getenv("TOCTTOU_ROUNDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return dflt;
+}
+
+struct Workload {
+  const char* name;
+  core::ScenarioConfig cfg;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> out;
+  {
+    core::ScenarioConfig cfg;
+    cfg.profile = programs::testbed_smp_dual_xeon();
+    cfg.victim = core::VictimKind::vi;
+    cfg.attacker = core::AttackerKind::naive;
+    cfg.file_bytes = 100 * 1024;
+    cfg.seed = 11;
+    out.push_back({"smp_vi_naive", cfg});
+  }
+  {
+    core::ScenarioConfig cfg;
+    cfg.profile = programs::testbed_multicore_pentium_d();
+    cfg.victim = core::VictimKind::gedit;
+    cfg.attacker = core::AttackerKind::naive;
+    cfg.file_bytes = 100 * 1024;
+    cfg.seed = 11;
+    out.push_back({"multicore_gedit_naive", cfg});
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace tocttou
+
+int main(int argc, char** argv) {
+  using namespace tocttou;
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_detect_overhead.json";
+  const int rounds = rounds_or(400);
+
+  std::string json = "{\n  \"workloads\": [\n";
+  bool first = true;
+  for (const auto& w : workloads()) {
+    core::ScenarioConfig off = w.cfg;
+    off.detect = false;
+    core::ScenarioConfig on = w.cfg;
+    on.detect = true;
+
+    // Warm-up pass so allocator state does not bias the first timing.
+    (void)core::run_campaign(off, rounds / 4, false, 1);
+
+    const auto t_off = Clock::now();
+    const auto s_off = core::run_campaign(off, rounds, false, 1);
+    const double sec_off = seconds_since(t_off);
+
+    const auto t_on = Clock::now();
+    const auto s_on = core::run_campaign(on, rounds, false, 1);
+    const double sec_on = seconds_since(t_on);
+
+    // Detection observes; it must not change what the campaign measures.
+    TOCTTOU_CHECK(s_off.summary() == s_on.summary(),
+                  "detect-on campaign diverged from detect-off");
+    TOCTTOU_CHECK(s_on.detect.rounds == static_cast<std::uint64_t>(rounds),
+                  "detect report did not cover every round");
+
+    const double rps_off = rounds / sec_off;
+    const double rps_on = rounds / sec_on;
+    std::printf(
+        "%-24s off: %8.0f rounds/s   on: %8.0f rounds/s   overhead: %5.1f%% "
+        "(%llu windows, %llu races)\n",
+        w.name, rps_off, rps_on, (sec_on / sec_off - 1.0) * 100.0,
+        static_cast<unsigned long long>(s_on.detect.windows),
+        static_cast<unsigned long long>(s_on.detect.races));
+
+    if (!first) json += ",\n";
+    first = false;
+    json += strfmt(
+        "    {\"name\": \"%s\", \"rounds\": %d, "
+        "\"rounds_per_sec_detect_off\": %.1f, "
+        "\"rounds_per_sec_detect_on\": %.1f, "
+        "\"overhead_pct\": %.2f, "
+        "\"windows\": %llu, \"races\": %llu}",
+        w.name, rounds, rps_off, rps_on, (sec_on / sec_off - 1.0) * 100.0,
+        static_cast<unsigned long long>(s_on.detect.windows),
+        static_cast<unsigned long long>(s_on.detect.races));
+  }
+  json += "\n  ]\n}\n";
+
+  std::ofstream f(out_path);
+  f << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

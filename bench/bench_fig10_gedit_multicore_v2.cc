@@ -49,27 +49,27 @@ void BM_Fig10(benchmark::State& state) {
     const auto& j = rep.trace.journal;
     // The detecting stat of the winning round: lengthened by blocking on
     // the directory semaphore during the rename (typical stat ~4us).
-    std::optional<trace::SyscallRecord> detect;
-    for (const auto& s : j.for_pid(rep.attacker_pid, "stat")) {
-      if (s.st_uid && *s.st_uid == 0) {
+    const trace::SyscallRecord* detect = nullptr;
+    for (const auto* s : j.for_pid(rep.attacker_pid, "stat")) {
+      if (s->st_uid && *s->st_uid == 0) {
         detect = s;
         break;
       }
     }
-    if (detect) {
+    if (detect != nullptr) {
       RowSink::get().add_row(
           {"winning stat duration",
            TextTable::fmt(detect->length().us(), 1) + "us",
            "26us (typical 4us) - lengthened by the rename"});
-      std::optional<trace::SyscallRecord> unlink;
-      for (const auto& u : j.for_pid(rep.attacker_pid, "unlink")) {
-        if (u.enter >= detect->exit &&
-            u.path != std::string("/tmp/dummy")) {
+      const trace::SyscallRecord* unlink = nullptr;
+      for (const auto* u : j.for_pid(rep.attacker_pid, "unlink")) {
+        if (u->enter >= detect->exit &&
+            u->path != std::string("/tmp/dummy")) {
           unlink = u;
           break;
         }
       }
-      if (unlink) {
+      if (unlink != nullptr) {
         RowSink::get().add_row(
             {"attacker gap stat end -> unlink",
              TextTable::fmt((unlink->enter - detect->exit).us(), 1) + "us",

@@ -72,10 +72,10 @@ StepTimes run_one(bool parallel, std::uint64_t bytes, std::uint64_t seed) {
   const auto unlinks = trace.journal.for_pid(main_pid, "unlink");
   const auto symlinks = trace.journal.for_pid(sym_pid, "symlink");
   if (stats.empty() || unlinks.empty() || symlinks.empty()) return out;
-  const SimTime t0 = stats.front().enter;
-  out.stat_end_us = (stats.front().exit - t0).us();
-  out.unlink_end_us = (unlinks.back().exit - t0).us();
-  out.symlink_end_us = (symlinks.back().exit - t0).us();
+  const SimTime t0 = stats.front()->enter;
+  out.stat_end_us = (stats.front()->exit - t0).us();
+  out.unlink_end_us = (unlinks.back()->exit - t0).us();
+  out.symlink_end_us = (symlinks.back()->exit - t0).us();
   out.attack_done_us = std::max(out.unlink_end_us, out.symlink_end_us);
   return out;
 }

@@ -59,13 +59,13 @@ void BM_Fig8(benchmark::State& state) {
     if (renames.size() == 2 && chmods.size() == 1) {
       RowSink::get().add_row(
           {"victim gap rename -> chmod",
-           TextTable::fmt((chmods[0].enter - renames[1].exit).us(), 1) + "us",
+           TextTable::fmt((chmods[0]->enter - renames[1]->exit).us(), 1) + "us",
            "3us"});
     }
     if (!unlinks.empty() && rep.window->detected) {
       RowSink::get().add_row(
           {"attacker gap stat -> unlink (incl. 6us trap)",
-           TextTable::fmt((unlinks[0].enter - rep.window->t1).us(), 1) + "us",
+           TextTable::fmt((unlinks[0]->enter - rep.window->t1).us(), 1) + "us",
            "17us"});
     }
     std::printf("\n--- Figure 8 style timeline (failed v1 attack) ---\n");

@@ -14,6 +14,7 @@
 
 #include "tocttou/common/stats.h"
 #include "tocttou/core/analysis.h"
+#include "tocttou/detect/detector.h"
 #include "tocttou/metrics/metrics.h"
 #include "tocttou/metrics/profile.h"
 #include "tocttou/programs/testbeds.h"
@@ -89,6 +90,19 @@ struct ScenarioConfig {
   /// Deliberately excluded from scenario_fingerprint(), like the record
   /// flags: observing a round does not change the scenario.
   bool collect_metrics = false;
+
+  /// Run the happens-before TOCTTOU detector on the round: the kernel
+  /// emits its synchronization-event stream (process spawn/exit,
+  /// inode-semaphore ownership transfers, event-flag handoffs, syscall
+  /// enter/exit) into RoundResult::sync, and run_round() replays it
+  /// through detect::analyze_round into RoundResult::detect. Forces the
+  /// journal on for the round (detection needs the records) without
+  /// changing record_journal's own semantics. Off by default: every
+  /// kernel emission site is then a single null check and simulation
+  /// output is byte-identical to a detect-free build. Deliberately
+  /// excluded from scenario_fingerprint(), like collect_metrics:
+  /// observing a round does not change the scenario.
+  bool detect = false;
 
   /// Host wall-clock profile accumulator (nullptr = no profiling).
   /// run_round() brackets its setup/sim/analyze/audit phases and adds
@@ -166,6 +180,13 @@ struct RoundResult {
   /// and fault injections by kind.
   metrics::Registry metrics;
 
+  /// Kernel synchronization-event stream and the happens-before
+  /// detector's verdicts for the round (both empty unless cfg.detect).
+  /// The stream lives here so checkpoint forks deep-copy it with the
+  /// rest of the round state (sim::CloneMap remaps the kernel's sink).
+  detect::SyncLog sync;
+  detect::DetectReport detect;
+
   /// Replay-ready schedule token ("st1:...") pinning the scenario
   /// fingerprint, the round seed, and the victim think time actually
   /// used. `tocttou_cli --replay=TOKEN` re-runs the round; the explore
@@ -242,6 +263,12 @@ struct CampaignStats {
   /// summary() never prints it — export via to_json()/to_csv().
   metrics::Registry metrics;
 
+  /// Merged per-round detector reports (empty unless the campaign ran
+  /// with cfg.detect). Same determinism contract as `metrics`: blocks
+  /// merge in fixed order, so the report — including the retained
+  /// findings prefix — is byte-identical at any --jobs.
+  detect::DetectReport detect;
+
   /// Replay tokens for the first few anomalous rounds — rounds that
   /// threw out of run_round, hit the time limit, or stalled — capped at
   /// kMaxAnomalyTokens so a pathological campaign stays bounded. Empty
@@ -280,7 +307,8 @@ std::pair<Duration, Duration> victim_think_range(const ScenarioConfig& cfg);
 /// space: testbed, machine/noise/background parameters, victim,
 /// attacker, file size, defenses, paths, fault plan, round limit.
 /// Excludes seed, victim_think, the record flags, collect_metrics,
-/// wall_profile, scheduler_factory, step_budget, and extra_programs —
+/// detect, wall_profile, scheduler_factory, step_budget, and
+/// extra_programs —
 /// those vary across rounds of the SAME scenario (a schedule token pins
 /// seed and think itself; a watchdog budget that never trips is
 /// unobservable, and tokens from budgeted runs must replay unbudgeted).

@@ -1,0 +1,54 @@
+// Syscall classification for race detection, at the trace layer.
+//
+// The detector rediscovers <check, use> pairs from raw journals, so the
+// taxonomy of which calls check, use, establish, or mutate a pathname
+// lives HERE (below core) and core/pairs delegates to it — one truth
+// table, two consumers. The per-record helpers resolve the secondary
+// path argument correctly per call: rename acts on oldpath AND newpath,
+// link acts on oldpath AND creates newpath, while symlink's path2 is
+// the TARGET string the new link will point at — creating
+// `evil -> /etc/passwd` touches neither /etc/passwd's name binding nor
+// its inode, so path2 is never an acted-on name for symlink.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "tocttou/trace/journal.h"
+
+namespace tocttou::detect {
+
+/// Calls whose result establishes an invariant about a pathname (the
+/// "check" half of a CUU pair).
+bool is_check_name(std::string_view name);
+
+/// Calls that rely on a previously established invariant (the "use"
+/// half).
+bool is_use_name(std::string_view name);
+
+/// Calls an attacker can issue to invalidate a name binding or the
+/// object behind it between a victim's check and use.
+bool is_mutator_name(std::string_view name);
+
+// Each helper clears `out` and appends string_views aliasing fields of
+// `r` (valid while the record is). Deterministic order: path before
+// path2.
+
+/// Names the call operates on when acting as a USE: the invariant it
+/// relies on covers these names.
+void acted_names(const trace::SyscallRecord& r,
+                 std::vector<std::string_view>* out);
+
+/// Names a successful call establishes an invariant for when acting as
+/// a CHECK (rename vouches for newpath, not the now-gone oldpath; link
+/// vouches for the observed oldpath and the created newpath).
+void established_names(const trace::SyscallRecord& r,
+                       std::vector<std::string_view>* out);
+
+/// Names whose binding a successful call changes — what an attacker's
+/// call can invalidate (rename: both ends; link: the created newpath;
+/// chown/chmod/unlink/symlink/mkdir: the primary path).
+void mutated_names(const trace::SyscallRecord& r,
+                   std::vector<std::string_view>* out);
+
+}  // namespace tocttou::detect

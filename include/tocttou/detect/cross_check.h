@@ -1,0 +1,63 @@
+// Ground-truth cross-validation of the happens-before detector against
+// exhaustive schedule-space exploration.
+//
+// The explorer enumerates every schedule reachable within the
+// preemption bound and KNOWS, per leaf, whether the attack landed
+// (core::RoundResult::success — the paper's own success judgment). The
+// detector, per leaf, flags <check, use> windows concurrent with
+// attacker mutations. Soundness demands: every landed leaf carries a
+// detector finding on the scenario's watched path. Leaves flagged but
+// not landed are NOT failures — the window was open and the mutation
+// concurrent, the attacker just lost the race to the inode — but they
+// are tallied with their happens-before justification so a reviewer
+// can audit the detector's concurrency claims (false-positive audit).
+//
+// Determinism: leaves are collected under a mutex and reduced in
+// sorted-leaf-key order (the serialized replay tokens), so the result
+// is byte-identical at any --explore-jobs and checkpoint on/off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tocttou/core/harness.h"
+#include "tocttou/detect/detector.h"
+#include "tocttou/explore/explorer.h"
+
+namespace tocttou::detect {
+
+/// Landed-but-unflagged leaf tokens retained verbatim (each is a
+/// soundness violation worth replaying; the count stays exact).
+inline constexpr int kMaxViolationTokens = 8;
+
+struct CrossCheckResult {
+  explore::ExploreResult explore;
+  /// Per-leaf reports merged in sorted-leaf-key order.
+  DetectReport report;
+
+  int leaves = 0;          // exhaustive leaves observed
+  int landed = 0;          // leaves where the attack succeeded
+  int landed_flagged = 0;  // ... of those, detector-flagged on the path
+  int flagged = 0;         // leaves with >= 1 finding on watched_path
+  int flagged_not_landed = 0;  // false-positive audit numerator
+
+  /// Replay tokens of landed-but-unflagged leaves (soundness holes).
+  std::vector<std::string> violations;
+  /// Flagged-but-never-landed findings bucketed by
+  /// "check,use|justification" — why the detector believed the window
+  /// was exposed even though the attack lost.
+  std::map<std::string, std::uint64_t> fp_justifications;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Runs explore() over `cfg` (exhaustive mode required) with detection
+/// forced on and cross-validates leaf by leaf. Chains any
+/// leaf_observer already present in `ecfg`.
+CrossCheckResult cross_check(const core::ScenarioConfig& cfg,
+                             const explore::ExploreConfig& ecfg);
+
+}  // namespace tocttou::detect

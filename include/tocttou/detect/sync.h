@@ -1,0 +1,96 @@
+// Kernel synchronization-event stream for happens-before detection.
+//
+// The simulated kernel is single-threaded and deterministic, so ONE
+// append-ordered log of its synchronization actions is a total order
+// consistent with causality: every edge the kernel actually enforces
+// between processes (spawn, exit, inode-semaphore ownership transfer,
+// event-flag set/wake handoffs) appears here in the order it happened,
+// interleaved with syscall enter/exit markers so the detector can
+// position each journal record inside that order. The log is the
+// detector's ONLY view of ordering — it never consults simulated
+// timestamps, which overlap freely across CPUs.
+//
+// Emission contract (DESIGN.md §9): the kernel writes through a single
+// `sync_` pointer guarded by one null check per site, mirroring the
+// trace/faults/metrics sinks — detection off costs one predictable
+// branch per event and allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tocttou/trace/trace.h"
+
+namespace tocttou::detect {
+
+/// One kernel ordering action. `sc_enter`/`sc_exit` bracket the service
+/// of one syscall; per pid, the i-th completed bracket corresponds to
+/// the i-th SyscallRecord the kernel journals for that pid (the journal
+/// appends exactly one record per completed syscall, in completion
+/// order, which per process is program order).
+enum class SyncKind : std::uint8_t {
+  proc_start,   // process admitted to the run queue
+  proc_exit,    // process finished its program
+  sem_acquire,  // inode semaphore granted (uncontended or direct handoff)
+  sem_release,  // inode semaphore released by its owner
+  flag_set,     // event flag raised (pipe-style state handoff, publish)
+  flag_wake,    // a waiter observed the flag set (blocked or fast path)
+  sc_enter,     // syscall service begins (op_enter_ stamped)
+  sc_exit,      // syscall service completes (journal record appended)
+};
+
+const char* to_string(SyncKind k);
+
+struct SyncEvent {
+  SyncKind kind{};
+  trace::Pid pid = 0;
+  /// proc_start only: credentials of the new process. The detector uses
+  /// this to decide which mutations are attacker-writable (uid != 0).
+  std::uint32_t uid = 0;
+  /// sem_*/flag_* only: the synchronization object's name. Semaphores
+  /// are named per inode, flags per handoff channel, so the name is a
+  /// stable identity across the round.
+  std::string obj;
+};
+
+/// Append-only sink the kernel emits into when detection is on. Owned
+/// by core::RoundResult so checkpoint forks deep-copy it with the rest
+/// of the round state.
+class SyncLog {
+ public:
+  void proc_start(trace::Pid pid, std::uint32_t uid) {
+    events_.push_back({SyncKind::proc_start, pid, uid, {}});
+  }
+  void proc_exit(trace::Pid pid) {
+    events_.push_back({SyncKind::proc_exit, pid, 0, {}});
+  }
+  void sem_acquire(trace::Pid pid, const std::string& obj) {
+    events_.push_back({SyncKind::sem_acquire, pid, 0, obj});
+  }
+  void sem_release(trace::Pid pid, const std::string& obj) {
+    events_.push_back({SyncKind::sem_release, pid, 0, obj});
+  }
+  void flag_set(trace::Pid pid, const std::string& obj) {
+    events_.push_back({SyncKind::flag_set, pid, 0, obj});
+  }
+  void flag_wake(trace::Pid pid, const std::string& obj) {
+    events_.push_back({SyncKind::flag_wake, pid, 0, obj});
+  }
+
+  void sc_enter(trace::Pid pid) {
+    events_.push_back({SyncKind::sc_enter, pid, 0, {}});
+  }
+  void sc_exit(trace::Pid pid) {
+    events_.push_back({SyncKind::sc_exit, pid, 0, {}});
+  }
+
+  const std::vector<SyncEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<SyncEvent> events_;
+};
+
+}  // namespace tocttou::detect

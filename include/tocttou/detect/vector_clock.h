@@ -1,0 +1,42 @@
+// Minimal grow-on-demand vector clock over simulated pids.
+//
+// Components are indexed by pid - 1 (pids are dense and start at 1,
+// sim::kNoPid == 0). A missing component reads as 0, so clocks never
+// need pre-sizing and comparing clocks of different widths is well
+// defined. All updates are performed by the detector's single replay
+// pass over the SyncLog — there is no concurrency here, just the
+// standard tick/join algebra (DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tocttou::detect {
+
+class VectorClock {
+ public:
+  /// Component for process index `i` (pid - 1); 0 when never ticked.
+  std::uint32_t at(std::size_t i) const {
+    return i < c_.size() ? c_[i] : 0;
+  }
+
+  /// Advance own component; returns the new value (the event counter k
+  /// identifying the event just performed by process `i`).
+  std::uint32_t tick(std::size_t i) {
+    if (c_.size() <= i) c_.resize(i + 1, 0);
+    return ++c_[i];
+  }
+
+  /// Pointwise max: incorporate everything `other` has seen.
+  void join(const VectorClock& other) {
+    if (c_.size() < other.c_.size()) c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> c_;
+};
+
+}  // namespace tocttou::detect

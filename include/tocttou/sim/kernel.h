@@ -21,6 +21,10 @@ namespace tocttou::metrics {
 class Registry;
 }
 
+namespace tocttou::detect {
+class SyncLog;
+}
+
 namespace tocttou::sim {
 
 class CloneMap;
@@ -119,6 +123,15 @@ class Kernel {
   /// the no-metrics path byte-identical. Must outlive the kernel.
   void set_metrics(metrics::Registry* metrics) { metrics_ = metrics; }
 
+  /// Attaches a synchronization-event sink for this round (nullptr =
+  /// none; the default). With a sink attached the kernel appends its
+  /// ordering actions — process spawn/exit, inode-semaphore ownership
+  /// transfers, event-flag set/wake handoffs, syscall enter/exit — for
+  /// the happens-before detector (detect/detector.h). Every emission
+  /// site is a single null check when disabled, keeping the detect-off
+  /// path byte-identical. Must outlive the kernel.
+  void set_sync_log(detect::SyncLog* sync) { sync_ = sync; }
+
  private:
   struct CpuState {
     Pid running = kNoPid;
@@ -160,6 +173,7 @@ class Kernel {
   trace::RoundTrace* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
+  detect::SyncLog* sync_ = nullptr;
   /// Mirrors EventQueue::Impl::legacy (read once at construction): the
   /// bench's before/after toggle also reverts the placement hot path to
   /// its original allocate-per-call form so "before" is faithful.

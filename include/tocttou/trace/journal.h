@@ -26,7 +26,9 @@ struct SyscallRecord {
   SimTime exit;           // syscall return
   Errno result = Errno::ok;
   std::string path;       // primary path argument, if any
-  std::string path2;      // secondary path (rename newpath, symlink linkpath)
+  std::string path2;      // secondary path: rename/link newpath; for
+                          // symlink this is the TARGET string (the
+                          // linkpath is `path`)
 
   // stat/lstat: attributes observed.
   std::optional<std::uint32_t> st_uid;
@@ -51,12 +53,16 @@ class SyscallJournal {
   /// st_gid,st_ino,applied_ino) for offline analysis/plotting.
   std::string to_csv() const;
 
-  /// All records of `pid` named `name`, in enter-time order.
-  std::vector<SyscallRecord> for_pid(Pid pid, std::string_view name) const;
+  /// All records of `pid` named `name`, in enter-time order. Returns
+  /// pointers into records() — valid until the journal is mutated — so
+  /// the hot analysis paths never copy heap-string-bearing records.
+  std::vector<const SyscallRecord*> for_pid(Pid pid,
+                                            std::string_view name) const;
 
-  /// First record of `pid` named `name` entering at or after `from`.
-  std::optional<SyscallRecord> first(Pid pid, std::string_view name,
-                                     SimTime from = SimTime::origin()) const;
+  /// First record of `pid` named `name` entering at or after `from`;
+  /// nullptr when there is none. Same aliasing contract as for_pid().
+  const SyscallRecord* first(Pid pid, std::string_view name,
+                             SimTime from = SimTime::origin()) const;
 
  private:
   std::vector<SyscallRecord> records_;

@@ -202,7 +202,10 @@ RoundRun::RoundRun(const ScenarioConfig& cfg, RoundContext* ctx)
   }
 
   // --- kernel ---
-  const bool tracing = cfg.record_journal || cfg.record_events;
+  // Detection replays the journal against the sync stream, so it needs
+  // the records even when the caller did not ask for them.
+  const bool tracing =
+      cfg.record_journal || cfg.record_events || cfg.detect;
   res.trace.log_events = cfg.record_events;
   std::unique_ptr<sim::Scheduler> sched;
   if (cfg.scheduler_factory) {
@@ -231,6 +234,7 @@ RoundRun::RoundRun(const ScenarioConfig& cfg, RoundContext* ctx)
   }
   sim::Kernel& kernel = *kernel_;
   if (cfg.collect_metrics) kernel.set_metrics(&res.metrics);
+  if (cfg.detect) kernel.set_sync_log(&res.sync);
   if (injector) kernel.set_fault_injector(&*injector);
   if (cfg.background_load) kernel.start_background_load();
 
@@ -511,6 +515,22 @@ RoundResult RoundRun::finish() {
                        window_spec_for(cfg), d_convention_for(cfg.victim));
   }
 
+  // --- happens-before race detection over the recorded streams ---
+  if (cfg.detect) {
+    res.detect = detect::analyze_round(res.sync, res.trace.journal);
+    if (cfg.collect_metrics) {
+      res.metrics.count("detect.sync_events",
+                        static_cast<std::int64_t>(res.sync.events().size()));
+      res.metrics.count("detect.windows",
+                        static_cast<std::int64_t>(res.detect.windows));
+      res.metrics.count("detect.mutations",
+                        static_cast<std::int64_t>(res.detect.mutations));
+      res.metrics.count("detect.races",
+                        static_cast<std::int64_t>(res.detect.races));
+      if (res.detect.races > 0) res.metrics.count("detect.rounds_flagged");
+    }
+  }
+
   // --- post-round robustness accounting ---
   timer_.lap(&metrics::WallProfile::analyze_ns);
   res.audit_violations = vfs_->audit();
@@ -601,6 +621,7 @@ CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
     stats.total_events += r.events;
     stats.faults.merge(r.faults);
     stats.metrics.merge(r.metrics);
+    stats.detect.merge(r.detect);
     if (r.hit_time_limit) ++stats.anomalies;
     if (!r.victim_completed && !r.hit_time_limit) ++stats.victim_incomplete;
     if ((r.hit_time_limit || !r.victim_completed) &&
@@ -637,6 +658,7 @@ void CampaignStats::merge(const CampaignStats& other) {
   attacker_unfinished += other.attacker_unfinished;
   faults.merge(other.faults);
   metrics.merge(other.metrics);
+  detect.merge(other.detect);
   for (const std::string& t : other.anomaly_tokens) {
     if (static_cast<int>(anomaly_tokens.size()) >= kMaxAnomalyTokens) break;
     anomaly_tokens.push_back(t);

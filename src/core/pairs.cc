@@ -3,43 +3,30 @@
 #include <algorithm>
 #include <map>
 
+#include "tocttou/detect/classify.h"
+
 namespace tocttou::core {
 
-namespace {
-
-bool in(std::string_view name, std::initializer_list<const char*> set) {
-  return std::any_of(set.begin(), set.end(),
-                     [&](const char* c) { return name == c; });
-}
-
-// Check set: calls that establish an invariant about a name — either by
-// observing it (stat family) or by creating/placing it (creation set).
-// This follows the CUU model of the FAST'05 anatomy study: gedit's
-// <rename, chown> pair has a *creation* call as its check.
-bool establishes(std::string_view name) {
-  return in(name, {"stat", "lstat", "access", "readlink", "open", "rename",
-                   "symlink", "mkdir", "link"});
-}
-
-// Use set: calls that act on a name assuming an earlier invariant.
-bool uses(std::string_view name) {
-  return in(name, {"open", "chown", "chmod", "rename", "unlink", "symlink",
-                   "link", "mkdir"});
-}
-
-}  // namespace
+// The check/use/mutator truth tables live in detect/classify.h — the
+// happens-before detector rediscovers pairs from raw traces and must
+// agree with the post-mortem scanner on what counts as one, so both
+// layers share the single taxonomy.
 
 CallClass classify_call(std::string_view name) {
-  const bool c = establishes(name);
-  const bool u = uses(name);
+  const bool c = detect::is_check_name(name);
+  const bool u = detect::is_use_name(name);
   if (c && u) return CallClass::both;
   if (c) return CallClass::check;
   if (u) return CallClass::use;
   return CallClass::neither;
 }
 
-bool is_check_call(std::string_view name) { return establishes(name); }
-bool is_use_call(std::string_view name) { return uses(name); }
+bool is_check_call(std::string_view name) {
+  return detect::is_check_name(name);
+}
+bool is_use_call(std::string_view name) {
+  return detect::is_use_name(name);
+}
 
 const std::vector<PairShape>& known_pair_shapes() {
   static const std::vector<PairShape> shapes = {
@@ -76,38 +63,39 @@ std::vector<DetectedPair> find_pairs(const trace::SyscallJournal& journal,
     std::string call;
     SimTime exit;
   };
-  std::map<std::string, Pending> last_check;
+  std::map<std::string, Pending, std::less<>> last_check;
   std::vector<DetectedPair> out;
+  std::vector<std::string_view> names;
 
   for (const auto* r : recs) {
-    // The name(s) this call acts on: path always; rename also acts on
-    // (and then establishes) its new name path2.
-    if (uses(r->name)) {
-      auto it = last_check.find(r->path);
-      if (it != last_check.end() && r->enter > it->second.exit) {
-        out.push_back(DetectedPair{it->second.call, r->name, r->path,
-                                   it->second.exit, r->enter});
-      }
-      if (r->name == "rename" && !r->path2.empty()) {
-        auto it2 = last_check.find(r->path2);
-        if (it2 != last_check.end() && r->enter > it2->second.exit) {
-          out.push_back(DetectedPair{it2->second.call, r->name, r->path2,
-                                     it2->second.exit, r->enter});
+    // The name(s) this call acts on: path always; rename acts on (and
+    // then establishes) its new name path2; link dereferences oldpath
+    // AND creates newpath, so a use on either name pairs. symlink's
+    // path2 is the target STRING, not a resolved name — excluded by
+    // acted_names().
+    if (detect::is_use_name(r->name)) {
+      detect::acted_names(*r, &names);
+      for (std::string_view n : names) {
+        auto it = last_check.find(n);
+        if (it != last_check.end() && r->enter > it->second.exit) {
+          out.push_back(DetectedPair{it->second.call, r->name, std::string(n),
+                                     it->second.exit, r->enter});
         }
       }
     }
-    if (establishes(r->name) && r->result == Errno::ok) {
-      // rename establishes its destination; a failed stat establishes
-      // nothing; all others establish their primary path.
-      if (r->name == "rename") {
-        last_check[r->path2] = Pending{r->name, r->exit};
-        last_check.erase(r->path);  // the old name no longer exists
-      } else {
-        last_check[r->path] = Pending{r->name, r->exit};
+    if (r->result == Errno::ok) {
+      // rename retires its old name before establishing the new one; a
+      // failed check establishes nothing.
+      if (r->name == "rename") last_check.erase(r->path);
+      if (detect::is_check_name(r->name)) {
+        detect::established_names(*r, &names);
+        for (std::string_view n : names) {
+          last_check[std::string(n)] = Pending{r->name, r->exit};
+        }
       }
-    }
-    if (r->name == "unlink" && r->result == Errno::ok) {
-      last_check.erase(r->path);  // invariant destroyed with the name
+      if (r->name == "unlink") {
+        last_check.erase(r->path);  // invariant destroyed with the name
+      }
     }
   }
   return out;
@@ -129,15 +117,21 @@ std::vector<Interference> find_interference(
     const trace::SyscallJournal& journal, trace::Pid victim) {
   const auto windows = find_pairs(journal, victim);
   std::vector<Interference> out;
+  std::vector<std::string_view> names;
   for (const auto& r : journal.records()) {
     if (r.pid == victim || r.result != Errno::ok) continue;
-    // Namespace mutations only: the calls that can remap a name.
-    const bool mutates = in(r.name, {"unlink", "symlink", "rename", "link",
-                                     "mkdir"});
-    if (!mutates) continue;
+    // Namespace mutations only: attribute changes (chown/chmod) do not
+    // remap a name, so they cannot redirect the victim's use.
+    if (!(r.name == "unlink" || r.name == "symlink" || r.name == "rename" ||
+          r.name == "link" || r.name == "mkdir")) {
+      continue;
+    }
+    // mutated_names resolves the secondary path per call: rename remaps
+    // both ends, link binds its newpath (path2) — previously invisible.
+    detect::mutated_names(r, &names);
     for (const auto& w : windows) {
-      const bool on_path =
-          r.path == w.path || (r.name == "rename" && r.path2 == w.path);
+      bool on_path = false;
+      for (std::string_view n : names) on_path = on_path || n == w.path;
       if (!on_path) continue;
       if (r.enter >= w.check_exit && r.enter < w.use_enter) {
         out.push_back(Interference{w, r.pid, r.name, r.enter});

@@ -1,0 +1,93 @@
+#include "tocttou/detect/detector.h"
+
+#include "tocttou/common/strings.h"
+
+namespace tocttou::detect {
+
+std::string RaceFinding::justification() const {
+  if (ordered_after_check && ordered_before_use) {
+    return "serialized inside the window: kernel edges order "
+           "check -> mutation -> use, the landing interleaving";
+  }
+  if (ordered_after_check) {
+    return "ordered after the check by kernel edges, unordered with the use";
+  }
+  if (ordered_before_use) {
+    return "ordered before the use by kernel edges, unordered with the check";
+  }
+  return "fully concurrent: no happens-before path between the mutation "
+         "and either end of the window";
+}
+
+void DetectReport::merge(const DetectReport& other) {
+  rounds += other.rounds;
+  sync_events += other.sync_events;
+  windows += other.windows;
+  mutations += other.mutations;
+  races += other.races;
+  rounds_with_race += other.rounds_with_race;
+  for (const auto& [k, v] : other.pair_windows) pair_windows[k] += v;
+  for (const auto& [k, v] : other.pair_races) pair_races[k] += v;
+  for (const auto& [k, v] : other.ordered_mutations) {
+    ordered_mutations[k] += v;
+  }
+  for (const auto& f : other.findings) {
+    if (findings.size() >= static_cast<std::size_t>(kMaxFindings)) break;
+    findings.push_back(f);
+  }
+}
+
+std::string DetectReport::summary() const {
+  auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::string out = strfmt(
+      "%llu races / %llu windows / %llu mutations over %llu rounds "
+      "(%llu rounds flagged)",
+      u(races), u(windows), u(mutations), u(rounds), u(rounds_with_race));
+  if (!pair_races.empty()) {
+    out += "; racing pairs:";
+    for (const auto& [k, v] : pair_races) {
+      out += strfmt(" <%s>=%llu", k.c_str(), u(v));
+    }
+  }
+  if (!ordered_mutations.empty()) {
+    out += "; suppressed:";
+    for (const auto& [k, v] : ordered_mutations) {
+      out += strfmt(" %s=%llu", k.c_str(), u(v));
+    }
+  }
+  return out;
+}
+
+std::string DetectReport::to_csv() const {
+  std::string out =
+      "victim,check,use,path,check_exit_us,use_enter_us,mutator,"
+      "mutator_uid,mutator_call,mutation_enter_us,ordered_after_check,"
+      "ordered_before_use,justification\n";
+  for (const RaceFinding& f : findings) {
+    out += strfmt("%u,%s,%s,%s,%.3f,%.3f,%u,%u,%s,%.3f,%d,%d,%s\n",
+                  f.victim, csv_escape(f.check_call).c_str(),
+                  csv_escape(f.use_call).c_str(), csv_escape(f.path).c_str(),
+                  f.check_exit.us(), f.use_enter.us(), f.mutator,
+                  f.mutator_uid, csv_escape(f.mutator_call).c_str(),
+                  f.mutation_enter.us(), f.ordered_after_check ? 1 : 0,
+                  f.ordered_before_use ? 1 : 0,
+                  csv_escape(f.justification()).c_str());
+  }
+  return out;
+}
+
+const char* to_string(SyncKind k) {
+  switch (k) {
+    case SyncKind::proc_start: return "proc_start";
+    case SyncKind::proc_exit: return "proc_exit";
+    case SyncKind::sem_acquire: return "sem_acquire";
+    case SyncKind::sem_release: return "sem_release";
+    case SyncKind::flag_set: return "flag_set";
+    case SyncKind::flag_wake: return "flag_wake";
+    case SyncKind::sc_enter: return "sc_enter";
+    case SyncKind::sc_exit: return "sc_exit";
+  }
+  return "?";
+}
+
+}  // namespace tocttou::detect

@@ -4,6 +4,7 @@
 
 #include "tocttou/common/error.h"
 #include "tocttou/common/strings.h"
+#include "tocttou/detect/sync.h"
 #include "tocttou/metrics/metrics.h"
 #include "tocttou/sim/clone.h"
 #include "tocttou/sim/faults.h"
@@ -72,6 +73,7 @@ void Kernel::reset(MachineSpec spec, std::unique_ptr<Scheduler> sched,
   trace_ = trace;
   faults_ = nullptr;
   metrics_ = nullptr;
+  sync_ = nullptr;
   queue_.reset();
   procs_.clear();  // keeps the table's vector capacity
   cpus_.assign(static_cast<std::size_t>(spec_.n_cpus), CpuState{});
@@ -90,6 +92,7 @@ Kernel::Kernel(const Kernel& o, CloneMap& m)
       trace_(m.remap(o.trace_)),
       faults_(m.remap(o.faults_)),
       metrics_(m.remap(o.metrics_)),
+      sync_(m.remap(o.sync_)),
       legacy_hotpath_(o.legacy_hotpath_),
       allowed_scratch_(o.allowed_scratch_),
       idle_scratch_(o.idle_scratch_),
@@ -169,6 +172,7 @@ Pid Kernel::spawn(std::unique_ptr<Program> program, SpawnOptions opts) {
   p.slice_left_ = opts.initial_slice.value_or(sched_->fresh_slice(p));
   p.state_ = ProcState::ready;
   procs_.push_back(std::move(proc));
+  if (sync_ != nullptr) sync_->proc_start(p.pid_, p.uid_);
   if (metrics_ != nullptr) {
     metrics_->count("kernel.spawns");
     metrics_->gauge_max("kernel.processes_max",
@@ -465,6 +469,7 @@ void Kernel::start_next_action(Process& p) {
           return;
         }
         p.op_enter_ = now();
+        if (sync_ != nullptr) sync_->sc_enter(p.pid_);
         advance_service(p);
         return;
       }
@@ -480,7 +485,11 @@ void Kernel::start_next_action(Process& p) {
       }
       case Action::Kind::wait_flag: {
         TOCTTOU_CHECK(a.flag != nullptr, "wait_flag needs a flag");
-        if (a.flag->set_) continue;
+        if (a.flag->set_) {
+          // Fast path still observes the setter's publication.
+          if (sync_ != nullptr) sync_->flag_wake(p.pid_, a.flag->name());
+          continue;
+        }
         p.state_ = ProcState::blocked_flag;
         p.block_start_ = now();
         p.block_label_ = "flag:" + a.flag->name();
@@ -491,7 +500,12 @@ void Kernel::start_next_action(Process& p) {
       case Action::Kind::set_flag: {
         TOCTTOU_CHECK(a.flag != nullptr, "set_flag needs a flag");
         a.flag->set_ = true;
+        if (sync_ != nullptr) sync_->flag_set(p.pid_, a.flag->name());
         for (Pid w : a.flag->waiters_) {
+          // Blocked waiters receive the publication at set time; they
+          // perform no events before their wakeup runs, so logging the
+          // wake here keeps the append order causal.
+          if (sync_ != nullptr) sync_->flag_wake(w, a.flag->name());
           queue_.schedule_at(now() + spec_.wakeup_latency, [w](void* k) {
             static_cast<Kernel*>(k)->wake(w, /*from_io=*/false);
           });
@@ -530,6 +544,7 @@ void Kernel::advance_service(Process& p) {
         if (sem.owner_ == kNoPid) {
           sem.owner_ = p.pid_;
           p.held_sems_.push_back(&sem);
+          if (sync_ != nullptr) sync_->sem_acquire(p.pid_, sem.name_);
           continue;  // acquired without blocking
         }
         TOCTTOU_CHECK(sem.owner_ != p.pid_, "semaphore is not recursive");
@@ -599,6 +614,7 @@ void Kernel::complete_service(Process& p, Errno result) {
     metrics_->count("kernel.syscalls." + std::string(p.op_->name()));
     metrics_->observe("kernel.syscall_ns", (now() - p.op_enter_).ns());
   }
+  if (sync_ != nullptr) sync_->sc_exit(p.pid_);
   p.op_.reset();
 }
 
@@ -616,6 +632,7 @@ void Kernel::release_sem(Process& p, Semaphore& sem) {
   auto it = std::find(p.held_sems_.begin(), p.held_sems_.end(), &sem);
   TOCTTOU_CHECK(it != p.held_sems_.end(), "held-semaphore bookkeeping broken");
   p.held_sems_.erase(it);
+  if (sync_ != nullptr) sync_->sem_release(p.pid_, sem.name_);
   if (sem.waiters_.empty()) {
     sem.owner_ = kNoPid;
     return;
@@ -628,6 +645,9 @@ void Kernel::release_sem(Process& p, Semaphore& sem) {
   sem.owner_ = next;
   Process& w = process(next);
   w.held_sems_.push_back(&sem);
+  // The handoff is the happens-before edge: next owns the semaphore
+  // from this instant, so its acquire is ordered here, not at wakeup.
+  if (sync_ != nullptr) sync_->sem_acquire(next, sem.name_);
   queue_.schedule_at(now() + spec_.wakeup_latency, [next](void* k) {
     static_cast<Kernel*>(k)->wake(next, /*from_io=*/false);
   });
@@ -712,6 +732,7 @@ void Kernel::wake(Pid pid, bool from_io, bool faultable) {
 void Kernel::handle_exit(Process& p) {
   TOCTTOU_CHECK(p.held_sems_.empty(),
                 "process exited while holding a semaphore");
+  if (sync_ != nullptr) sync_->proc_exit(p.pid_);
   p.state_ = ProcState::exited;
   ++p.seg_gen_;
   free_cpu(p);
@@ -770,6 +791,7 @@ void Kernel::finish_segment(Process& p, Duration ran) {
       trace_segment(p, trace::Category::trap, "trap", p.seg_start_, now());
       TOCTTOU_CHECK(p.op_ != nullptr, "trap must precede a service op");
       p.op_enter_ = now();
+      if (sync_ != nullptr) sync_->sc_enter(p.pid_);
       if (p.need_resched_) {
         preempt(p, /*requeue_front=*/true);
         return;

@@ -27,26 +27,28 @@ std::string SyscallJournal::to_csv() const {
   return out;
 }
 
-std::vector<SyscallRecord> SyscallJournal::for_pid(
+std::vector<const SyscallRecord*> SyscallJournal::for_pid(
     Pid pid, std::string_view name) const {
-  std::vector<SyscallRecord> out;
+  std::vector<const SyscallRecord*> out;
   for (const auto& r : records_) {
-    if (r.pid == pid && r.name == name) out.push_back(r);
+    if (r.pid == pid && r.name == name) out.push_back(&r);
   }
-  std::sort(out.begin(), out.end(),
-            [](const SyscallRecord& a, const SyscallRecord& b) {
-              return a.enter < b.enter;
-            });
+  // stable_sort: equal enter times keep journal (completion) order, so
+  // the pointer conversion cannot reshuffle ties the old copy-based
+  // sort happened to leave in place.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SyscallRecord* a, const SyscallRecord* b) {
+                     return a->enter < b->enter;
+                   });
   return out;
 }
 
-std::optional<SyscallRecord> SyscallJournal::first(Pid pid,
-                                                   std::string_view name,
-                                                   SimTime from) const {
-  std::optional<SyscallRecord> best;
+const SyscallRecord* SyscallJournal::first(Pid pid, std::string_view name,
+                                           SimTime from) const {
+  const SyscallRecord* best = nullptr;
   for (const auto& r : records_) {
     if (r.pid == pid && r.name == name && r.enter >= from) {
-      if (!best || r.enter < best->enter) best = r;
+      if (best == nullptr || r.enter < best->enter) best = &r;
     }
   }
   return best;

@@ -57,6 +57,23 @@ int main() {
   }
   ok = check_pair(cfg, "faults") && ok;
 
+  // Detect-enabled campaign: per-round SyncLogs and DetectReport merges
+  // are the newest cross-thread state; the merged report must also be
+  // byte-identical between serial and 4-worker runs.
+  cfg.faults = {};
+  cfg.detect = true;
+  ok = check_pair(cfg, "detect") && ok;
+  {
+    const auto serial = core::run_campaign(cfg, 40, false, 1);
+    const auto parallel = core::run_campaign(cfg, 40, false, 4);
+    const bool same = serial.detect.summary() == parallel.detect.summary() &&
+                      serial.detect.to_csv() == parallel.detect.to_csv();
+    std::printf("[detect] jobs=1: %s\n[detect] jobs=4: %s\n",
+                serial.detect.summary().c_str(),
+                parallel.detect.summary().c_str());
+    ok = ok && same;
+  }
+
   if (!ok) {
     std::fprintf(stderr, "FAIL: parallel campaign diverged from serial\n");
     return 1;

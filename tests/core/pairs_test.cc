@@ -173,6 +173,48 @@ TEST_F(PairDetectTest, InterferenceIgnoresReadsAndOtherPaths) {
   EXPECT_TRUE(find_interference(journal_, 1).empty());
 }
 
+TEST_F(PairDetectTest, LinkSecondaryPathActsAsUseTarget) {
+  // Regression: link("/h/f", "/h/hard") relies on the invariant of BOTH
+  // names — the observed oldpath and the created newpath. The newpath
+  // side used to be invisible to pairing.
+  add(1, "stat", 0, 4, "/h/hard");
+  add(1, "link", 10, 20, "/h/f", "/h/hard");
+  const auto p = find_widest_pair(journal_, 1, "stat", "link");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->path, "/h/hard");
+}
+
+TEST_F(PairDetectTest, LinkEstablishesBothNames) {
+  add(1, "link", 0, 10, "/h/f", "/h/hard");
+  add(1, "chown", 20, 24, "/h/f");     // oldpath was observed
+  add(1, "chmod", 30, 34, "/h/hard");  // newpath was created
+  EXPECT_TRUE(find_widest_pair(journal_, 1, "link", "chown").has_value());
+  EXPECT_TRUE(find_widest_pair(journal_, 1, "link", "chmod").has_value());
+}
+
+TEST_F(PairDetectTest, InterferenceCatchesLinkOntoTheWatchedName) {
+  // Regression: an attacker's link(<anything>, "/h/f") inside the
+  // window remaps the watched name exactly like rename — its newpath
+  // must be matched as the mutated name.
+  add(1, "open", 100, 120, "/h/f");
+  add(1, "chown", 300, 310, "/h/f");
+  add(2, "link", 150, 170, "/h/evil", "/h/f");
+  const auto hits = find_interference(journal_, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].intruder_call, "link");
+  EXPECT_EQ(hits[0].window.path, "/h/f");
+}
+
+TEST_F(PairDetectTest, InterferenceIgnoresLinkOldpathAndSymlinkTarget) {
+  add(1, "open", 100, 120, "/h/f");
+  add(1, "chown", 300, 310, "/h/f");
+  // link's OLDPATH merely gains a second name elsewhere; symlink's
+  // path2 is the target string — neither mutates /h/f's binding.
+  add(2, "link", 150, 170, "/h/f", "/h/elsewhere");
+  add(2, "symlink", 180, 190, "/h/evil2", "/h/f");
+  EXPECT_TRUE(find_interference(journal_, 1).empty());
+}
+
 TEST_F(PairDetectTest, InterferenceCatchesRenameOntoTheWatchedName) {
   add(1, "open", 100, 120, "/h/f");
   add(1, "chown", 300, 310, "/h/f");

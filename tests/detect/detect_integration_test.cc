@@ -1,0 +1,111 @@
+// End-to-end detection through the harness: the kernel's emitted sync
+// stream on real testbeds, zero-overhead-when-off, the detect.* metrics,
+// and byte-identical campaign reports at any worker count.
+#include <gtest/gtest.h>
+
+#include "tocttou/core/harness.h"
+#include "tocttou/programs/testbeds.h"
+
+namespace tocttou::core {
+namespace {
+
+ScenarioConfig vi_smp(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.profile = programs::testbed_smp_dual_xeon();
+  cfg.victim = VictimKind::vi;
+  cfg.attacker = AttackerKind::naive;
+  cfg.file_bytes = 50 * 1024;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(DetectIntegrationTest, DetectOffEmitsNothing) {
+  // PR 4 contract extended: with detect off the kernel never touches
+  // the sync sink and the round carries an empty report.
+  const RoundResult r = run_round(vi_smp(11));
+  EXPECT_TRUE(r.sync.empty());
+  EXPECT_TRUE(r.detect.empty());
+  EXPECT_EQ(r.detect.races, 0u);
+}
+
+TEST(DetectIntegrationTest, DetectOnFlagsTheViWindow) {
+  ScenarioConfig cfg = vi_smp(11);
+  cfg.detect = true;
+  const RoundResult r = run_round(cfg);
+  ASSERT_FALSE(r.sync.empty());
+  EXPECT_EQ(r.detect.rounds, 1u);
+  EXPECT_EQ(r.detect.sync_events, r.sync.events().size());
+  EXPECT_GT(r.detect.windows, 0u);
+  // vi's creat/chown window against the naive attacker: the detector
+  // must rediscover an <open, ...> pair shape from the raw trace.
+  bool open_pair = false;
+  for (const auto& [pair, n] : r.detect.pair_windows) {
+    if (pair.rfind("open,", 0) == 0 && n > 0) open_pair = true;
+  }
+  EXPECT_TRUE(open_pair);
+  if (r.success) {
+    // A landed attack is by definition a concurrent mutation in the
+    // window — soundness on this round.
+    EXPECT_GT(r.detect.races, 0u);
+    EXPECT_EQ(r.detect.rounds_with_race, 1u);
+  }
+}
+
+TEST(DetectIntegrationTest, DetectForcesJournalRecording) {
+  ScenarioConfig cfg = vi_smp(11);
+  cfg.detect = true;
+  cfg.record_journal = false;  // detect implies journal
+  const RoundResult r = run_round(cfg);
+  EXPECT_FALSE(r.trace.journal.empty());
+  EXPECT_FALSE(r.sync.empty());
+}
+
+TEST(DetectIntegrationTest, MetricsExposeDetectCounters) {
+  ScenarioConfig cfg = vi_smp(11);
+  cfg.detect = true;
+  cfg.collect_metrics = true;
+  const RoundResult r = run_round(cfg);
+  const auto& counters = r.metrics.counters();
+  ASSERT_TRUE(counters.count("detect.sync_events"));
+  EXPECT_EQ(counters.at("detect.sync_events"), r.detect.sync_events);
+  EXPECT_TRUE(counters.count("detect.windows"));
+  EXPECT_TRUE(counters.count("detect.mutations"));
+}
+
+TEST(DetectIntegrationTest, CampaignReportByteIdenticalAtAnyJobs) {
+  ScenarioConfig cfg = vi_smp(7);
+  cfg.detect = true;
+  const CampaignStats serial = run_campaign(cfg, 24, false, 1);
+  const CampaignStats parallel = run_campaign(cfg, 24, false, 4);
+  EXPECT_EQ(serial.detect.rounds, 24u);
+  EXPECT_GT(serial.detect.windows, 0u);
+  // The full user-visible artifact, byte for byte.
+  EXPECT_EQ(serial.detect.summary(), parallel.detect.summary());
+  EXPECT_EQ(serial.detect.to_csv(), parallel.detect.to_csv());
+  // And the campaign's other results are untouched by detection.
+  const CampaignStats off = run_campaign(vi_smp(7), 24, false, 2);
+  EXPECT_EQ(off.summary(), serial.summary());
+}
+
+TEST(DetectIntegrationTest, MulticoreGeditCampaignDetects) {
+  ScenarioConfig cfg;
+  cfg.profile = programs::testbed_multicore_pentium_d();
+  cfg.victim = VictimKind::gedit;
+  cfg.attacker = AttackerKind::naive;
+  cfg.file_bytes = 50 * 1024;
+  cfg.seed = 11;
+  cfg.detect = true;
+  const CampaignStats stats = run_campaign(cfg, 12, false, 2);
+  EXPECT_EQ(stats.detect.rounds, 12u);
+  EXPECT_GT(stats.detect.windows, 0u);
+  // gedit's save path goes through rename: the taxonomy rediscovered
+  // from traces must include a rename-shaped pair.
+  bool rename_pair = false;
+  for (const auto& [pair, n] : stats.detect.pair_windows) {
+    if (n > 0 && pair.find("rename") != std::string::npos) rename_pair = true;
+  }
+  EXPECT_TRUE(rename_pair);
+}
+
+}  // namespace
+}  // namespace tocttou::core

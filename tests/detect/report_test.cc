@@ -1,0 +1,140 @@
+// DetectReport algebra: associative merge (the campaign determinism
+// contract), the findings cap, and the CSV/summary shapes.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tocttou/detect/detector.h"
+
+namespace tocttou::detect {
+namespace {
+
+RaceFinding finding(trace::Pid victim, std::string path) {
+  RaceFinding f;
+  f.victim = victim;
+  f.check_call = "stat";
+  f.use_call = "chown";
+  f.path = std::move(path);
+  f.mutator = 9;
+  f.mutator_uid = 500;
+  f.mutator_call = "unlink";
+  return f;
+}
+
+DetectReport report(std::uint64_t races, const std::string& pair,
+                    int nfindings) {
+  DetectReport r;
+  r.rounds = 1;
+  r.sync_events = 10 * races;
+  r.windows = races + 1;
+  r.mutations = races;
+  r.races = races;
+  r.rounds_with_race = races > 0 ? 1 : 0;
+  r.pair_windows[pair] = races + 1;
+  r.pair_races[pair] = races;
+  r.ordered_mutations["use-before-mutation"] = 2;
+  for (int i = 0; i < nfindings; ++i) {
+    r.findings.push_back(finding(1, "/f" + std::to_string(i)));
+  }
+  return r;
+}
+
+// Byte-level equality proxy: two reports that summarize and serialize
+// identically are identical for every consumer the CLI has.
+std::string fingerprint(const DetectReport& r) {
+  return r.summary() + "\n" + r.to_csv() +
+         std::to_string(r.rounds) + "," + std::to_string(r.sync_events) +
+         "," + std::to_string(r.rounds_with_race);
+}
+
+TEST(DetectReportTest, MergeIsAssociative) {
+  const DetectReport a = report(3, "stat,chown", 3);
+  const DetectReport b = report(0, "open,rename", 0);
+  const DetectReport c = report(5, "stat,chown", 5);
+
+  DetectReport left;  // (a + b) + c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+
+  DetectReport bc = b;
+  bc.merge(c);
+  DetectReport right = a;  // a + (b + c)
+  right.merge(bc);
+
+  EXPECT_EQ(fingerprint(left), fingerprint(right));
+  EXPECT_EQ(left.rounds, 3u);
+  EXPECT_EQ(left.races, 8u);
+  EXPECT_EQ(left.rounds_with_race, 2u);
+  EXPECT_EQ(left.pair_races.at("stat,chown"), 8u);
+  EXPECT_EQ(left.pair_windows.at("open,rename"), 1u);
+  EXPECT_EQ(left.ordered_mutations.at("use-before-mutation"), 6u);
+}
+
+TEST(DetectReportTest, MergeIntoEmptyIsIdentity) {
+  const DetectReport a = report(2, "stat,chown", 2);
+  DetectReport out;
+  out.merge(a);
+  EXPECT_EQ(fingerprint(out), fingerprint(a));
+}
+
+TEST(DetectReportTest, FindingsCappedOnMergeCountersStayExact) {
+  DetectReport total;
+  for (int i = 0; i < 5; ++i) {
+    total.merge(report(20, "stat,chown", 20));
+  }
+  EXPECT_EQ(total.races, 100u);  // counters never saturate
+  EXPECT_EQ(static_cast<int>(total.findings.size()), kMaxFindings);
+  // The retained prefix is the first kMaxFindings in merge order.
+  EXPECT_EQ(total.findings.front().path, "/f0");
+}
+
+TEST(DetectReportTest, SummaryListsPairsAndSuppressions) {
+  const DetectReport r = report(3, "stat,chown", 3);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("3 races"), std::string::npos);
+  EXPECT_NE(s.find("<stat,chown>=3"), std::string::npos);
+  EXPECT_NE(s.find("use-before-mutation=2"), std::string::npos);
+}
+
+TEST(DetectReportTest, CsvHeaderRowsAndEscaping) {
+  DetectReport r;
+  r.rounds = 1;
+  r.races = 1;
+  RaceFinding f = finding(4, "/h/evil,name");  // embedded comma
+  f.ordered_after_check = true;
+  r.findings.push_back(f);
+  const std::string csv = r.to_csv();
+  EXPECT_NE(csv.find("victim,check,use,path,check_exit_us,use_enter_us,"
+                     "mutator,mutator_uid,mutator_call,mutation_enter_us,"
+                     "ordered_after_check,ordered_before_use,justification"),
+            std::string::npos);
+  // RFC 4180: the comma-bearing path must be quoted into one field.
+  EXPECT_NE(csv.find("\"/h/evil,name\""), std::string::npos);
+  EXPECT_NE(csv.find("unlink"), std::string::npos);
+  // Exactly header + one row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(DetectReportTest, JustificationCoversAllFourOrderings) {
+  RaceFinding f = finding(1, "/f");
+  f.ordered_after_check = false;
+  f.ordered_before_use = false;
+  EXPECT_NE(f.justification().find("fully concurrent"), std::string::npos);
+  f.ordered_after_check = true;
+  f.ordered_before_use = true;
+  EXPECT_NE(f.justification().find("serialized inside the window"),
+            std::string::npos);
+  f.ordered_before_use = false;
+  EXPECT_NE(f.justification().find("ordered after the check"),
+            std::string::npos);
+  f.ordered_after_check = false;
+  f.ordered_before_use = true;
+  EXPECT_NE(f.justification().find("ordered before the use"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tocttou::detect

@@ -1,0 +1,63 @@
+#include "tocttou/detect/vector_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace tocttou::detect {
+namespace {
+
+TEST(VectorClockTest, MissingComponentReadsZero) {
+  VectorClock v;
+  EXPECT_EQ(v.at(0), 0u);
+  EXPECT_EQ(v.at(100), 0u);
+}
+
+TEST(VectorClockTest, TickReturnsNewCounter) {
+  VectorClock v;
+  EXPECT_EQ(v.tick(2), 1u);
+  EXPECT_EQ(v.tick(2), 2u);
+  EXPECT_EQ(v.at(2), 2u);
+  // Grow-on-demand left the earlier components at zero.
+  EXPECT_EQ(v.at(0), 0u);
+  EXPECT_EQ(v.at(1), 0u);
+}
+
+TEST(VectorClockTest, JoinIsPointwiseMax) {
+  VectorClock a, b;
+  a.tick(0);
+  a.tick(0);  // a = {2}
+  b.tick(1);
+  b.tick(1);
+  b.tick(1);  // b = {0, 3}
+  a.join(b);
+  EXPECT_EQ(a.at(0), 2u);
+  EXPECT_EQ(a.at(1), 3u);
+  // Join never loses the larger component, either direction.
+  b.join(a);
+  EXPECT_EQ(b.at(0), 2u);
+  EXPECT_EQ(b.at(1), 3u);
+}
+
+TEST(VectorClockTest, JoinWithNarrowerClockKeepsWidth) {
+  VectorClock wide, narrow;
+  wide.tick(3);  // width 4
+  narrow.tick(0);
+  wide.join(narrow);
+  EXPECT_EQ(wide.at(0), 1u);
+  EXPECT_EQ(wide.at(3), 1u);
+}
+
+TEST(VectorClockTest, MessagePassingTransfersCausality) {
+  // Releaser ticks then publishes; acquirer joins then ticks — the
+  // acquirer's clock must dominate every event up to the release.
+  VectorClock p, q;
+  p.tick(0);
+  p.tick(0);                       // two events of P
+  const VectorClock released = p;  // publish at release
+  q.join(released);
+  q.tick(1);
+  EXPECT_GE(q.at(0), 2u);  // P's history visible through the channel
+  EXPECT_EQ(q.at(1), 1u);
+}
+
+}  // namespace
+}  // namespace tocttou::detect

@@ -83,8 +83,8 @@ TEST_F(ContentionTest, ChmodBlocksBehindUnlinkCascade) {
   const auto unlinks = trace_.journal.for_pid(a, "unlink");
   ASSERT_EQ(chmods.size(), 1u);
   ASSERT_EQ(unlinks.size(), 1u);
-  EXPECT_GT(chmods[0].length(), 500_us);
-  EXPECT_GT(chmods[0].exit, unlinks[0].exit);
+  EXPECT_GT(chmods[0]->length(), 500_us);
+  EXPECT_GT(chmods[0]->exit, unlinks[0]->exit);
   bool waited = false;
   for (const auto& ev : trace_.log.events()) {
     if (ev.pid == v && ev.category == trace::Category::sem_wait) {
@@ -122,7 +122,7 @@ TEST_F(ContentionTest, UnlinkBlocksBehindChmodCascade) {
   const auto chowns = trace_.journal.for_pid(v, "chown");
   ASSERT_EQ(unlinks.size(), 1u);
   ASSERT_EQ(chowns.size(), 1u);
-  EXPECT_GT(chowns[0].exit, unlinks[0].exit);
+  EXPECT_GT(chowns[0]->exit, unlinks[0]->exit);
 }
 
 TEST_F(ContentionTest, StatBlocksBehindRename) {
@@ -146,7 +146,7 @@ TEST_F(ContentionTest, StatBlocksBehindRename) {
   // And it took far longer than an uncontended stat (which is ~10us).
   const auto stats = trace_.journal.for_pid(a, "stat");
   ASSERT_EQ(stats.size(), 1u);
-  EXPECT_GT(stats[0].length(), 25_us);
+  EXPECT_GT(stats[0]->length(), 25_us);
 }
 
 TEST_F(ContentionTest, StatLocklessWhenFree) {
@@ -159,7 +159,7 @@ TEST_F(ContentionTest, StatLocklessWhenFree) {
   EXPECT_EQ(serr, Errno::ok);
   const auto stats = trace_.journal.for_pid(a, "stat");
   ASSERT_EQ(stats.size(), 1u);
-  EXPECT_LT(stats[0].length(), 12_us);
+  EXPECT_LT(stats[0]->length(), 12_us);
 }
 
 TEST_F(ContentionTest, SymlinkOverlapsUnlinkTruncate) {
@@ -183,7 +183,7 @@ TEST_F(ContentionTest, SymlinkOverlapsUnlinkTruncate) {
   ASSERT_EQ(symlinks.size(), 1u);
   // The 64KB truncate (640us at this cost table) dominates the unlink;
   // the symlink finishes while it runs.
-  EXPECT_LT(symlinks[0].exit, unlinks[0].exit);
+  EXPECT_LT(symlinks[0]->exit, unlinks[0]->exit);
   EXPECT_TRUE(vfs_.lookup("/d/f", false).ok());
 }
 
@@ -211,8 +211,8 @@ TEST_F(ContentionTest, FifoOrderOnDirectorySemaphore) {
   ASSERT_EQ(s1.size(), 1u);
   ASSERT_EQ(s2.size(), 1u);
   ASSERT_EQ(s3.size(), 1u);
-  EXPECT_LT(s1[0].exit, s2[0].exit);
-  EXPECT_LT(s2[0].exit, s3[0].exit);
+  EXPECT_LT(s1[0]->exit, s2[0]->exit);
+  EXPECT_LT(s2[0]->exit, s3[0]->exit);
 }
 
 }  // namespace

@@ -322,7 +322,7 @@ TEST_F(OpsTest, ChownFollowsSymlinkOntoPasswd) {
   EXPECT_EQ(vfs_.inode(passwd_).uid(), 500u);  // passwd handed over!
   const auto recs = tr.journal.for_pid(1, "chown");
   ASSERT_EQ(recs.size(), 1u);
-  EXPECT_EQ(recs[0].applied_ino, passwd_);
+  EXPECT_EQ(recs[0]->applied_ino, passwd_);
 }
 
 TEST_F(OpsTest, ChownRequiresRoot) {
@@ -413,11 +413,11 @@ TEST_F(OpsTest, JournalRecordsStatObservations) {
   ASSERT_TRUE(kernel_->run_to_exit());
   const auto recs = tr.journal.for_pid(1, "stat");
   ASSERT_EQ(recs.size(), 1u);
-  EXPECT_EQ(recs[0].path, "/etc/passwd");
-  ASSERT_TRUE(recs[0].st_uid.has_value());
-  EXPECT_EQ(*recs[0].st_uid, 0u);
-  EXPECT_EQ(*recs[0].st_ino, passwd_);
-  EXPECT_EQ(recs[0].result, Errno::ok);
+  EXPECT_EQ(recs[0]->path, "/etc/passwd");
+  ASSERT_TRUE(recs[0]->st_uid.has_value());
+  EXPECT_EQ(*recs[0]->st_uid, 0u);
+  EXPECT_EQ(*recs[0]->st_ino, passwd_);
+  EXPECT_EQ(recs[0]->result, Errno::ok);
 }
 
 }  // namespace

@@ -11,6 +11,10 @@
 #   GOLDEN   path to the expected-stdout file
 #   OK_CODES ;-separated acceptable exit codes (the CLI exits 2 when the
 #            simulated attack fails — expected on some testbeds)
+#   OUT_FILE (optional) a file the CLI writes (e.g. --detect=csv:FILE);
+#            when set, THAT file is compared instead of stdout — the
+#            detector-CSV goldens pin the artifact, not the chatter
+#            around it
 #
 # On mismatch the actual output is left next to the golden file's name
 # in the build tree (<name>.actual) for inspection/refresh.
@@ -19,6 +23,13 @@ execute_process(
   COMMAND ${CLI} ${ARGS}
   OUTPUT_VARIABLE actual
   RESULT_VARIABLE code)
+
+if(OUT_FILE)
+  if(NOT EXISTS "${OUT_FILE}")
+    message(FATAL_ERROR "golden run did not write ${OUT_FILE}: ${CLI} ${ARGS}")
+  endif()
+  file(READ "${OUT_FILE}" actual)
+endif()
 
 list(FIND OK_CODES "${code}" code_idx)
 if(code_idx EQUAL -1)

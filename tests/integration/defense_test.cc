@@ -79,9 +79,9 @@ TEST(DefenseDetailTest, DefendedGeditNeverExposesRootOwnedName) {
   cfg.seed = 890;
   const auto r = run_round(cfg);
   ASSERT_TRUE(r.victim_completed);
-  for (const auto& rec : r.trace.journal.for_pid(r.attacker_pid, "stat")) {
-    if (rec.st_uid) {
-      EXPECT_NE(*rec.st_uid, 0u);
+  for (const auto* rec : r.trace.journal.for_pid(r.attacker_pid, "stat")) {
+    if (rec->st_uid) {
+      EXPECT_NE(*rec->st_uid, 0u);
     }
   }
   EXPECT_FALSE(r.attacker_finished);

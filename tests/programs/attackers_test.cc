@@ -103,7 +103,7 @@ TEST_F(AttackerTest, NaiveAttackerTrapsOnFirstUnlink) {
   const auto unlinks = trace_.journal.for_pid(pid, "unlink");
   ASSERT_FALSE(stats.empty());
   ASSERT_EQ(unlinks.size(), 1u);
-  EXPECT_GE(unlinks[0].enter - stats.back().exit, 16_us);
+  EXPECT_GE(unlinks[0]->enter - stats.back()->exit, 16_us);
 }
 
 TEST_F(AttackerTest, PrefaultedAttackerHasNoTrapInWindow) {
@@ -128,18 +128,18 @@ TEST_F(AttackerTest, PrefaultedAttackerHasNoTrapInWindow) {
   // No trap after the detecting stat: gap stat.exit -> unlink.enter is
   // only the selection computation.
   const auto unlinks = trace_.journal.for_pid(pid, "unlink");
-  std::optional<trace::SyscallRecord> real_unlink;
-  for (const auto& u : unlinks) {
-    if (u.path == "/home/alice/f.txt") real_unlink = u;
+  const trace::SyscallRecord* real_unlink = nullptr;
+  for (const auto* u : unlinks) {
+    if (u->path == "/home/alice/f.txt") real_unlink = u;
   }
-  ASSERT_TRUE(real_unlink.has_value());
-  std::optional<trace::SyscallRecord> detect;
-  for (const auto& s : trace_.journal.for_pid(pid, "stat")) {
-    if (s.st_uid && *s.st_uid == 0 && s.exit <= real_unlink->enter) {
+  ASSERT_NE(real_unlink, nullptr);
+  const trace::SyscallRecord* detect = nullptr;
+  for (const auto* s : trace_.journal.for_pid(pid, "stat")) {
+    if (s->st_uid && *s->st_uid == 0 && s->exit <= real_unlink->enter) {
       detect = s;
     }
   }
-  ASSERT_TRUE(detect.has_value());
+  ASSERT_NE(detect, nullptr);
   EXPECT_LT(real_unlink->enter - detect->exit, 5_us);
 }
 
@@ -176,7 +176,7 @@ TEST_F(AttackerTest, PipelinedAttackOverlapsSymlinkWithUnlink) {
   ASSERT_EQ(unlinks.size(), 1u);
   ASSERT_GE(symlinks.size(), 1u);
   // 500KB x 0.4ns/B truncate dominates; the symlink lands well inside it.
-  EXPECT_LT(symlinks.back().exit, unlinks[0].exit);
+  EXPECT_LT(symlinks.back()->exit, unlinks[0]->exit);
 }
 
 TEST_F(AttackerTest, PipelinedHelperRetriesOnEexist) {

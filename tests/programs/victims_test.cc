@@ -88,7 +88,7 @@ TEST_F(VictimTest, ViWindowSpansWholeWrite) {
   const auto chowns = trace_.journal.for_pid(pid, "chown");
   ASSERT_EQ(opens.size(), 2u);  // load + save
   ASSERT_EQ(chowns.size(), 1u);
-  const Duration window = chowns[0].enter - opens[1].exit;
+  const Duration window = chowns[0]->enter - opens[1]->exit;
   // 8 chunks x (write_base 9 + 16us/KB x 8KB = 137us) >= 1ms.
   EXPECT_GT(window, Duration::millis(1));
 }
@@ -124,7 +124,7 @@ TEST_F(VictimTest, GeditTinyWindowBetweenRenameAndChmod) {
   const auto chmods = trace_.journal.for_pid(pid, "chmod");
   ASSERT_EQ(renames.size(), 2u);
   ASSERT_EQ(chmods.size(), 1u);
-  const Duration window = chmods[0].enter - renames[1].exit;
+  const Duration window = chmods[0]->enter - renames[1]->exit;
   // The xeon comp gap is 43us (+ the first-touch chmod trap): far
   // smaller than vi's window and independent of the file size.
   EXPECT_LT(window, 80_us);
@@ -160,7 +160,7 @@ TEST_F(VictimTest, SuspendingVictimSleepsInsideWindow) {
   const auto chowns = trace_.journal.for_pid(pid, "chown");
   ASSERT_EQ(opens.size(), 1u);
   ASSERT_EQ(chowns.size(), 1u);
-  EXPECT_GT(chowns[0].enter - opens[0].exit, Duration::millis(5));
+  EXPECT_GT(chowns[0]->enter - opens[0]->exit, Duration::millis(5));
 }
 
 TEST_F(VictimTest, SendmailRejectsPreexistingSymlink) {

@@ -154,8 +154,31 @@ TEST(JournalTest, ForPidSortsAndFilters) {
   j.add(c);
   const auto recs = j.for_pid(1, "stat");
   ASSERT_EQ(recs.size(), 2u);
-  EXPECT_LT(recs[0].enter, recs[1].enter);
-  EXPECT_EQ(recs[0].length(), 4_us);
+  EXPECT_LT(recs[0]->enter, recs[1]->enter);
+  EXPECT_EQ(recs[0]->length(), 4_us);
+}
+
+TEST(JournalTest, ForPidAndFirstAliasJournalStorage) {
+  // for_pid/first hand out pointers INTO records() — no record copies
+  // on the analysis path. Pin the aliasing so a regression back to
+  // by-value returns fails loudly.
+  SyscallJournal j;
+  SyscallRecord a;
+  a.pid = 1;
+  a.name = "stat";
+  a.enter = SimTime::origin() + 20_us;
+  a.exit = SimTime::origin() + 21_us;
+  SyscallRecord b = a;
+  b.enter = SimTime::origin() + 5_us;
+  b.exit = SimTime::origin() + 6_us;
+  j.add(a);
+  j.add(b);
+  const auto recs = j.for_pid(1, "stat");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0], &j.records()[1]);  // earlier enter sorts first
+  EXPECT_EQ(recs[1], &j.records()[0]);
+  EXPECT_EQ(j.first(1, "stat"), &j.records()[1]);
+  EXPECT_EQ(j.first(1, "stat", SimTime::origin() + 10_us), &j.records()[0]);
 }
 
 TEST(JournalTest, CsvExport) {
@@ -182,9 +205,9 @@ TEST(JournalTest, FirstAfter) {
   a.enter = SimTime::origin() + 10_us;
   a.exit = SimTime::origin() + 12_us;
   j.add(a);
-  EXPECT_TRUE(j.first(1, "chown").has_value());
-  EXPECT_FALSE(j.first(1, "chown", SimTime::origin() + 11_us).has_value());
-  EXPECT_FALSE(j.first(2, "chown").has_value());
+  EXPECT_NE(j.first(1, "chown"), nullptr);
+  EXPECT_EQ(j.first(1, "chown", SimTime::origin() + 11_us), nullptr);
+  EXPECT_EQ(j.first(2, "chown"), nullptr);
 }
 
 }  // namespace

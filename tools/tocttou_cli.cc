@@ -23,6 +23,8 @@
 #include "tocttou/core/harness.h"
 #include "tocttou/core/model.h"
 #include "tocttou/core/pairs.h"
+#include "tocttou/detect/cross_check.h"
+#include "tocttou/detect/detector.h"
 #include "tocttou/explore/explorer.h"
 #include "tocttou/explore/replay.h"
 #include "tocttou/explore/token.h"
@@ -115,6 +117,16 @@ void on_stop_signal(int) { g_stop = 1; }
       "                               bit-identical at any --jobs\n"
       "  --metrics-csv=PATH           same snapshot as RFC-4180 CSV\n"
       "  --interference               report detected cross-process races\n"
+      "  --detect[=csv:FILE]          run the happens-before race detector:\n"
+      "                               vector clocks over the kernel's sync\n"
+      "                               edges flag <check,use> windows\n"
+      "                               concurrent with attacker mutations.\n"
+      "                               Campaign/round output gains a detect:\n"
+      "                               line; csv:FILE dumps the findings\n"
+      "                               (byte-identical at any --jobs). With\n"
+      "                               --explore=exhaustive: cross-validate\n"
+      "                               flagged pairs against the schedules\n"
+      "                               where the attack provably lands\n"
       "  --help\n"
       "exit codes: 0 ok; 1 usage or invalid input; 2 single round ran\n"
       "  and the attack failed; 3 file or journal I/O error; 4 sweep\n"
@@ -222,6 +234,8 @@ int main(int argc, char** argv) {
   std::optional<Duration> timeslice_override;
   bool metrics_json = false;
   std::string metrics_json_path, metrics_csv_path;
+  bool detect_on = false;
+  std::string detect_csv;
   int deadline_s = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -326,6 +340,15 @@ int main(int argc, char** argv) {
       metrics_json_path = v;
     } else if (take(argv[i], "--metrics-csv", &v)) {
       metrics_csv_path = v;
+    } else if (std::strcmp(argv[i], "--detect") == 0) {
+      detect_on = true;
+    } else if (take(argv[i], "--detect", &v)) {
+      detect_on = true;
+      if (v.rfind("csv:", 0) == 0 && v.size() > 4) {
+        detect_csv = v.substr(4);
+      } else {
+        bad_value("--detect", v, "csv:FILE");
+      }
     } else if (std::strcmp(argv[i], "--defended") == 0) {
       cfg.defended_victim = true;
     } else if (std::strcmp(argv[i], "--no-background") == 0) {
@@ -387,7 +410,24 @@ int main(int argc, char** argv) {
       return deadline_at &&
              std::chrono::steady_clock::now() >= *deadline_at;
     };
-    const explore::ExploreResult res = explore::explore(cfg, ecfg);
+    if (detect_on && ecfg.mode != explore::ExploreMode::exhaustive) {
+      std::fprintf(stderr,
+                   "tocttou: --detect cross-validation needs "
+                   "--explore=exhaustive (pct samples schedules, so "
+                   "\"every landing schedule is flagged\" is unprovable)\n");
+      return kExitUsage;
+    }
+    std::optional<detect::CrossCheckResult> cc;
+    explore::ExploreResult res;
+    if (detect_on) {
+      // Re-run every exhaustive leaf with the detector attached and
+      // cross-validate: landed schedules must be flagged, flagged-but-
+      // never-landing pairs get a happens-before justification.
+      cc = detect::cross_check(cfg, ecfg);
+      res = std::move(cc->explore);
+    } else {
+      res = explore::explore(cfg, ecfg);
+    }
     if (!res.journal_error.empty() && res.schedules == 0 &&
         res.rounds_executed == 0) {
       // The journal could not be created or resumed; nothing ran.
@@ -455,6 +495,17 @@ int main(int argc, char** argv) {
         std::printf(" rerun with --replay=%s\n", q.token.c_str());
       }
     }
+    if (cc) {
+      std::printf("detect: %s\n", cc->report.summary().c_str());
+      std::printf("cross-check: %s\n", cc->summary().c_str());
+      for (const std::string& t : cc->violations) {
+        std::printf("VIOLATION: landed but unflagged; rerun with --replay=%s\n",
+                    t.c_str());
+      }
+      if (!detect_csv.empty()) {
+        write_file_or_die(detect_csv, cc->report.to_csv());
+      }
+    }
     if (res.interrupted) {
       if (!ecfg.journal_path.empty()) {
         std::fprintf(stderr,
@@ -500,6 +551,7 @@ int main(int argc, char** argv) {
     return kExitOk;
   }
 
+  cfg.detect = detect_on;
   const bool single_round = gantt || interference || !journal_csv.empty() ||
                             !events_csv.empty() || !replay_text.empty();
   if (single_round) {
@@ -567,6 +619,18 @@ int main(int argc, char** argv) {
                     h.window.use_call.c_str());
       }
     }
+    if (detect_on) {
+      std::printf("detect: %s\n", r.detect.summary().c_str());
+      for (const auto& f : r.detect.findings) {
+        std::printf("  race <%s,%s> on %s: pid%u %s at %.1fus -- %s\n",
+                    f.check_call.c_str(), f.use_call.c_str(), f.path.c_str(),
+                    f.mutator, f.mutator_call.c_str(), f.mutation_enter.us(),
+                    f.justification().c_str());
+      }
+      if (!detect_csv.empty()) {
+        write_file_or_die(detect_csv, r.detect.to_csv());
+      }
+    }
     if (!journal_csv.empty()) {
       write_file_or_die(journal_csv, r.trace.journal.to_csv());
     }
@@ -586,6 +650,12 @@ int main(int argc, char** argv) {
   // tokens; healthy campaigns print nothing extra here.
   for (const std::string& t : stats.anomaly_tokens) {
     std::printf("anomaly: rerun with --replay=%s\n", t.c_str());
+  }
+  if (detect_on) {
+    std::printf("detect: %s\n", stats.detect.summary().c_str());
+    if (!detect_csv.empty()) {
+      write_file_or_die(detect_csv, stats.detect.to_csv());
+    }
   }
   if (measure_ld && !stats.laxity_us.empty() && !stats.detection_us.empty()) {
     const double pred = core::laxity_success_rate(
