@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "tocttou/common/state_hash.h"
 #include "tocttou/common/time.h"
 
 namespace tocttou {
@@ -60,6 +61,15 @@ class Rng {
 
   /// Derives an independent child generator (for sub-streams).
   Rng fork();
+
+  /// Canonical state digest contribution (DESIGN.md §10): the full
+  /// generator state, including the cached Box-Muller variate — two
+  /// merged states must produce identical future draws.
+  void hash_state(StateHasher& h) const {
+    for (std::uint64_t s : s_) h.u64(s);
+    h.boolean(has_cached_normal_);
+    h.f64(has_cached_normal_ ? cached_normal_ : 0.0);
+  }
 
  private:
   std::uint64_t s_[4];

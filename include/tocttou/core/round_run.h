@@ -73,6 +73,14 @@ class RoundRun {
   /// choice slot when a retained checkpoint migrates across workers).
   sim::Kernel& kernel() { return *kernel_; }
 
+  /// Canonical digest of the full simulation state (DESIGN.md §10):
+  /// round phase, Vfs, kernel (event queue, rng, processes, scheduler),
+  /// and the pipelined attackers' shared state. Rounds with fault
+  /// injection are unhashable (h.hashable() comes back false). Two
+  /// RoundRuns with equal hashable digests step identically from here on
+  /// under the same policy.
+  void hash_state(StateHasher& h) const;
+
  private:
   // Wall-clock phase bracketing for ScenarioConfig::wall_profile. All
   // calls are no-ops when profiling is off, so the normal path pays one

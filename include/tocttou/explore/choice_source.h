@@ -68,6 +68,17 @@ class IndependenceOracle {
   virtual ~IndependenceOracle() = default;
   virtual bool independent(const sim::Process& a,
                            const sim::Process& b) const;
+
+  /// Called once per resolved choice site, after the commute bits were
+  /// computed, with the full site context and the chosen option. The
+  /// default is a no-op; a recording oracle (explore/dpor.h) overrides
+  /// it to classify per-site conflicts from the live process states
+  /// WITHOUT affecting the enumeration — the verdicts that shape sleep
+  /// sets still come from independent() alone.
+  virtual void observe_site(const ChoiceContext& ctx, int chosen) const {
+    (void)ctx;
+    (void)chosen;
+  }
 };
 
 /// One resolved choice site, with the context the enumerator needs.

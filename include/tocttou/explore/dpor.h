@@ -1,0 +1,139 @@
+// Dynamic partial-order reduction support: a journal-derived conflict
+// relation over the simulator's modeled syscalls (DESIGN.md §10).
+//
+// The explorer's baseline IndependenceOracle is a coarse static guess —
+// only kernel threads commute with anything. The relation here is
+// derived from what the operations actually touch: each in-flight
+// syscall's name footprint (which pathnames it reads an invariant from,
+// which bindings it mutates) comes from the SAME truth tables the race
+// detector uses (detect/classify.h), so the enumerator and the detector
+// cannot drift apart on what "conflicting accesses" means. Two pending
+// operations conflict iff one MUTATES a name the other touches at all —
+// the classic DPOR dependence test, instantiated over pathnames instead
+// of memory addresses.
+//
+// Nothing here feeds the sleep sets by default: ClassifyingOracle
+// delegates every independent() verdict to the baseline oracle so the
+// enumerated schedule space stays byte-identical with the feature off,
+// and only SIDE-RECORDS the journal-derived classification. The
+// explorer aggregates those records into `explore.backtrack_points`
+// (site alternatives whose processes truly conflict — where a DPOR
+// backtrack is genuinely needed) and `explore.dpor_pruned` (schedules
+// the state-hash memo merged whose divergence was classified
+// independent — redundant interleavings a DPOR sleep set would never
+// have enumerated).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tocttou/common/time.h"
+#include "tocttou/explore/choice_source.h"
+#include "tocttou/trace/journal.h"
+
+namespace tocttou::explore::dpor {
+
+/// Pathname footprint of one modeled syscall, per the detector's truth
+/// tables. `reads` holds names the call observes or establishes an
+/// invariant for (acted + established); `writes` holds names whose
+/// binding the call mutates. An in-flight op's result is not known yet,
+/// so footprints assume success — the superset, erring toward
+/// dependence.
+struct OpFootprint {
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+
+OpFootprint op_footprint(std::string_view op, std::string_view path,
+                         std::string_view path2);
+
+/// The dependence test: true iff one operation mutates a name the other
+/// touches (reads or mutates). Operations with empty footprints (pure
+/// compute, untracked calls) conflict with nothing.
+bool ops_conflict(std::string_view op_a, std::string_view path_a,
+                  std::string_view path2_a, std::string_view op_b,
+                  std::string_view path_b, std::string_view path2_b);
+
+/// True iff the two processes' PENDING operations conflict: a process
+/// between syscalls has no pending footprint and conflicts with nothing
+/// (its next transition is pure compute — timing-only divergence).
+bool procs_conflict(const sim::Process& a, const sim::Process& b);
+
+/// Journal-derived independence oracle. Unlike the baseline (which
+/// declares kernel threads independent of EVERYTHING, unsound the
+/// moment a kernel thread touches the VFS), this one classifies from
+/// the pending operations themselves: independent iff the footprints
+/// do not conflict.
+class ConflictOracle final : public IndependenceOracle {
+ public:
+  bool independent(const sim::Process& a,
+                   const sim::Process& b) const override {
+    return !procs_conflict(a, b);
+  }
+};
+
+/// What a choice site looked like when it resolved: the candidate
+/// process per option (pick), the {woken, running} pair (preempt), or
+/// nothing (place). Recorded during execution, classified after the
+/// leaf against its syscall journal.
+struct SiteObs {
+  ChoiceKind kind = ChoiceKind::pick;
+  int n = 0;
+  int chosen = 0;
+  std::vector<sim::Pid> pids;  // pick: per option; preempt: {woken, running}
+};
+
+/// Enumeration-preserving recorder. independent() delegates to the
+/// baseline oracle (or the IndependenceOracle default when none is
+/// given), so SiteRecords — and therefore sleep sets, schedule keys and
+/// every enumeration output — are byte-identical to running without the
+/// wrapper. observe_site() only side-records each site's candidates;
+/// harvest with take() after the leaf and feed classify_sites().
+class ClassifyingOracle final : public IndependenceOracle {
+ public:
+  explicit ClassifyingOracle(const IndependenceOracle* base) : base_(base) {}
+
+  bool independent(const sim::Process& a,
+                   const sim::Process& b) const override {
+    return base_ != nullptr ? base_->independent(a, b)
+                            : IndependenceOracle::independent(a, b);
+  }
+
+  void observe_site(const ChoiceContext& ctx, int chosen) const override;
+
+  /// Moves out the sites recorded since the last take() (one per site,
+  /// in resolution order) and clears the recorder.
+  std::vector<SiteObs> take() const {
+    auto out = std::move(sites_);
+    sites_.clear();
+    return out;
+  }
+
+ private:
+  const IndependenceOracle* base_;
+  mutable std::vector<SiteObs> sites_;
+};
+
+/// The journal-derived conflict classification (the heart of the DPOR
+/// accounting): a process's relevant operation at a site resolved at
+/// time t is its first journal record with exit > t — the in-flight
+/// call it is currently inside, or the next call it will make. Two
+/// options conflict iff their relevant operations' footprints do.
+/// Per-site rows, indexed like the observations:
+///   - pick: row[i] = 1 iff candidate i's relevant op conflicts with
+///     the chosen candidate's (row[chosen] stays 0);
+///   - preempt ({woken, running}): both options carry the pair's
+///     conflict bit — the alternative is the same pair in the other
+///     order — with row[chosen] zeroed;
+///   - place: all zero (CPU placement is timing-only).
+/// `site_times[first_site + k]` is the resolution time of obs[k]; a
+/// site with no time recorded (or a pid with no further journal
+/// records) classifies as conflict-free — classification never claims
+/// more than the journal shows.
+std::vector<std::vector<std::uint8_t>> classify_sites(
+    const std::vector<SiteObs>& obs, const std::vector<SimTime>& site_times,
+    std::size_t first_site, const trace::SyscallJournal& journal);
+
+}  // namespace tocttou::explore::dpor

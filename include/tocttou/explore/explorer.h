@@ -108,6 +108,29 @@ struct ExploreConfig {
   /// counters (jobs-invariant, on-only) in ExploreResult::metrics.
   bool checkpoint = true;
 
+  /// Canonical state hashing (DESIGN.md §10, exhaustive mode): every
+  /// fresh stepped leaf records a full-state digest at each scheduling
+  /// site past its forced prefix; a child whose digest is already in
+  /// the donor table stops executing there and synthesizes its outcome
+  /// from the donor's recorded tail (same state + no remaining forced
+  /// choices = provably identical continuation). Pure execution
+  /// avoidance: enumeration, exact probability, witness and every other
+  /// ExploreResult field are byte-identical on/off by construction —
+  /// only wall time and the explore.hash_merges /
+  /// explore.leaves_executed counters (on-only, jobs-invariant) change.
+  /// Merging needs stepped leaves, so it is inert with checkpoint off,
+  /// and it disables itself under a leaf_observer (the observer expects
+  /// every leaf to run to completion).
+  bool state_hash = true;
+
+  /// Journal-derived conflict classification (explore/dpor.h): each
+  /// fresh leaf's pick sites are classified against the detector's
+  /// truth tables, feeding the explore.backtrack_points and
+  /// explore.dpor_pruned counters (on-only, jobs-invariant, counted
+  /// over fresh executions). Classification only — sleep sets still use
+  /// `oracle`, so enumeration is byte-identical on/off.
+  bool dpor = true;
+
   /// Live mid-round checkpoints (full VFS/kernel/journal clones) the
   /// fork path may retain at once; the cap bounds resident memory. A
   /// group whose seed was crowded out falls back to replaying its

@@ -64,6 +64,10 @@ class ExploringScheduler final : public sim::Scheduler {
   Duration fresh_slice(const sim::Process& p) const override;
   std::size_t queue_depth(sim::CpuId cpu) const override;
 
+  /// Choice plumbing (source, slot) is explorer bookkeeping, not
+  /// simulation state — the digest is the wrapped policy's queues.
+  void hash_state(StateHasher& h) const override { inner_.hash_state(h); }
+
  private:
   ExploringScheduler(const ExploringScheduler& o, sim::CloneMap& m);
 

@@ -80,6 +80,28 @@ class Inode {
   /// fixture can prove the auditor detects it. Never used by ops.
   void set_nlink(int n) { nlink_ = n; }
 
+  /// Canonical digest contribution (DESIGN.md §10). Raw inos are stable
+  /// across same-prefix executions (allocation order is deterministic),
+  /// so no renumbering pass is needed.
+  void hash_state(StateHasher& h) const {
+    h.u64(ino_);
+    h.u32(static_cast<std::uint32_t>(type_));
+    h.u64(uid_);
+    h.u64(gid_);
+    h.u64(mode_);
+    h.u64(size_bytes_);
+    h.i64(nlink_);
+    h.i64(open_refs_);
+    h.str(symlink_target_);
+    h.u64(entries_.size());
+    for (const auto& [name, target] : entries_) {
+      h.str(name);
+      h.u64(target);
+    }
+    sem_.hash_state(h);
+    h.boolean(rename_in_progress_);
+  }
+
   StatBuf to_stat() const {
     StatBuf s;
     s.ino = ino_;

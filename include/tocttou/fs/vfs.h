@@ -214,6 +214,13 @@ class Vfs {
   void set_metrics(metrics::Registry* metrics) { metrics_ = metrics; }
   metrics::Registry* metrics() const { return metrics_; }
 
+  /// Canonical state digest contribution (DESIGN.md §10): the inode
+  /// table in ino order, the fd tables in (pid, fd) order, the next-ino
+  /// counter, and the root. The arena, metrics, and fault-injector
+  /// observers are excluded (a fault injector makes the surrounding
+  /// round unhashable at the Kernel/RoundRun level, not here).
+  void hash_state(StateHasher& h) const;
+
   /// Post-round invariant auditor. Cross-checks every inode's nlink
   /// against the directory entries referencing it, open_refs against the
   /// fd tables, entry targets against the inode table, and symlink

@@ -43,6 +43,27 @@ struct AttackerStatus {
   Errno symlink_err = Errno::ok;
 };
 
+/// Canonical-hash helpers shared by the attacker models (DESIGN.md §10).
+inline void hash_attacker_stat(StateHasher& h, const fs::StatBuf& st,
+                               Errno err) {
+  h.u64(st.ino);
+  h.u32(static_cast<std::uint32_t>(st.type));
+  h.u64(st.uid);
+  h.u64(st.gid);
+  h.u64(st.mode);
+  h.u64(st.size_bytes);
+  h.u32(static_cast<std::uint32_t>(err));
+}
+
+inline void hash_attacker_status(StateHasher& h, const AttackerStatus& s) {
+  h.boolean(s.detected);
+  h.boolean(s.attack_done);
+  h.i64(s.iterations);
+  h.i64(s.retries);
+  h.u32(static_cast<std::uint32_t>(s.unlink_err));
+  h.u32(static_cast<std::uint32_t>(s.symlink_err));
+}
+
 /// Figure 2 / Figure 4: the straightforward detection loop.
 class NaiveAttacker final : public sim::Program {
  public:
@@ -55,6 +76,19 @@ class NaiveAttacker final : public sim::Program {
   sim::Action next(sim::ProgramContext& ctx) override;
   std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
   const AttackerStatus& status() const { return status_; }
+
+  void hash_state(StateHasher& h) const override {
+    h.str("naive_attacker");
+    h.str(target_.watched_path);
+    h.str(target_.evil_target);
+    h.str(target_.dummy_path);
+    h.dur(loop_comp_);
+    h.dur(post_detect_comp_);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    hash_attacker_stat(h, stat_out_, stat_err_);
+    hash_attacker_status(h, status_);
+    h.i64(attempt_);
+  }
 
  private:
   NaiveAttacker(const NaiveAttacker& o, sim::CloneMap& m);
@@ -87,6 +121,20 @@ class PrefaultedAttacker final : public sim::Program {
   sim::Action next(sim::ProgramContext& ctx) override;
   std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
   const AttackerStatus& status() const { return status_; }
+
+  void hash_state(StateHasher& h) const override {
+    h.str("prefaulted_attacker");
+    h.str(target_.watched_path);
+    h.str(target_.evil_target);
+    h.str(target_.dummy_path);
+    h.dur(select_comp_);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    h.boolean(window_now_);
+    h.str(fname_);
+    hash_attacker_stat(h, stat_out_, stat_err_);
+    hash_attacker_status(h, status_);
+    h.i64(attempt_);
+  }
 
  private:
   PrefaultedAttacker(const PrefaultedAttacker& o, sim::CloneMap& m);
@@ -132,6 +180,19 @@ class PipelinedAttackerMain final : public sim::Program {
   sim::Action next(sim::ProgramContext& ctx) override;
   std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
+  /// The shared PipelinedAttackState (flag + status) is hashed once at
+  /// the RoundRun level; here we hash only this thread's private state.
+  void hash_state(StateHasher& h) const override {
+    h.str("pipelined_attacker_main");
+    h.str(target_.watched_path);
+    h.str(target_.evil_target);
+    h.dur(loop_comp_);
+    h.dur(handoff_comp_);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    hash_attacker_stat(h, stat_out_, stat_err_);
+    h.i64(attempt_);
+  }
+
  private:
   PipelinedAttackerMain(const PipelinedAttackerMain& o, sim::CloneMap& m);
 
@@ -160,6 +221,17 @@ class PipelinedAttackerSymlinker final : public sim::Program {
 
   sim::Action next(sim::ProgramContext& ctx) override;
   std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
+
+  /// Shared state hashed at the RoundRun level (see PipelinedAttackerMain).
+  void hash_state(StateHasher& h) const override {
+    h.str("pipelined_attacker_symlinker");
+    h.str(target_.watched_path);
+    h.str(target_.evil_target);
+    h.dur(retry_comp_);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    h.u32(static_cast<std::uint32_t>(symlink_err_));
+    h.i64(attempts_);
+  }
 
  private:
   PipelinedAttackerSymlinker(const PipelinedAttackerSymlinker& o,

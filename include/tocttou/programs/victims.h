@@ -50,6 +50,23 @@ class ViVictim final : public sim::Program {
   /// Bounded EINTR retries performed so far (cfg.t.retry policy).
   int retries() const { return retries_; }
 
+  void hash_state(StateHasher& h) const override {
+    h.str("vi_victim");
+    h.str(cfg_.wfname);
+    h.dur(cfg_.think_time);
+    h.boolean(cfg_.fd_attr_remedy);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    h.u64(written_);
+    h.u64(pending_chunk_);
+    h.i64(open_out_.fd);
+    h.u32(static_cast<std::uint32_t>(open_out_.err));
+    h.i64(load_out_.fd);
+    h.u32(static_cast<std::uint32_t>(load_out_.err));
+    h.u32(static_cast<std::uint32_t>(err_));
+    h.i64(attempt_);
+    h.i64(retries_);
+  }
+
  private:
   ViVictim(const ViVictim& o, sim::CloneMap& m);
 
@@ -112,6 +129,23 @@ class GeditVictim final : public sim::Program {
   /// Bounded EINTR retries performed so far (cfg.t.retry policy).
   int retries() const { return retries_; }
 
+  void hash_state(StateHasher& h) const override {
+    h.str("gedit_victim");
+    h.str(cfg_.real_filename);
+    h.dur(cfg_.think_time);
+    h.boolean(cfg_.fd_attr_remedy);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    h.u64(written_);
+    h.u64(pending_chunk_);
+    h.i64(open_out_.fd);
+    h.u32(static_cast<std::uint32_t>(open_out_.err));
+    h.i64(load_out_.fd);
+    h.u32(static_cast<std::uint32_t>(load_out_.err));
+    h.u32(static_cast<std::uint32_t>(err_));
+    h.i64(attempt_);
+    h.i64(retries_);
+  }
+
  private:
   GeditVictim(const GeditVictim& o, sim::CloneMap& m);
 
@@ -162,6 +196,16 @@ class SuspendingVictim final : public sim::Program {
   sim::Action next(sim::ProgramContext& ctx) override;
   std::unique_ptr<sim::Program> clone(sim::CloneMap& m) const override;
 
+  void hash_state(StateHasher& h) const override {
+    h.str("suspending_victim");
+    h.str(cfg_.path);
+    h.dur(cfg_.think_time);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    h.i64(open_out_.fd);
+    h.u32(static_cast<std::uint32_t>(open_out_.err));
+    h.u32(static_cast<std::uint32_t>(err_));
+  }
+
  private:
   SuspendingVictim(const SuspendingVictim& o, sim::CloneMap& m);
 
@@ -196,6 +240,23 @@ class SendmailVictim final : public sim::Program {
 
   /// True if the check step rejected the mailbox (symlink found in time).
   bool rejected() const { return rejected_; }
+
+  void hash_state(StateHasher& h) const override {
+    h.str("sendmail_victim");
+    h.str(cfg_.mailbox);
+    h.dur(cfg_.think_time);
+    h.u32(static_cast<std::uint32_t>(phase_));
+    h.u64(stat_out_.ino);
+    h.u32(static_cast<std::uint32_t>(stat_out_.type));
+    h.u64(stat_out_.uid);
+    h.u64(stat_out_.gid);
+    h.u64(stat_out_.mode);
+    h.u64(stat_out_.size_bytes);
+    h.i64(open_out_.fd);
+    h.u32(static_cast<std::uint32_t>(open_out_.err));
+    h.u32(static_cast<std::uint32_t>(err_));
+    h.boolean(rejected_);
+  }
 
  private:
   SendmailVictim(const SendmailVictim& o, sim::CloneMap& m);

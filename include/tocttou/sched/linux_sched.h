@@ -65,6 +65,19 @@ class LinuxLikeScheduler final : public sim::Scheduler {
 
   std::unique_ptr<sim::Scheduler> clone(sim::CloneMap& m) const override;
 
+  void hash_state(StateHasher& h) const override {
+    h.u64(queues_.size());
+    for (const RunQueue& q : queues_) {
+      h.u64(q.size);
+      h.u64(q.by_prio.size());
+      for (const auto& [prio, fifo] : q.by_prio) {
+        h.i64(prio);
+        h.u64(fifo.size());
+        for (const sim::Process* p : fifo) h.u64(p->pid());
+      }
+    }
+  }
+
   /// Rebind copy for checkpoint clones: copies the queues, remapping each
   /// queued Process* through `m`. Public so wrappers that embed this
   /// policy by value (ExploringScheduler) can clone their member.

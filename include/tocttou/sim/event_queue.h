@@ -26,9 +26,23 @@
 #include <utility>
 #include <vector>
 
+#include "tocttou/common/state_hash.h"
 #include "tocttou/common/time.h"
 
 namespace tocttou::sim {
+
+/// Semantic tag describing a pending event for canonical state hashing
+/// (DESIGN.md §10). EventFn captures are opaque bytes, so the queue
+/// cannot digest callbacks directly; instead each scheduling site in the
+/// kernel attaches a tag naming what the event will do (kind) and its
+/// stable operands (pids, generation counters). kind 0 means untagged —
+/// the queue's hash_state marks the state unhashable so merging is
+/// disabled rather than unsound.
+struct EventTag {
+  std::uint32_t kind = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
 
 /// Fixed-capacity inline callable for event callbacks. Accepts any
 /// trivially copyable callable up to kStorage bytes (the kernel's
@@ -102,6 +116,10 @@ class EventQueue {
   /// Schedules `cb` to run at absolute time `t` (must be >= now()).
   void schedule_at(SimTime t, Callback cb);
 
+  /// Same, with a semantic tag for canonical state hashing. Untagged
+  /// events make the queue unhashable (see EventTag).
+  void schedule_at(SimTime t, Callback cb, EventTag tag);
+
   /// Schedules `cb` to run `d` after now().
   void schedule_after(Duration d, Callback cb) {
     schedule_at(now_ + d, std::move(cb));
@@ -124,10 +142,30 @@ class EventQueue {
   std::size_t pending() const { return heap_.size() + legacy_.size(); }
   std::uint64_t executed() const { return executed_; }
 
+  /// Canonical state digest (DESIGN.md §10): now(), then every pending
+  /// entry's (time, tag) in (t, seq) order. Sequence numbers themselves
+  /// are NOT hashed — they are an artifact of scheduling history, but
+  /// their relative order at equal timestamps determines firing order,
+  /// which sorting by (t, seq) captures positionally. Legacy-impl queues
+  /// and any untagged entry mark the state unhashable.
+  void hash_state(StateHasher& h) const;
+
+  /// Variant with a per-entry canonicalizer (used by Kernel::hash_state).
+  /// `canon` either hashes a canonical form of the tag and returns true,
+  /// or returns false to declare the entry stale — a timestamped no-op
+  /// whose delivery guard will drop it (e.g. a segment-end event whose
+  /// generation no longer matches). Stale entries are skipped entirely,
+  /// time included: their only effect on the run is an event-count tick,
+  /// so their presence must not distinguish otherwise equal states.
+  void hash_state(StateHasher& h,
+                  const std::function<bool(StateHasher&, const EventTag&)>&
+                      canon) const;
+
  private:
   struct Entry {
     SimTime t;
     std::uint64_t seq;
+    EventTag tag;
     EventFn cb;
   };
   static bool earlier(const Entry& a, const Entry& b) {

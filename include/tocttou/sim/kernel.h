@@ -123,6 +123,13 @@ class Kernel {
   /// the no-metrics path byte-identical. Must outlive the kernel.
   void set_metrics(metrics::Registry* metrics) { metrics_ = metrics; }
 
+  /// Canonical state digest contribution (DESIGN.md §10): event queue,
+  /// rng, process table (including program/op state machines), CPU
+  /// occupancy, and scheduler run queues. Rounds with a fault injector
+  /// attached are unhashable — the injector's trigger counters are
+  /// future-relevant state the kernel cannot see.
+  void hash_state(StateHasher& h) const;
+
   /// Attaches a synchronization-event sink for this round (nullptr =
   /// none; the default). With a sink attached the kernel appends its
   /// ordering actions — process spawn/exit, inode-semaphore ownership

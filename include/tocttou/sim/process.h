@@ -58,8 +58,21 @@ class Process {
   bool kernel_thread() const { return kernel_thread_; }
   Duration slice_left() const { return slice_left_; }
   Duration cpu_time() const { return cpu_time_; }
+  /// In-flight service op introspection (null / empty when the process
+  /// is between syscalls). The journal-derived conflict oracle
+  /// (explore/dpor.h) reads these at pick sites to classify whether two
+  /// candidate processes' pending operations commute.
+  const ServiceOp* op() const { return op_.get(); }
+  const std::string& op_path() const { return op_path_; }
+  const std::string& op_path2() const { return op_path2_; }
   /// Number of involuntary preemptions suffered so far.
   std::uint64_t preemptions() const { return preemptions_; }
+
+  /// Canonical state digest (DESIGN.md §10): every field the kernel's
+  /// clone ctor copies — identity, scheduling state, the in-flight
+  /// action, and the owned program/op state machines. Defined in
+  /// process.cc (needs Semaphore's definition).
+  void hash_state(StateHasher& h) const;
 
  private:
   friend class Kernel;

@@ -107,6 +107,13 @@ class Program {
     TOCTTOU_CHECK(false, "program does not support checkpoint clone");
     return nullptr;
   }
+
+  /// Canonical state digest contribution (DESIGN.md §10): every field of
+  /// the program's state machine that can influence its future actions,
+  /// including the values in its output slots. Programs that do not
+  /// implement it are unhashable — the explorer never merges their
+  /// rounds, which is safe (never merging is always correct).
+  virtual void hash_state(StateHasher& h) const { h.mark_unhashable(); }
 };
 
 }  // namespace tocttou::sim

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tocttou/common/error.h"
+#include "tocttou/common/state_hash.h"
 #include "tocttou/common/time.h"
 #include "tocttou/sim/ids.h"
 
@@ -75,6 +76,11 @@ class Scheduler {
     TOCTTOU_CHECK(false, "scheduler does not support checkpoint clone");
     return nullptr;
   }
+
+  /// Canonical state digest contribution (DESIGN.md §10): run-queue
+  /// contents in canonical order. Unknown policies are unhashable by
+  /// default — the explorer then never merges, which is always safe.
+  virtual void hash_state(StateHasher& h) const { h.mark_unhashable(); }
 };
 
 }  // namespace tocttou::sim

@@ -10,6 +10,7 @@
 #include <deque>
 #include <string>
 
+#include "tocttou/common/state_hash.h"
 #include "tocttou/sim/ids.h"
 
 namespace tocttou::sim {
@@ -36,6 +37,16 @@ class Semaphore {
   Pid owner() const { return owner_; }
   std::size_t waiters() const { return waiters_.size(); }
 
+  /// Canonical state digest (DESIGN.md §10). The name doubles as the
+  /// semaphore's identity: inode semaphores are named "i_sem:<ino>", so
+  /// hashing by name is consistent with the raw-ino hashing of the Vfs.
+  void hash_state(StateHasher& h) const {
+    h.str(name_);
+    h.u64(owner_);
+    h.u64(waiters_.size());
+    for (Pid p : waiters_) h.u64(p);
+  }
+
  private:
   friend class Kernel;
   std::string name_;
@@ -60,6 +71,14 @@ class EventFlag {
   const std::string& name() const { return name_; }
   bool is_set() const { return set_; }
   void reset() { set_ = false; }
+
+  /// Canonical state digest (DESIGN.md §10); see Semaphore::hash_state.
+  void hash_state(StateHasher& h) const {
+    h.str(name_);
+    h.boolean(set_);
+    h.u64(waiters_.size());
+    for (Pid p : waiters_) h.u64(p);
+  }
 
  private:
   friend class Kernel;

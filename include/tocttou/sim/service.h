@@ -24,6 +24,7 @@
 
 #include "tocttou/common/error.h"
 #include "tocttou/common/rng.h"
+#include "tocttou/common/state_hash.h"
 #include "tocttou/common/time.h"
 #include "tocttou/sim/ids.h"
 #include "tocttou/sim/semaphore.h"
@@ -99,6 +100,11 @@ class ServiceOp {
     TOCTTOU_CHECK(false, "service op does not support checkpoint clone");
     return nullptr;
   }
+
+  /// Canonical state digest contribution (DESIGN.md §10): the in-flight
+  /// syscall's phase and operands. Unhashable by default (see
+  /// Program::hash_state).
+  virtual void hash_state(StateHasher& h) const { h.mark_unhashable(); }
 
   static constexpr int kNoLibcPage = -1;
 };

@@ -485,6 +485,20 @@ bool RoundRun::step() {
   }
 }
 
+void RoundRun::hash_state(StateHasher& h) const {
+  if (injector_.has_value()) h.mark_unhashable();
+  h.u32(static_cast<std::uint32_t>(phase_));
+  h.time(limit_);
+  h.time(drain_limit_);
+  vfs_->hash_state(h);
+  kernel_->hash_state(h);
+  h.boolean(pipeline_state_ != nullptr);
+  if (pipeline_state_ != nullptr) {
+    pipeline_state_->window_found.hash_state(h);
+    programs::hash_attacker_status(h, pipeline_state_->status);
+  }
+}
+
 RoundResult RoundRun::finish() {
   while (step()) {
   }

@@ -32,6 +32,7 @@ SiteRecord make_record(const ChoiceContext& ctx, int chosen,
       }
     }
   }
+  oracle.observe_site(ctx, chosen);
   return rec;
 }
 

@@ -1,0 +1,155 @@
+#include "tocttou/explore/dpor.h"
+
+#include <algorithm>
+
+#include "tocttou/detect/classify.h"
+#include "tocttou/sim/process.h"
+#include "tocttou/trace/journal.h"
+
+namespace tocttou::explore::dpor {
+
+namespace {
+
+/// Bridges an in-flight op to the detector's record-shaped helpers.
+/// The result is assumed ok: established_names only vouches for
+/// successful calls, and assuming success yields the footprint
+/// superset (erring toward dependence).
+trace::SyscallRecord as_record(std::string_view op, std::string_view path,
+                               std::string_view path2) {
+  trace::SyscallRecord r;
+  r.name = std::string(op);
+  r.path = std::string(path);
+  r.path2 = std::string(path2);
+  r.result = Errno::ok;
+  return r;
+}
+
+void append(std::vector<std::string>* out,
+            const std::vector<std::string_view>& views) {
+  for (std::string_view v : views) out->emplace_back(v);
+}
+
+bool intersects(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  for (const std::string& x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OpFootprint op_footprint(std::string_view op, std::string_view path,
+                         std::string_view path2) {
+  OpFootprint fp;
+  if (op.empty()) return fp;
+  const trace::SyscallRecord r = as_record(op, path, path2);
+  std::vector<std::string_view> names;
+  detect::acted_names(r, &names);
+  append(&fp.reads, names);
+  detect::established_names(r, &names);
+  append(&fp.reads, names);
+  detect::mutated_names(r, &names);
+  append(&fp.writes, names);
+  return fp;
+}
+
+bool ops_conflict(std::string_view op_a, std::string_view path_a,
+                  std::string_view path2_a, std::string_view op_b,
+                  std::string_view path_b, std::string_view path2_b) {
+  const OpFootprint a = op_footprint(op_a, path_a, path2_a);
+  const OpFootprint b = op_footprint(op_b, path_b, path2_b);
+  return intersects(a.writes, b.writes) || intersects(a.writes, b.reads) ||
+         intersects(b.writes, a.reads);
+}
+
+bool procs_conflict(const sim::Process& a, const sim::Process& b) {
+  if (a.op() == nullptr || b.op() == nullptr) return false;
+  return ops_conflict(a.op()->name(), a.op_path(), a.op_path2(),
+                      b.op()->name(), b.op_path(), b.op_path2());
+}
+
+void ClassifyingOracle::observe_site(const ChoiceContext& ctx,
+                                     int chosen) const {
+  SiteObs obs;
+  obs.kind = ctx.kind;
+  obs.n = ctx.n;
+  obs.chosen = chosen;
+  obs.pids.reserve(ctx.procs.size());
+  for (const sim::Process* p : ctx.procs) obs.pids.push_back(p->pid());
+  sites_.push_back(std::move(obs));
+}
+
+namespace {
+
+/// The footprint of `pid`'s relevant operation at time t: its first
+/// journal record with exit > t — the call it is inside, or the next
+/// one it will make. No such record (the process makes no further
+/// syscalls) = empty footprint, conflicting with nothing.
+OpFootprint relevant_footprint(const trace::SyscallJournal& journal,
+                               sim::Pid pid, SimTime t) {
+  for (const trace::SyscallRecord& r : journal.records()) {
+    if (r.pid != static_cast<trace::Pid>(pid)) continue;
+    if (!(r.exit > t)) continue;
+    return op_footprint(r.name, r.path, r.path2);
+  }
+  return {};
+}
+
+bool footprints_conflict(const OpFootprint& a, const OpFootprint& b) {
+  const auto hit = [](const std::vector<std::string>& xs,
+                      const std::vector<std::string>& ys) {
+    for (const std::string& x : xs) {
+      if (std::find(ys.begin(), ys.end(), x) != ys.end()) return true;
+    }
+    return false;
+  };
+  return hit(a.writes, b.writes) || hit(a.writes, b.reads) ||
+         hit(b.writes, a.reads);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> classify_sites(
+    const std::vector<SiteObs>& obs, const std::vector<SimTime>& site_times,
+    std::size_t first_site, const trace::SyscallJournal& journal) {
+  std::vector<std::vector<std::uint8_t>> rows;
+  rows.reserve(obs.size());
+  for (std::size_t k = 0; k < obs.size(); ++k) {
+    const SiteObs& s = obs[k];
+    rows.emplace_back(static_cast<std::size_t>(s.n), 0);
+    std::vector<std::uint8_t>& row = rows.back();
+    const std::size_t ti = first_site + k;
+    if (ti >= site_times.size()) continue;  // no time recorded: all zero
+    const SimTime t = site_times[ti];
+    if (s.kind == ChoiceKind::pick && s.pids.size() == row.size()) {
+      const OpFootprint chosen_fp = relevant_footprint(
+          journal, s.pids[static_cast<std::size_t>(s.chosen)], t);
+      if (chosen_fp.reads.empty() && chosen_fp.writes.empty()) continue;
+      for (std::size_t i = 0; i < s.pids.size(); ++i) {
+        if (static_cast<int>(i) == s.chosen) continue;
+        row[i] = footprints_conflict(
+                     relevant_footprint(journal, s.pids[i], t), chosen_fp)
+                     ? 1
+                     : 0;
+      }
+    } else if (s.kind == ChoiceKind::preempt && s.pids.size() == 2) {
+      // Options are {don't, do} over the same {woken, running} pair;
+      // the conflict bit is the pair's, whichever direction is the road
+      // not taken.
+      const std::uint8_t bit =
+          footprints_conflict(relevant_footprint(journal, s.pids[0], t),
+                              relevant_footprint(journal, s.pids[1], t))
+              ? 1
+              : 0;
+      for (auto& b : row) b = bit;
+      if (s.chosen >= 0 && static_cast<std::size_t>(s.chosen) < row.size()) {
+        row[static_cast<std::size_t>(s.chosen)] = 0;
+      }
+    }
+    // place (and anything else): timing-only alternatives, all zero.
+  }
+  return rows;
+}
+
+}  // namespace tocttou::explore::dpor

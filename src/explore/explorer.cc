@@ -14,7 +14,9 @@
 
 #include "tocttou/common/error.h"
 #include "tocttou/common/rng.h"
+#include "tocttou/common/state_hash.h"
 #include "tocttou/core/round_run.h"
+#include "tocttou/explore/dpor.h"
 #include "tocttou/explore/exploring_scheduler.h"
 #include "tocttou/explore/resilience.h"
 #include "tocttou/explore/sweep_journal.h"
@@ -52,6 +54,70 @@ std::vector<ThinkBucket> make_buckets(const core::ScenarioConfig& cfg,
 /// journal's on-disk record type (sweep_journal.h), so re-reducing a
 /// resumed leaf is the same code path as reducing a fresh one.
 using LeafOutcome = LeafRecord;
+
+/// Side data a fresh execution hands the serial reduction NEXT TO its
+/// LeafOutcome — never inside it, so the journal's on-disk LeafRecord
+/// format is untouched. Carries the state digests the leaf recorded
+/// (state-hash donor points), the per-site conflict rows the
+/// ClassifyingOracle observed (DPOR accounting), and whether the leaf
+/// merged into a donor instead of running to completion.
+struct LeafSide {
+  /// Sites seeded from the parent (fork path): conflict rows exist only
+  /// for sites the leaf itself resolved, i.e. indices >= first_site.
+  std::size_t first_site = 0;
+  /// Per-site conflict rows from dpor::ClassifyingOracle::take().
+  std::vector<std::vector<std::uint8_t>> conflicts;
+  /// Candidate donor points: the full-state digest at (a) the event
+  /// where the forced prefix was consumed and (b) every later event
+  /// that resolved new sites, with the leaf's progress at each.
+  struct Point {
+    StateHasher::Digest digest;
+    std::uint64_t event = 0;
+    std::size_t sites_at = 0;
+  };
+  std::vector<Point> points;
+  /// Kernel events this leaf executed (donor tail-length accounting).
+  std::uint64_t total_events = 0;
+  /// The leaf stopped at a donor match and synthesized its outcome.
+  bool merged = false;
+};
+
+/// One entry of the donor table: a completed leaf (interned in the
+/// cross-iteration store, so the pointer is stable) plus where along
+/// its execution the digest was taken. A later leaf matching the digest
+/// copies the donor's tail — sites/choices/events past `sites_at`,
+/// success and window — instead of executing it.
+struct DonorPoint {
+  const LeafOutcome* rec = nullptr;
+  std::uint64_t total_events = 0;
+  std::size_t sites_at = 0;
+  std::uint64_t event = 0;
+};
+
+/// Donor table key: bucket id + the 128-bit state digest. Schedules in
+/// different think buckets never share state (the victim think time
+/// differs), so the bucket tag keeps their digests apart even in the
+/// astronomically unlikely event of a cross-bucket hash collision.
+std::string donor_key(int bucket, const StateHasher::Digest& d) {
+  std::string key;
+  key.reserve(20);
+  for (int b = 0; b < 4; ++b) {
+    key.push_back(static_cast<char>((static_cast<unsigned>(bucket) >>
+                                     (8 * b)) & 0xffu));
+  }
+  for (int b = 0; b < 8; ++b) {
+    key.push_back(static_cast<char>((d.lo >> (8 * b)) & 0xffu));
+  }
+  for (int b = 0; b < 8; ++b) {
+    key.push_back(static_cast<char>((d.hi >> (8 * b)) & 0xffu));
+  }
+  return key;
+}
+
+/// Donor-table size cap (entries). Insertion happens in canonical
+/// reduction order, so truncating at a fixed size is jobs-invariant —
+/// later leaves simply stop donating once the table is full.
+constexpr std::size_t kDonorCap = std::size_t{1} << 20;
 
 /// A retained mid-round checkpoint: the parent round advanced to (one of)
 /// its fork boundaries, kept so the group that later expands that leaf
@@ -111,6 +177,9 @@ struct ParentGroup {
 struct GroupOutcome {
   std::vector<LeafOutcome> leaves;
   std::vector<std::unique_ptr<Seed>> seeds;
+  /// State-hash/DPOR side data, parallel to `leaves` (empty vectors in
+  /// replay mode, where leaves are never stepped).
+  std::vector<LeafSide> sides;
   std::uint64_t checkpoints = 0;    // distinct fork boundaries reached
   std::uint64_t forks = 0;          // children forked (vs full-replayed)
   std::uint64_t prefix_ns_saved = 0;  // Σ simulated prefix ns not re-run
@@ -131,6 +200,11 @@ struct ExploreState {
   /// ExploreConfig::seed_budget slots for live mid-round clones.
   std::atomic<int> seed_slots;
   std::uint64_t cache_hits = 0;
+  /// State-hash donor table (ExploreConfig::state_hash). Mutated ONLY
+  /// during the serial canonical reduction between batches; workers read
+  /// it lock-free while a batch executes (the table is frozen then), so
+  /// which merges happen is independent of worker count and timing.
+  std::unordered_map<std::string, DonorPoint> donors;
 };
 
 /// Canonical schedule id: bucket plus the forced choice prefix (each
@@ -165,11 +239,14 @@ std::string schedule_key(int bucket, const std::vector<Choice>& choices,
 class Worker {
  public:
   Worker(const core::ScenarioConfig& base, const ExploreConfig& ecfg,
-         std::uint32_t fingerprint, std::atomic<int>* seed_slots)
+         std::uint32_t fingerprint, std::atomic<int>* seed_slots,
+         const std::unordered_map<std::string, DonorPoint>* donors)
       : cfg_(base),
         ecfg_(&ecfg),
         fingerprint_(fingerprint),
-        seed_slots_(seed_slots) {
+        seed_slots_(seed_slots),
+        donors_(donors),
+        classifier_(ecfg.oracle) {
     // Slot form: the scheduler — and every checkpoint clone of it —
     // reads the worker's CURRENT source at each decision, so a worker
     // can swap between a parent's source and a forked child's mid-round.
@@ -182,10 +259,33 @@ class Worker {
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
 
+  /// State hashing is execution avoidance: a leaf_observer expects every
+  /// leaf to run to completion, so its presence disables merging.
+  bool hash_on() const {
+    return ecfg_->state_hash && !ecfg_->leaf_observer;
+  }
+  bool classify_on() const { return ecfg_->dpor; }
+
+  /// The choice source for a fresh leaf: the classifying wrapper when
+  /// DPOR accounting is on (delegating every independence verdict to the
+  /// configured oracle, so records stay byte-identical), the configured
+  /// oracle otherwise. Callers harvest classifier_.take() per leaf.
+  const IndependenceOracle* leaf_oracle(const IndependenceOracle* oracle,
+                                        bool classify) {
+    if (!classify) return oracle;
+    classifier_.take();  // drop sites a thrown-out leaf left behind
+    return &classifier_;
+  }
+
   /// Full-replay leaf: the checkpoint-off path (and the historical
-  /// behavior the fork path must reproduce byte-for-byte).
+  /// behavior the fork path must reproduce byte-for-byte). Never
+  /// classified: DPOR classification needs per-site resolution times,
+  /// which only the stepped path records — with checkpointing off the
+  /// DPOR counters honestly report zero, like the state-hash ones.
   LeafOutcome run_guided(Duration think, std::vector<Choice> prefix,
-                         const IndependenceOracle* oracle) {
+                         const IndependenceOracle* oracle,
+                         LeafSide* side) {
+    (void)side;
     const std::size_t prefix_len = prefix.size();
     GuidedSource src(std::move(prefix), oracle);
     src_ = &src;
@@ -199,18 +299,43 @@ class Worker {
   /// Stepped leaf: the identical round executed event-by-event through
   /// a RoundRun, recording the event index at which every choice site
   /// resolved — the fork boundaries this leaf's children will
-  /// checkpoint at.
+  /// checkpoint at. With state hashing, the stepping also records donor
+  /// points and (when `allow_merge`) may stop at a donor match,
+  /// synthesizing the outcome instead of finishing the run.
   LeafOutcome run_stepped(Duration think, std::vector<Choice> prefix,
-                          const IndependenceOracle* oracle) {
+                          const IndependenceOracle* oracle, LeafSide* side,
+                          int bucket, bool allow_merge) {
     const std::size_t prefix_len = prefix.size();
-    GuidedSource src(std::move(prefix), oracle);
+    const bool classify = classify_on() && side != nullptr;
+    GuidedSource src(std::move(prefix), leaf_oracle(oracle, classify));
     src_ = &src;
     cfg_.victim_think = think;
     core::RoundRun run(cfg_, ctx());
     std::vector<std::uint64_t> site_events;
-    while (run.step()) note_sites(src, run, &site_events);
+    std::vector<SimTime> site_times;
+    std::optional<LeafOutcome> merged =
+        step_leaf(run, src, prefix_len, &site_events, &site_times, bucket,
+                  allow_merge, side);
+    if (merged) {
+      src_ = nullptr;
+      if (classify) {
+        // Classify against the journal recorded so far: the merged
+        // leaf's own sites all resolved within the executed portion.
+        const trace::RoundTrace* tr = run.kernel().trace();
+        if (tr != nullptr) {
+          side->conflicts = dpor::classify_sites(classifier_.take(),
+                                                 site_times, 0, tr->journal);
+        }
+      }
+      return std::move(*merged);
+    }
     const core::RoundResult r = run.finish();
+    if (side != nullptr) side->total_events = run.events_executed();
     src_ = nullptr;
+    if (classify) {
+      side->conflicts = dpor::classify_sites(classifier_.take(), site_times,
+                                             0, r.trace.journal);
+    }
     observe(think, src, r);
     return make_outcome(src, prefix_len, r, std::move(site_events));
   }
@@ -225,14 +350,17 @@ class Worker {
   /// charge an already-failed forked execution as the first try.
   LeafOutcome run_contained(Duration think, std::vector<Choice> prefix,
                             const IndependenceOracle* oracle, bool stepped,
-                            int attempts = 2) {
+                            LeafSide* side, int bucket = 0,
+                            bool allow_merge = false, int attempts = 2) {
     for (;;) {
       std::vector<Choice> p = prefix;  // retries need the original
       try {
-        return stepped ? run_stepped(think, std::move(p), oracle)
-                       : run_guided(think, std::move(p), oracle);
+        return stepped ? run_stepped(think, std::move(p), oracle, side,
+                                     bucket, allow_merge)
+                       : run_guided(think, std::move(p), oracle, side);
       } catch (const std::exception& e) {
         src_ = nullptr;  // the throwing run's GuidedSource is gone
+        if (side != nullptr) *side = LeafSide{};  // drop partial records
         reset_context();
         if (--attempts <= 0) {
           LeafOutcome out;
@@ -265,6 +393,32 @@ class Worker {
                          const IndependenceOracle* oracle,
                          bool mint_seeds) {
     GroupOutcome out;
+    // Arm the sibling overlay for this group; the guard disarms it even
+    // if a child's containment fails to absorb a fault, so no stale
+    // pointer into a destroyed leaves vector survives the group.
+    group_donors_.clear();
+    group_leaves_ = &out.leaves;
+    struct OverlayGuard {
+      Worker* w;
+      ~OverlayGuard() {
+        w->group_leaves_ = nullptr;
+        w->group_donors_.clear();
+      }
+    } overlay_guard{this};
+    // Publishes the just-pushed child's donor points to later siblings,
+    // mirroring the reduction's conditions: fresh, on-prefix, fault-free
+    // leaves donate; merged or quarantined ones never do.
+    const auto donate_local = [&](const LeafSide& side) {
+      if (!hash_on() || side.merged || out.leaves.empty()) return;
+      const LeafOutcome& o = out.leaves.back();
+      if (o.error != ErrorKind::none || !o.prefix_ok) return;
+      const std::size_t idx = out.leaves.size() - 1;
+      for (const LeafSide::Point& pt : side.points) {
+        group_donors_.emplace(
+            donor_key(g.bucket, pt.digest),
+            SiblingDonor{idx, side.total_events, pt.sites_at, pt.event});
+      }
+    };
     cfg_.victim_think = think;
     std::optional<GuidedSource> psrc;
     std::optional<core::RoundRun> local_parent;
@@ -348,7 +502,10 @@ class Worker {
               seed_slots_->fetch_add(1, std::memory_order_relaxed);
             }
             core::RoundRun child(*parent);
-            GuidedSource csrc(child_prefix, oracle,
+            const bool classify = classify_on();
+            LeafSide cside;
+            cside.first_site = s;
+            GuidedSource csrc(child_prefix, leaf_oracle(oracle, classify),
                               std::vector<SiteRecord>(
                                   g.sites().begin(),
                                   g.sites().begin() + static_cast<long>(s)));
@@ -356,13 +513,40 @@ class Worker {
             std::vector<std::uint64_t> cevents(
                 g.events().begin(),
                 g.events().begin() + static_cast<long>(s));
-            while (child.step()) note_sites(csrc, child, &cevents);
+            // Seeded sites resolved before the fork boundary; their
+            // times are unknown and unneeded (conflict rows only exist
+            // for sites the child resolves itself, indices >= s).
+            std::vector<SimTime> ctimes(s);
+            std::optional<LeafOutcome> hit =
+                step_leaf(child, csrc, c.site + 1, &cevents, &ctimes,
+                          g.bucket, /*allow_merge=*/true, &cside);
+            if (hit) {
+              src_ = &*psrc;  // back to steering the parent replay
+              if (classify) {
+                const trace::RoundTrace* tr = child.kernel().trace();
+                if (tr != nullptr) {
+                  cside.conflicts = dpor::classify_sites(
+                      classifier_.take(), ctimes, s, tr->journal);
+                }
+              }
+              out.leaves.push_back(std::move(*hit));
+              out.seeds.push_back(std::move(seed));
+              out.sides.push_back(std::move(cside));
+              continue;
+            }
             const core::RoundResult r = child.finish();
+            cside.total_events = child.events_executed();
             src_ = &*psrc;  // back to steering the parent replay
+            if (classify) {
+              cside.conflicts = dpor::classify_sites(
+                  classifier_.take(), ctimes, s, r.trace.journal);
+            }
             observe(think, csrc, r);
             out.leaves.push_back(
                 make_outcome(csrc, c.site + 1, r, std::move(cevents)));
             out.seeds.push_back(std::move(seed));
+            donate_local(cside);
+            out.sides.push_back(std::move(cside));
             continue;
           }
           // Parent replay diverged from its recorded sites: the
@@ -383,10 +567,14 @@ class Worker {
           attempts = 1;
         }
       }
+      LeafSide fside;
       out.leaves.push_back(run_contained(think, std::move(child_prefix),
-                                         oracle, /*stepped=*/true,
+                                         oracle, /*stepped=*/true, &fside,
+                                         g.bucket, /*allow_merge=*/true,
                                          attempts));
       out.seeds.push_back(nullptr);
+      donate_local(fside);
+      out.sides.push_back(std::move(fside));
     }
     src_ = nullptr;
     return out;
@@ -405,9 +593,11 @@ class Worker {
           g.choices().begin(),
           g.choices().begin() + static_cast<long>(c.site) + 1);
       child_prefix.back().chosen = c.alt;
+      LeafSide side;
       out.leaves.push_back(run_contained(think, std::move(child_prefix),
-                                         oracle, /*stepped=*/false));
+                                         oracle, /*stepped=*/false, &side));
       out.seeds.push_back(nullptr);
+      out.sides.push_back(std::move(side));
     }
     return out;
   }
@@ -474,10 +664,120 @@ class Worker {
   /// Stamp the current event count onto every site the last step
   /// resolved (several sites can resolve inside one event).
   static void note_sites(const GuidedSource& src, const core::RoundRun& run,
-                         std::vector<std::uint64_t>* events) {
+                         std::vector<std::uint64_t>* events,
+                         std::vector<SimTime>* times) {
     while (events->size() < src.sites().size()) {
       events->push_back(run.events_executed());
+      if (times != nullptr) times->push_back(run.now());
     }
+  }
+
+  /// Steps `run` under `src` until the round is over, stamping site
+  /// events. With state hashing, also digests the full simulation state
+  /// at every candidate donor point — the event where the forced prefix
+  /// is consumed, and every later event that resolved new sites — and,
+  /// when `allow_merge`, probes the frozen donor table at each digest.
+  /// On a match the leaf stops executing and the donor's tail is
+  /// provably this leaf's future (equal hashable digests step
+  /// identically; see core::RoundRun::hash_state): returns the
+  /// synthesized outcome with side->merged set. Returns nullopt when the
+  /// run completed normally (caller finishes and builds the outcome).
+  std::optional<LeafOutcome> step_leaf(core::RoundRun& run,
+                                       GuidedSource& src,
+                                       std::size_t prefix_len,
+                                       std::vector<std::uint64_t>* events,
+                                       std::vector<SimTime>* times,
+                                       int bucket, bool allow_merge,
+                                       LeafSide* side) {
+    const bool hashing = side != nullptr && hash_on();
+    bool past = src.ok() && src.consumed() >= prefix_len;
+    std::size_t seen = src.sites().size();
+    while (run.step()) {
+      note_sites(src, run, events, times);
+      if (!hashing || !src.ok()) continue;
+      const bool now_past = src.consumed() >= prefix_len;
+      const bool fresh_site = src.sites().size() > seen;
+      const bool record = (now_past && !past) || (past && fresh_site);
+      past = now_past;
+      seen = src.sites().size();
+      if (!record) continue;
+      StateHasher h;
+      run.hash_state(h);
+      if (!h.hashable()) continue;
+      const StateHasher::Digest d = h.digest();
+      if (allow_merge) {
+        const std::string key = donor_key(bucket, d);
+        const auto merge_with = [&](const DonorPoint& dp) {
+          side->merged = true;
+          side->total_events =
+              run.events_executed() + (dp.total_events - dp.event);
+          return synthesize_merge(src, run, dp, *events);
+        };
+        if (donors_ != nullptr) {
+          const auto f = donors_->find(key);
+          if (f != donors_->end() && merge_fits_budget(run, f->second)) {
+            return merge_with(f->second);
+          }
+        }
+        if (group_leaves_ != nullptr) {
+          const auto f = group_donors_.find(key);
+          if (f != group_donors_.end()) {
+            const DonorPoint dp{&(*group_leaves_)[f->second.leaf],
+                                f->second.total_events, f->second.sites_at,
+                                f->second.event};
+            if (merge_fits_budget(run, dp)) return merge_with(dp);
+          }
+        }
+      }
+      side->points.push_back(
+          LeafSide::Point{d, run.events_executed(), src.sites().size()});
+    }
+    return std::nullopt;
+  }
+
+  /// A merged leaf charges the donor's remaining events without running
+  /// them; refuse the merge if that synthetic total could overrun the
+  /// step budget. Event-count stamps of state-equal runs can drift by
+  /// the number of pending stale timer events (bounded by the process
+  /// count — a stale pop is a no-op that only advances the counter), so
+  /// the +64 margin keeps the refusal conservative.
+  bool merge_fits_budget(const core::RoundRun& run,
+                         const DonorPoint& dp) const {
+    if (cfg_.step_budget == 0) return true;
+    const std::uint64_t tail = dp.total_events - dp.event;
+    return run.events_executed() + tail + 64 <= cfg_.step_budget;
+  }
+
+  /// Builds the outcome of a leaf that reached a donor's state: its own
+  /// resolved sites and choices, extended by the donor's tail. Success
+  /// and window are the donor's EXACTLY (both are functions of the
+  /// hashed state). Donor site-event stamps shift by the event-count
+  /// delta between the two runs; stamps can drift by pending stale
+  /// events, which at worst degrades a later fork of this leaf to full
+  /// replay (the fork path verifies resolved-site counts against its
+  /// boundary and falls back — byte-identical outcomes, just slower).
+  LeafOutcome synthesize_merge(
+      const GuidedSource& src, const core::RoundRun& run,
+      const DonorPoint& dp,
+      const std::vector<std::uint64_t>& site_events) const {
+    const LeafOutcome& rec = *dp.rec;
+    LeafOutcome out;
+    out.prefix_ok = true;
+    out.success = rec.success;
+    out.window_us = rec.window_us;
+    out.sites = src.sites();
+    out.choices = src.token_choices();
+    out.site_events = site_events;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(run.events_executed()) -
+        static_cast<std::int64_t>(dp.event);
+    for (std::size_t k = dp.sites_at; k < rec.sites.size(); ++k) {
+      out.sites.push_back(rec.sites[k]);
+      out.choices.push_back(rec.choices[k]);
+      out.site_events.push_back(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(rec.site_events[k]) + delta));
+    }
+    return out;
   }
 
   void observe(Duration think, const GuidedSource& src,
@@ -504,6 +804,28 @@ class Worker {
   const ExploreConfig* ecfg_;
   std::uint32_t fingerprint_;
   std::atomic<int>* seed_slots_;
+  /// The explore-level donor table, read lock-free during batch
+  /// execution (frozen then; mutated only between batches).
+  const std::unordered_map<std::string, DonorPoint>* donors_;
+  /// Per-group sibling overlay: donor points of EARLIER children of the
+  /// group this worker is currently running, visible to later children
+  /// before the serial reduction publishes them to the global table. A
+  /// group always runs whole in one worker in canonical child order, so
+  /// the overlay — like the frozen global table — is jobs-invariant.
+  /// Entries index the group's growing leaves vector (which reallocates
+  /// as children are appended); group_leaves_ resolves them to stable
+  /// addresses at probe time.
+  struct SiblingDonor {
+    std::size_t leaf = 0;
+    std::uint64_t total_events = 0;
+    std::size_t sites_at = 0;
+    std::uint64_t event = 0;
+  };
+  std::unordered_map<std::string, SiblingDonor> group_donors_;
+  const std::vector<LeafOutcome>* group_leaves_ = nullptr;
+  /// DPOR conflict recorder, wrapped around ecfg.oracle; cleared before
+  /// and harvested after each fresh leaf.
+  dpor::ClassifyingOracle classifier_;
   ChoiceSource* src_ = nullptr;
   std::optional<core::RoundContext> ctx_{std::in_place};
 };
@@ -518,12 +840,13 @@ class WorkerPool {
  public:
   WorkerPool(const core::ScenarioConfig& base, const ExploreConfig& ecfg,
              std::uint32_t fingerprint, std::atomic<int>* seed_slots,
+             const std::unordered_map<std::string, DonorPoint>* donors,
              int jobs) {
     TOCTTOU_CHECK(jobs >= 1, "worker pool needs at least one worker");
     workers_.reserve(static_cast<std::size_t>(jobs));
     for (int w = 0; w < jobs; ++w) {
-      workers_.push_back(
-          std::make_unique<Worker>(base, ecfg, fingerprint, seed_slots));
+      workers_.push_back(std::make_unique<Worker>(base, ecfg, fingerprint,
+                                                  seed_slots, donors));
     }
   }
 
@@ -583,8 +906,13 @@ class WorkerPool {
 /// Executed leaves per parallel batch. Waves can reach the schedule cap
 /// in size; batching bounds how many LeafOutcomes (with their site
 /// records) are alive at once without touching the canonical reduction
-/// order.
-constexpr int kWaveBatch = 2048;
+/// order. The donor table is frozen while a batch executes and refilled
+/// during the serial reduction between batches, so the constant also
+/// sets how quickly state-hash donations become visible to siblings:
+/// small enough that most leaves see their level-mates' states, large
+/// enough to keep every worker busy. Results are identical for any
+/// fixed value — only throughput and the merge rate move.
+constexpr int kWaveBatch = 4;
 
 /// Canonical journal key of PCT schedule i: "P" + 4 index bytes. Never
 /// collides with an exhaustive key (those are 4 bucket bytes plus a
@@ -723,6 +1051,15 @@ struct Iteration {
   std::uint64_t checkpoints = 0;
   std::uint64_t forks = 0;
   std::uint64_t prefix_ns_saved = 0;
+  // State-hash accounting: leaves synthesized from a donor match vs
+  // fresh completed executions (DESIGN.md §10).
+  std::uint64_t hash_merges = 0;
+  std::uint64_t leaves_executed = 0;
+  // DPOR accounting: enumerated alternatives whose processes truly
+  // conflict with the pick, and merges whose divergence the
+  // journal-derived relation classified independent.
+  std::uint64_t backtrack_points = 0;
+  std::uint64_t dpor_pruned = 0;
   // Fault containment: schedules whose execution threw twice, with a
   // capped token list in canonical order (resilience.h).
   int quarantined = 0;
@@ -787,10 +1124,15 @@ void run_iteration(const core::ScenarioConfig& base,
   // ParentGroup of the next wave. `key` is the leaf's canonical id
   // (empty in replay mode); `seed` is its retained checkpoint, if the
   // executing worker minted one.
+  // `side` is the executing worker's side data (null for memoized /
+  // resumed leaves, which were accounted when first executed);
+  // `parent_opt` is the option the parent chose at this leaf's
+  // divergence site (-1 for wave-0 leaves, which have no parent).
   const auto reduce_leaf = [&](int level, int bucket,
                                std::size_t prefix_len, LeafOutcome& o,
                                const std::string& key,
-                               std::unique_ptr<Seed> seed) {
+                               std::unique_ptr<Seed> seed, LeafSide* side,
+                               int parent_opt) {
     const ThinkBucket& bkt = buckets[static_cast<std::size_t>(bucket)];
     ++it->schedules;
     if (o.error != ErrorKind::none) {
@@ -812,6 +1154,41 @@ void run_iteration(const core::ScenarioConfig& base,
     if (!o.prefix_ok) {
       ++it->divergence_errors;
       return;
+    }
+    if (side != nullptr) {
+      if (side->merged) {
+        ++it->hash_merges;
+        // dpor_pruned: the divergence site is the leaf's last forced
+        // choice (prefix_len - 1); row[parent_opt] == 0 means the
+        // journal-derived relation classified this leaf's alternative
+        // independent of the parent's pick — a redundant interleaving a
+        // DPOR sleep set would never have enumerated, which the state
+        // hash just proved redundant by merging it.
+        const std::size_t j = prefix_len - 1;
+        if (parent_opt >= 0 && prefix_len >= 1 && j >= side->first_site &&
+            j - side->first_site < side->conflicts.size()) {
+          const auto& row = side->conflicts[j - side->first_site];
+          if (static_cast<std::size_t>(parent_opt) < row.size() &&
+              row[static_cast<std::size_t>(parent_opt)] == 0) {
+            ++it->dpor_pruned;
+          }
+        }
+      } else {
+        ++it->leaves_executed;
+        // Donate this fresh leaf's recorded points. The outcome is
+        // interned (stable address) whenever stepped leaves run, and
+        // insertion order is the canonical reduction order, so the
+        // table — and every merge decision read from it — is
+        // jobs-invariant. First insertion wins; the cap bounds memory.
+        if (memo_on) {
+          for (const LeafSide::Point& pt : side->points) {
+            if (state->donors.size() >= kDonorCap) break;
+            state->donors.emplace(
+                donor_key(bucket, pt.digest),
+                DonorPoint{&o, side->total_events, pt.sites_at, pt.event});
+          }
+        }
+      }
     }
     if (level == 0) {
       ++it->policy_schedules;
@@ -855,6 +1232,23 @@ void run_iteration(const core::ScenarioConfig& base,
       const SiteRecord& site = o.sites[j];
       for (int opt = 0; opt < static_cast<int>(site.choice.n); ++opt) {
         if (opt == static_cast<int>(site.choice.chosen)) continue;
+        // backtrack_points: alternatives whose process truly conflicts
+        // with the pick per the journal-derived relation — the
+        // backtracks a DPOR enumerator must schedule. Counted when the
+        // leaf executes fresh (before the bound cutoff: deepening
+        // executes each leaf at the shallowest iteration, where its
+        // expansion is still bound-cut), so the count is jobs-invariant
+        // and scoped to fresh executions. A merged leaf's donor tail
+        // carries no conflict rows; the range guard skips those sites.
+        if (ecfg.dpor && side != nullptr && !side->merged &&
+            j >= side->first_site &&
+            j - side->first_site < side->conflicts.size()) {
+          const auto& row = side->conflicts[j - side->first_site];
+          if (static_cast<std::size_t>(opt) < row.size() &&
+              row[static_cast<std::size_t>(opt)] != 0) {
+            ++it->backtrack_points;
+          }
+        }
         if (level + 1 > bound) {
           ++it->cutoffs;
           continue;
@@ -939,12 +1333,18 @@ void run_iteration(const core::ScenarioConfig& base,
         todo.push_back(i);
       }
       out.assign(todo.size(), {});
+      std::vector<LeafSide> sides(todo.size());
       pool->run(static_cast<int>(todo.size()), [&](Worker& w, int t) {
         const int i = todo[static_cast<std::size_t>(t)];
         const Duration think =
             buckets[static_cast<std::size_t>(begin + i)].think;
-        out[static_cast<std::size_t>(t)] =
-            w.run_contained(think, {}, ecfg.oracle, /*stepped=*/ckpt);
+        // Wave-0 leaves donate state digests but never probe the table
+        // (allow_merge off): the per-bucket policy schedules are the
+        // baseline every child diverges from.
+        out[static_cast<std::size_t>(t)] = w.run_contained(
+            think, {}, ecfg.oracle, /*stepped=*/ckpt,
+            &sides[static_cast<std::size_t>(t)], begin + i,
+            /*allow_merge=*/false);
       });
       std::size_t t = 0;
       for (int i = 0; i < count; ++i) {
@@ -952,15 +1352,17 @@ void run_iteration(const core::ScenarioConfig& base,
         if (t < todo.size() && todo[t] == i) {
           LeafOutcome& o = memo_on ? *intern(key, std::move(out[t]))
                                    : out[t];
+          LeafSide& side = sides[t];
           ++t;
           if (journal != nullptr) fresh.emplace_back(key, &o);
-          reduce_leaf(0, begin + i, 0, o, key, nullptr);
+          reduce_leaf(0, begin + i, 0, o, key, nullptr, &side, -1);
         } else {
           // Skipped only when the memo is live and already holds this
           // bucket's policy outcome (an earlier iteration ran it, or a
           // resumed journal loaded it).
           ++state->cache_hits;
-          reduce_leaf(0, begin + i, 0, *state->memo.at(key), key, nullptr);
+          reduce_leaf(0, begin + i, 0, *state->memo.at(key), key, nullptr,
+                      nullptr, -1);
         }
       }
       if (journal != nullptr) {
@@ -1057,16 +1459,19 @@ void run_iteration(const core::ScenarioConfig& base,
           if (!c.run) {
             ++state->cache_hits;
             reduce_leaf(level, g.bucket, c.site + 1,
-                        *state->memo.at(ckey), ckey, nullptr);
+                        *state->memo.at(ckey), ckey, nullptr, nullptr, -1);
           } else {
             std::unique_ptr<Seed> seed = std::move(go.seeds[e]);
             LeafOutcome& o = memo_on
                                  ? *intern(ckey, std::move(go.leaves[e]))
                                  : go.leaves[e];
+            LeafSide* side =
+                e < go.sides.size() ? &go.sides[e] : nullptr;
             ++e;
             if (journal != nullptr) fresh.emplace_back(ckey, &o);
             reduce_leaf(level, g.bucket, c.site + 1, o, ckey,
-                        std::move(seed));
+                        std::move(seed), side,
+                        static_cast<int>(g.choices()[c.site].chosen));
           }
         }
       }
@@ -1115,7 +1520,8 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
                  : static_cast<int>(std::thread::hardware_concurrency());
   jobs = std::max(jobs, 1);
   ExploreState state(std::max(ecfg.seed_budget, 0));
-  WorkerPool pool(base, ecfg, fingerprint, &state.seed_slots, jobs);
+  WorkerPool pool(base, ecfg, fingerprint, &state.seed_slots,
+                  &state.donors, jobs);
 
   // Durable progress: open (or resume) the sweep journal before any
   // round runs. The header pins everything that shapes the schedule
@@ -1196,6 +1602,10 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
   std::uint64_t forks = 0;
   std::uint64_t prefix_ns_saved = 0;
   std::uint64_t degraded = 0;
+  std::uint64_t hash_merges = 0;
+  std::uint64_t leaves_executed = 0;
+  std::uint64_t backtrack_points = 0;
+  std::uint64_t dpor_pruned = 0;
   for (int c = 0;; ++c) {
     Iteration it;
     run_iteration(base, buckets, ecfg, c, fingerprint, &pool, memo_on,
@@ -1204,6 +1614,10 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
     forks += it.forks;
     prefix_ns_saved += it.prefix_ns_saved;
     degraded += it.degraded;
+    hash_merges += it.hash_merges;
+    leaves_executed += it.leaves_executed;
+    backtrack_points += it.backtrack_points;
+    dpor_pruned += it.dpor_pruned;
     res.rounds_executed += it.schedules;
     res.schedules = it.schedules;
     res.policy_schedules = it.policy_schedules;
@@ -1264,6 +1678,19 @@ ExploreResult explore(const core::ScenarioConfig& cfg,
     res.metrics.count("explore.prefix_ns_saved", prefix_ns_saved);
     res.metrics.count("explore.cache_hits", state.cache_hits);
     res.metrics.count("explore.degraded_groups", degraded);
+  }
+  // State-hash and DPOR accounting: deterministic (jobs-invariant),
+  // scoped to fresh executions, and emitted only when the feature is on
+  // so the off-mode metrics stay byte-identical to a build without it.
+  // With checkpointing off no leaf is stepped, so the state-hash
+  // counters honestly report zero merges there.
+  if (ecfg.state_hash) {
+    res.metrics.count("explore.hash_merges", hash_merges);
+    res.metrics.count("explore.leaves_executed", leaves_executed);
+  }
+  if (ecfg.dpor) {
+    res.metrics.count("explore.backtrack_points", backtrack_points);
+    res.metrics.count("explore.dpor_pruned", dpor_pruned);
   }
   return res;
 }

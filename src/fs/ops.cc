@@ -39,6 +39,20 @@ Creds creds_of(const ServiceContext& ctx) {
   return Creds{ctx.proc.uid(), ctx.proc.gid()};
 }
 
+void hash_stat(tocttou::StateHasher& h, const StatBuf& s) {
+  h.u64(s.ino);
+  h.u32(static_cast<std::uint32_t>(s.type));
+  h.u64(s.uid);
+  h.u64(s.gid);
+  h.u64(s.mode);
+  h.u64(s.size_bytes);
+}
+
+void hash_sem_ptr(tocttou::StateHasher& h, const sim::Semaphore* s) {
+  h.boolean(s != nullptr);
+  if (s != nullptr) h.str(s->name());
+}
+
 /// Path resolution driver shared by all ops.
 ///
 /// Policy `hold`: the final directory's semaphore is acquired and LEFT
@@ -68,6 +82,23 @@ class Walker {
 
   /// Returns the next step to execute, or nullopt when resolution is done.
   std::optional<Step> advance(ServiceContext& ctx);
+
+  /// Canonical state digest (DESIGN.md §10): mirrors the rebind ctor's
+  /// field list. The held Semaphore* is hashed by name (stable identity).
+  void hash_state(tocttou::StateHasher& h) const {
+    h.str(path_);
+    h.u32(static_cast<std::uint32_t>(policy_));
+    h.u32(static_cast<std::uint32_t>(follow_));
+    h.u32(static_cast<std::uint32_t>(st_));
+    h.i64(depth_);
+    h.u32(static_cast<std::uint32_t>(err_));
+    h.u64(parent_);
+    h.str(final_name_);
+    h.u64(target_);
+    hash_stat(h, snapshot_);
+    hash_sem_ptr(h, held_);
+    h.boolean(slow_path_);
+  }
 
   Errno error() const { return err_; }  // prefix/symlink errors; ok otherwise
   Ino parent() const { return parent_; }
@@ -246,6 +277,20 @@ class FsOp : public ServiceOp {
     return Step::done(e);
   }
 
+  /// Shared digest prefix: op name (type discriminator) + path. Output
+  /// slots (err_out_ and friends) are hashed as values by the program
+  /// that owns them, never as pointers.
+  void hash_base(tocttou::StateHasher& h) const {
+    h.str(name());
+    h.str(path_);
+  }
+
+  static void hash_walker(tocttou::StateHasher& h,
+                          const std::optional<Walker>& w) {
+    h.boolean(w.has_value());
+    if (w) w->hash_state(h);
+  }
+
   Vfs& vfs_;
   std::string path_;
   Errno* err_out_;
@@ -301,6 +346,14 @@ class StatOp final : public FsOp {
     return std::unique_ptr<ServiceOp>(new StatOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    h.boolean(follow_);
+    hash_walker(h, walker_);
+    h.i64(phase_);
+    h.boolean(ok_);
+  }
+
  private:
   StatOp(const StatOp& o, sim::CloneMap& m)
       : FsOp(o, m), follow_(o.follow_), out_(m.remap(o.out_)),
@@ -346,6 +399,12 @@ class AccessOp final : public FsOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new AccessOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    hash_walker(h, walker_);
+    h.i64(phase_);
   }
 
  private:
@@ -441,6 +500,20 @@ class OpenOp final : public FsOp {
     return std::unique_ptr<ServiceOp>(new OpenOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    h.boolean(flags_.write);
+    h.boolean(flags_.create);
+    h.boolean(flags_.truncate);
+    h.boolean(flags_.excl);
+    h.u64(mode_);
+    hash_walker(h, walker_);
+    hash_sem_ptr(h, sem_);
+    h.u64(ino_);
+    h.i64(phase_);
+    h.u32(static_cast<std::uint32_t>(pending_err_));
+  }
+
  private:
   OpenOp(const OpenOp& o, sim::CloneMap& m)
       : FsOp(o, m), flags_(o.flags_), mode_(o.mode_), out_(m.remap(o.out_)),
@@ -493,6 +566,12 @@ class CloseOp final : public ServiceOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new CloseOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    h.str(name());
+    h.i64(fd_);
+    h.i64(phase_);
   }
 
  private:
@@ -558,6 +637,14 @@ class WriteOp final : public ServiceOp {
     return std::unique_ptr<ServiceOp>(new WriteOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    h.str(name());
+    h.i64(fd_);
+    h.u64(bytes_);
+    h.u64(ino_);
+    h.i64(phase_);
+  }
+
  private:
   WriteOp(const WriteOp& o, sim::CloneMap& m)
       : vfs_(*m.remap(&o.vfs_)), fd_(o.fd_), bytes_(o.bytes_),
@@ -601,6 +688,13 @@ class ReadOp final : public ServiceOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new ReadOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    h.str(name());
+    h.i64(fd_);
+    h.u64(bytes_);
+    h.i64(phase_);
   }
 
  private:
@@ -689,6 +783,17 @@ class RenameOp final : public FsOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new RenameOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    h.str(newpath_);
+    h.str(new_final_);
+    hash_walker(h, walker_);
+    hash_sem_ptr(h, sem_);
+    h.u64(applied_);
+    h.u32(static_cast<std::uint32_t>(pending_err_));
+    h.i64(phase_);
   }
 
  private:
@@ -786,6 +891,16 @@ class UnlinkOp final : public FsOp {
     return std::unique_ptr<ServiceOp>(new UnlinkOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    hash_walker(h, walker_);
+    hash_sem_ptr(h, dir_sem_);
+    h.u64(ino_);
+    h.u32(static_cast<std::uint32_t>(pending_err_));
+    h.boolean(truncating_);
+    h.i64(phase_);
+  }
+
  private:
   UnlinkOp(const UnlinkOp& o, sim::CloneMap& m)
       : FsOp(o, m), dir_sem_(m.remap(o.dir_sem_)), ino_(o.ino_),
@@ -859,6 +974,16 @@ class SymlinkOp final : public FsOp {
     return std::unique_ptr<ServiceOp>(new SymlinkOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    h.str(target_);
+    hash_walker(h, walker_);
+    hash_sem_ptr(h, sem_);
+    h.u64(applied_);
+    h.u32(static_cast<std::uint32_t>(pending_err_));
+    h.i64(phase_);
+  }
+
  private:
   SymlinkOp(const SymlinkOp& o, sim::CloneMap& m)
       : FsOp(o, m), target_(o.target_), sem_(m.remap(o.sem_)),
@@ -923,6 +1048,15 @@ class MkdirOp final : public FsOp {
     return std::unique_ptr<ServiceOp>(new MkdirOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    h.u64(mode_);
+    hash_walker(h, walker_);
+    hash_sem_ptr(h, sem_);
+    h.u32(static_cast<std::uint32_t>(pending_err_));
+    h.i64(phase_);
+  }
+
  private:
   MkdirOp(const MkdirOp& o, sim::CloneMap& m)
       : FsOp(o, m), mode_(o.mode_), sem_(m.remap(o.sem_)),
@@ -975,6 +1109,12 @@ class ReadlinkOp final : public FsOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new ReadlinkOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    hash_walker(h, walker_);
+    h.i64(phase_);
   }
 
  private:
@@ -1051,6 +1191,17 @@ class LinkOp final : public FsOp {
     return std::unique_ptr<ServiceOp>(new LinkOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_base(h);
+    h.str(newpath_);
+    hash_walker(h, walker_);
+    hash_walker(h, new_walker_);
+    hash_sem_ptr(h, sem_);
+    h.u64(target_ino_);
+    h.u32(static_cast<std::uint32_t>(pending_err_));
+    h.i64(phase_);
+  }
+
  private:
   LinkOp(const LinkOp& o, sim::CloneMap& m)
       : FsOp(o, m), newpath_(o.newpath_), sem_(m.remap(o.sem_)),
@@ -1105,6 +1256,13 @@ class FstatOp final : public ServiceOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new FstatOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    h.str(name());
+    h.i64(fd_);
+    h.u64(ino_);
+    h.i64(phase_);
   }
 
  private:
@@ -1170,6 +1328,13 @@ class FSetAttrOp : public ServiceOp {
       : vfs_(*m.remap(&o.vfs_)), fd_(o.fd_),
         err_out_(m.remap(o.err_out_)), ino_(o.ino_), phase_(o.phase_) {}
 
+  void hash_fsetattr(tocttou::StateHasher& h) const {
+    h.str(name());
+    h.i64(fd_);
+    h.u64(ino_);
+    h.i64(phase_);
+  }
+
   virtual bool permitted(const Inode& target, const Creds& c) const = 0;
   virtual Duration work_cost() const = 0;
   virtual void apply(Inode& target) = 0;
@@ -1199,6 +1364,11 @@ class FchmodOp final : public FSetAttrOp {
     return std::unique_ptr<ServiceOp>(new FchmodOp(*this, m));
   }
 
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_fsetattr(h);
+    h.u64(mode_);
+  }
+
  protected:
   bool permitted(const Inode& t, const Creds& c) const override {
     return c.is_root() || t.uid() == c.uid;
@@ -1222,6 +1392,12 @@ class FchownOp final : public FSetAttrOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new FchownOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_fsetattr(h);
+    h.u64(uid_);
+    h.u64(gid_);
   }
 
  protected:
@@ -1301,6 +1477,13 @@ class SetAttrOp : public FsOp {
     if (o.walker_) walker_.emplace(*o.walker_, m);
   }
 
+  void hash_setattr(tocttou::StateHasher& h) const {
+    hash_base(h);
+    hash_walker(h, walker_);
+    h.u64(ino_);
+    h.i64(phase_);
+  }
+
   virtual bool permitted(const Inode& target, const Creds& c) const = 0;
   virtual Duration work_cost() const = 0;
   virtual void apply(Inode& target) = 0;
@@ -1320,6 +1503,11 @@ class ChmodOp final : public SetAttrOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new ChmodOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_setattr(h);
+    h.u64(mode_);
   }
 
  protected:
@@ -1346,6 +1534,12 @@ class ChownOp final : public SetAttrOp {
 
   std::unique_ptr<ServiceOp> clone(sim::CloneMap& m) const override {
     return std::unique_ptr<ServiceOp>(new ChownOp(*this, m));
+  }
+
+  void hash_state(tocttou::StateHasher& h) const override {
+    hash_setattr(h);
+    h.u64(uid_);
+    h.u64(gid_);
   }
 
  protected:

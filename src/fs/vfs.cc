@@ -340,6 +340,30 @@ std::size_t Vfs::open_fd_count(sim::Pid pid) const {
   return t == fd_tables_.end() ? 0 : t->second.size();
 }
 
+void Vfs::hash_state(StateHasher& h) const {
+  h.u64(next_ino_);
+  h.u64(root_);
+  h.u64(inodes_.size());
+  for (const auto& [ino, node] : inodes_) node->hash_state(h);
+  // fd tables: the domain (which pids have tables, which fds are open,
+  // what they point at) is sim state. Two trees that are equal but whose
+  // open-fd tables differ MUST hash differently — a later write/fchown
+  // through the surviving fd diverges.
+  h.u64(fd_tables_.size());
+  for (const auto& [pid, table] : fd_tables_) {
+    h.u64(pid);
+    h.u64(table.size());
+    for (const auto& [fd, of] : table) {
+      h.i64(fd);
+      h.u64(of.ino);
+      h.boolean(of.flags.write);
+      h.boolean(of.flags.create);
+      h.boolean(of.flags.truncate);
+      h.boolean(of.flags.excl);
+    }
+  }
+}
+
 std::vector<std::string> Vfs::audit() const {
   std::vector<std::string> violations;
   const auto report = [&violations](std::string msg) {

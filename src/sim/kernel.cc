@@ -41,6 +41,14 @@ class BackgroundDaemon : public Program {
     return std::unique_ptr<Program>(raw);
   }
 
+  void hash_state(StateHasher& h) const override {
+    h.str("bg_daemon");
+    h.dur(cfg_.mean_interval);
+    h.dur(cfg_.burst_mean);
+    h.dur(cfg_.burst_stdev);
+    h.boolean(sleeping_next_);
+  }
+
  private:
   BackgroundLoad cfg_;
   bool sleeping_next_ = true;
@@ -183,19 +191,60 @@ Pid Kernel::spawn(std::unique_ptr<Program> program, SpawnOptions opts) {
   // Event callbacks capture stable ids only and receive the owning
   // kernel via run_next(this): pending events stay valid across a deep
   // clone of the kernel (the clone replays them against itself).
-  queue_.schedule_at(now(), [pid = p.pid_](void* ctx) {
-    auto* k = static_cast<Kernel*>(ctx);
-    Process& q = k->process(pid);
-    if (q.state_ == ProcState::ready && q.cpu_ == kNoCpu) {
-      k->make_ready(q, /*just_woken=*/false);
-    }
-  });
+  queue_.schedule_at(
+      now(),
+      [pid = p.pid_](void* ctx) {
+        auto* k = static_cast<Kernel*>(ctx);
+        Process& q = k->process(pid);
+        if (q.state_ == ProcState::ready && q.cpu_ == kNoCpu) {
+          k->make_ready(q, /*just_woken=*/false);
+        }
+      },
+      EventTag{1, static_cast<std::int64_t>(p.pid_), 0});
   return p.pid_;
 }
 
 Process& Kernel::process(Pid pid) {
   TOCTTOU_CHECK(pid >= 1 && pid <= procs_.size(), "unknown pid");
   return *procs_[pid - 1];
+}
+
+void Kernel::hash_state(StateHasher& h) const {
+  if (faults_ != nullptr) h.mark_unhashable();
+  // Canonicalize pending events against current process state: a
+  // segment-end event (kind 7) is live only while its generation
+  // matches the process's seg_gen_ and the process is still running —
+  // otherwise on_segment_end drops it on delivery, so the entry is a
+  // timestamped no-op and must not distinguish states. The generation
+  // counter's absolute value is scheduling history (it drifts when one
+  // schedule splits a segment another didn't), so live entries hash as
+  // (kind, pid) with validity implied rather than the raw counter.
+  queue_.hash_state(h, [this](StateHasher& hh, const sim::EventTag& tag) {
+    if (tag.kind == 7) {
+      const auto& p = *procs_[static_cast<std::size_t>(tag.a) - 1];
+      if (p.state_ != ProcState::running ||
+          static_cast<std::uint64_t>(tag.b) != p.seg_gen_) {
+        return false;
+      }
+      hh.u32(tag.kind);
+      hh.i64(tag.a);
+      return true;
+    }
+    hh.u32(tag.kind);
+    hh.i64(tag.a);
+    hh.i64(tag.b);
+    return true;
+  });
+  rng_.hash_state(h);
+  h.u64(procs_.size());
+  for (const auto& p : procs_) p->hash_state(h);
+  h.u64(cpus_.size());
+  // busy_since is accounting only (written at dispatch, read by
+  // nothing); like Process::cpu_time_ it would pin transient history
+  // into the digest forever, so it is excluded.
+  for (const CpuState& c : cpus_) h.u64(c.running);
+  h.boolean(background_started_);
+  sched_->hash_state(h);
 }
 
 const Process& Kernel::process(Pid pid) const {
@@ -460,6 +509,14 @@ void Kernel::start_next_action(Process& p) {
       }
       case Action::Kind::service: {
         p.op_ = std::move(a.op);
+        // Harvest the op's declared pathnames for the in-flight conflict
+        // relation (explore/dpor.h): fill_record only writes fields it
+        // has resolved, and at entry that is exactly the paths the op
+        // was constructed with.
+        trace::SyscallRecord probe;
+        p.op_->fill_record(probe);
+        p.op_path_ = std::move(probe.path);
+        p.op_path2_ = std::move(probe.path2);
         const int page = p.op_->libc_page();
         if (page != ServiceOp::kNoLibcPage &&
             !p.mapped_libc_pages_.contains(page)) {
@@ -477,9 +534,12 @@ void Kernel::start_next_action(Process& p) {
         p.state_ = ProcState::sleeping;
         p.block_start_ = now();
         const Pid pid = p.pid_;
-        queue_.schedule_at(now() + a.dur, [pid](void* k) {
-          static_cast<Kernel*>(k)->wake(pid, /*from_io=*/false);
-        });
+        queue_.schedule_at(
+            now() + a.dur,
+            [pid](void* k) {
+              static_cast<Kernel*>(k)->wake(pid, /*from_io=*/false);
+            },
+            EventTag{2, static_cast<std::int64_t>(pid), 0});
         free_cpu(p);
         return;
       }
@@ -506,9 +566,12 @@ void Kernel::start_next_action(Process& p) {
           // perform no events before their wakeup runs, so logging the
           // wake here keeps the append order causal.
           if (sync_ != nullptr) sync_->flag_wake(w, a.flag->name());
-          queue_.schedule_at(now() + spec_.wakeup_latency, [w](void* k) {
-            static_cast<Kernel*>(k)->wake(w, /*from_io=*/false);
-          });
+          queue_.schedule_at(
+              now() + spec_.wakeup_latency,
+              [w](void* k) {
+                static_cast<Kernel*>(k)->wake(w, /*from_io=*/false);
+              },
+              EventTag{3, static_cast<std::int64_t>(w), 0});
         }
         a.flag->waiters_.clear();
         continue;
@@ -561,9 +624,12 @@ void Kernel::advance_service(Process& p) {
         p.block_start_ = now();
         p.block_label_ = std::string(p.op_->name());
         const Pid pid = p.pid_;
-        queue_.schedule_at(now() + step.dur, [pid](void* k) {
-          static_cast<Kernel*>(k)->wake(pid, /*from_io=*/true);
-        });
+        queue_.schedule_at(
+            now() + step.dur,
+            [pid](void* k) {
+              static_cast<Kernel*>(k)->wake(pid, /*from_io=*/true);
+            },
+            EventTag{4, static_cast<std::int64_t>(pid), 0});
         free_cpu(p);
         return;
       }
@@ -616,6 +682,8 @@ void Kernel::complete_service(Process& p, Errno result) {
   }
   if (sync_ != nullptr) sync_->sc_exit(p.pid_);
   p.op_.reset();
+  p.op_path_.clear();
+  p.op_path2_.clear();
 }
 
 void Kernel::block_on_sem(Process& p, Semaphore& sem) {
@@ -648,9 +716,12 @@ void Kernel::release_sem(Process& p, Semaphore& sem) {
   // The handoff is the happens-before edge: next owns the semaphore
   // from this instant, so its acquire is ordered here, not at wakeup.
   if (sync_ != nullptr) sync_->sem_acquire(next, sem.name_);
-  queue_.schedule_at(now() + spec_.wakeup_latency, [next](void* k) {
-    static_cast<Kernel*>(k)->wake(next, /*from_io=*/false);
-  });
+  queue_.schedule_at(
+      now() + spec_.wakeup_latency,
+      [next](void* k) {
+        static_cast<Kernel*>(k)->wake(next, /*from_io=*/false);
+      },
+      EventTag{5, static_cast<std::int64_t>(next), 0});
 }
 
 void Kernel::wake(Pid pid, bool from_io, bool faultable) {
@@ -667,9 +738,12 @@ void Kernel::wake(Pid pid, bool from_io, bool faultable) {
       case FaultInjector::WakeFault::delay:
         // Redeliver later; faultable=false so the late wake cannot be
         // re-faulted into an unbounded delay chain.
-        queue_.schedule_at(now() + delay, [pid, from_io](void* k) {
-          static_cast<Kernel*>(k)->wake(pid, from_io, /*faultable=*/false);
-        });
+        queue_.schedule_at(
+            now() + delay,
+            [pid, from_io](void* k) {
+              static_cast<Kernel*>(k)->wake(pid, from_io, /*faultable=*/false);
+            },
+            EventTag{6, static_cast<std::int64_t>(pid), from_io ? 1 : 0});
         return;
       case FaultInjector::WakeFault::none:
         break;
@@ -753,9 +827,13 @@ void Kernel::begin_segment(Process& p, Process::SegKind kind,
   if (kind != Process::SegKind::user_compute) p.block_label_ = label;
   const std::uint64_t gen = ++p.seg_gen_;
   const Pid pid = p.pid_;
-  queue_.schedule_at(now() + effective, [pid, gen](void* k) {
-    static_cast<Kernel*>(k)->on_segment_end(pid, gen);
-  });
+  queue_.schedule_at(
+      now() + effective,
+      [pid, gen](void* k) {
+        static_cast<Kernel*>(k)->on_segment_end(pid, gen);
+      },
+      EventTag{7, static_cast<std::int64_t>(pid),
+               static_cast<std::int64_t>(gen)});
 }
 
 void Kernel::on_segment_end(Pid pid, std::uint64_t gen) {

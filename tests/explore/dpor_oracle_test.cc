@@ -1,0 +1,202 @@
+// The journal-derived conflict relation (explore/dpor.h) must agree
+// with the detector's truth tables (detect/classify.h) on every op the
+// known-vulnerable pair shapes use — the enumerator and the detector
+// sharing one taxonomy is the whole point of deriving conflicts from
+// the journal instead of guessing. Plus the regression that motivated
+// the relation: the baseline IndependenceOracle blanket-declares kernel
+// threads independent of EVERYTHING, which is wrong the moment a kernel
+// thread touches the VFS; the ConflictOracle classifies from the
+// in-flight operations and catches it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tocttou/core/pairs.h"
+#include "tocttou/detect/classify.h"
+#include "tocttou/explore/choice_source.h"
+#include "tocttou/explore/dpor.h"
+#include "tocttou/fs/vfs.h"
+#include "tocttou/sched/linux_sched.h"
+#include "tocttou/sim/kernel.h"
+#include "tocttou/trace/journal.h"
+
+#include "../testing/programs.h"
+
+namespace tocttou::explore::dpor {
+namespace {
+
+trace::SyscallRecord rec_of(std::string_view name, std::string_view path,
+                            std::string_view path2) {
+  trace::SyscallRecord r;
+  r.name = std::string(name);
+  r.path = std::string(path);
+  r.path2 = std::string(path2);
+  r.result = Errno::ok;
+  return r;
+}
+
+std::multiset<std::string> names_of(
+    void (*table)(const trace::SyscallRecord&,
+                  std::vector<std::string_view>*),
+    const trace::SyscallRecord& r) {
+  std::vector<std::string_view> views;
+  table(r, &views);
+  std::multiset<std::string> out;
+  for (std::string_view v : views) out.emplace(v);
+  return out;
+}
+
+TEST(DporOracleTest, FootprintsMatchDetectorTruthTables) {
+  // Every op named by the known pair shapes — checks and uses both —
+  // must footprint as reads = acted ∪ established, writes = mutated,
+  // verbatim from detect/classify.h.
+  std::set<std::string> ops;
+  for (const core::PairShape& shape : core::known_pair_shapes()) {
+    ops.insert(shape.check);
+    ops.insert(shape.use);
+  }
+  ASSERT_FALSE(ops.empty());
+  for (const std::string& op : ops) {
+    SCOPED_TRACE(op);
+    const trace::SyscallRecord r =
+        rec_of(op, "/home/alice/report.txt",
+               op == "rename" || op == "link" ? "/home/alice/report.bak"
+                                              : "");
+    std::multiset<std::string> want_reads =
+        names_of(detect::acted_names, r);
+    for (const std::string& n : names_of(detect::established_names, r)) {
+      want_reads.insert(n);
+    }
+    const std::multiset<std::string> want_writes =
+        names_of(detect::mutated_names, r);
+
+    const OpFootprint fp = op_footprint(r.name, r.path, r.path2);
+    EXPECT_EQ(std::multiset<std::string>(fp.reads.begin(), fp.reads.end()),
+              want_reads);
+    EXPECT_EQ(
+        std::multiset<std::string>(fp.writes.begin(), fp.writes.end()),
+        want_writes);
+  }
+}
+
+TEST(DporOracleTest, EveryKnownPairShapeConflicts) {
+  // Each shape is a documented TOCTTOU race: its check and its use on
+  // the same pathname must be classified dependent, in both orders.
+  for (const core::PairShape& shape : core::known_pair_shapes()) {
+    SCOPED_TRACE(shape.check + "/" + shape.use + ": " + shape.description);
+    const char* path = "/home/alice/report.txt";
+    const char* path2 = shape.use == "rename" ? "/etc/passwd" : "";
+    // The check observes the name; a mutating use (or an attacker's
+    // mutator standing in for it) invalidates that observation.
+    EXPECT_TRUE(ops_conflict("unlink", path, "", shape.check, path, ""));
+    EXPECT_TRUE(ops_conflict(shape.check, path, "", "unlink", path, ""));
+    // When the use itself mutates the checked name, check-vs-use is
+    // already a conflict without a third party.
+    const trace::SyscallRecord use_rec = rec_of(shape.use, path, path2);
+    if (!names_of(detect::mutated_names, use_rec).empty()) {
+      EXPECT_TRUE(
+          ops_conflict(shape.check, path, "", shape.use, path, path2));
+    }
+  }
+}
+
+TEST(DporOracleTest, LinkAndSymlinkSecondaryPathEdgeCases) {
+  // link(oldpath, newpath): the CREATED name is newpath — a process
+  // waiting to stat newpath conflicts with the link, and one statting
+  // oldpath only reads what link reads (no write-write on oldpath).
+  EXPECT_TRUE(ops_conflict("link", "/a/x", "/b/y", "stat", "/b/y", ""));
+  const OpFootprint link_fp = op_footprint("link", "/a/x", "/b/y");
+  EXPECT_TRUE(std::find(link_fp.writes.begin(), link_fp.writes.end(),
+                        "/b/y") != link_fp.writes.end());
+  EXPECT_FALSE(std::find(link_fp.writes.begin(), link_fp.writes.end(),
+                         "/a/x") != link_fp.writes.end());
+
+  // symlink(target, linkpath) journals the LINK name as the primary
+  // path; the target string (path2 in the record) is data, not a name
+  // binding the call touches — no conflict against a process using the
+  // target's pathname.
+  const OpFootprint sym_fp = op_footprint("symlink", "/tmp/lure", "/victim");
+  EXPECT_TRUE(std::find(sym_fp.writes.begin(), sym_fp.writes.end(),
+                        "/tmp/lure") != sym_fp.writes.end());
+  EXPECT_TRUE(std::find(sym_fp.writes.begin(), sym_fp.writes.end(),
+                        "/victim") == sym_fp.writes.end());
+  EXPECT_TRUE(std::find(sym_fp.reads.begin(), sym_fp.reads.end(),
+                        "/victim") == sym_fp.reads.end());
+
+  // Ops with no pathname (pure compute, fd-only calls) conflict with
+  // nothing — including themselves.
+  EXPECT_FALSE(ops_conflict("", "", "", "unlink", "/a", ""));
+  EXPECT_FALSE(ops_conflict("write", "", "", "write", "", ""));
+}
+
+TEST(DporOracleTest, BaselineOracleMisclassifiesMutatingKernelThread) {
+  // Two processes mid-syscall on the SAME pathname: a kernel thread
+  // unlinking /home/alice/f.txt and a user process statting it. The
+  // baseline oracle waves the pair through as independent purely
+  // because one is a kernel thread; the ConflictOracle reads the
+  // in-flight operations and refuses.
+  fs::Vfs vfs(fs::SyscallCosts::xeon());
+  vfs.mkdir_p("/home/alice", 500, 500, 0755);
+  vfs.create_file("/home/alice/f.txt", 500, 500, 0644, 4096);
+
+  sim::MachineSpec m;
+  m.n_cpus = 2;
+  m.context_switch_cost = Duration::zero();
+  m.wakeup_latency = Duration::zero();
+  m.noise = sim::NoiseModel::none();
+  m.background.enabled = false;
+  sim::Kernel k(m, std::make_unique<sched::LinuxLikeScheduler>(), 1);
+
+  fs::StatBuf st{};
+  Errno serr = Errno::ok, uerr = Errno::ok;
+  // The user process polls stat in a loop so one call is reliably in
+  // flight whenever the kernel thread's unlink is.
+  std::vector<sim::Action> stat_script;
+  for (int i = 0; i < 50; ++i) {
+    stat_script.push_back(
+        sim::Action::service(vfs.stat_op("/home/alice/f.txt", &st, &serr)));
+  }
+  std::vector<sim::Action> unlink_script;
+  unlink_script.push_back(
+      sim::Action::service(vfs.unlink_op("/home/alice/f.txt", &uerr)));
+
+  const sim::Pid user = k.spawn(
+      std::make_unique<tocttou::testing::ScriptProgram>(
+          std::move(stat_script)),
+      {.name = "user", .uid = 500, .gid = 500});
+  const sim::Pid kthread = k.spawn(
+      std::make_unique<tocttou::testing::ScriptProgram>(
+          std::move(unlink_script)),
+      {.name = "kthread", .kernel_thread = true});
+
+  // Step until both ops are in flight (each pid runs on its own CPU).
+  for (int i = 0; i < 1000; ++i) {
+    if (k.process(user).op() != nullptr &&
+        k.process(kthread).op() != nullptr) {
+      break;
+    }
+    ASSERT_TRUE(k.step());
+  }
+  ASSERT_NE(k.process(user).op(), nullptr);
+  ASSERT_NE(k.process(kthread).op(), nullptr);
+  EXPECT_EQ(k.process(user).op_path(), "/home/alice/f.txt");
+  EXPECT_EQ(k.process(kthread).op_path(), "/home/alice/f.txt");
+
+  const IndependenceOracle baseline;
+  const ConflictOracle conflict;
+  EXPECT_TRUE(
+      baseline.independent(k.process(user), k.process(kthread)))
+      << "baseline blanket rule (kept for enumeration compatibility)";
+  EXPECT_FALSE(
+      conflict.independent(k.process(user), k.process(kthread)))
+      << "journal-derived relation must flag the dependent pair";
+  EXPECT_TRUE(procs_conflict(k.process(user), k.process(kthread)));
+}
+
+}  // namespace
+}  // namespace tocttou::explore::dpor

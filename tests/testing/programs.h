@@ -55,6 +55,10 @@ class LivelockProgram final : public sim::Program {
     (void)m;
     return std::make_unique<LivelockProgram>();
   }
+
+  /// Stateless, so a type tag is the whole canonical digest — this is
+  /// what makes bystander-heavy sweeps merge well under state hashing.
+  void hash_state(StateHasher& h) const override { h.str("livelock"); }
 };
 
 /// A ServiceOp replaying a fixed step sequence (must end with done).

@@ -92,6 +92,20 @@ void on_stop_signal(int) { g_stop = 1; }
       "  --explore-seed-budget=N      live mid-round checkpoints retained\n"
       "                               at once (default 512; exhausted\n"
       "                               groups degrade to prefix replay)\n"
+      "  --explore-state-hash=on|off  merge schedules whose canonical\n"
+      "                               128-bit state digest was already\n"
+      "                               reached instead of re-executing the\n"
+      "                               tail (default on; needs checkpoints;\n"
+      "                               results are bit-identical either\n"
+      "                               way — only explore.hash_merges and\n"
+      "                               throughput move; bad value exits 1)\n"
+      "  --explore-dpor=on|off        classify each choice site against\n"
+      "                               the journal-derived conflict\n"
+      "                               relation and report the DPOR\n"
+      "                               counters explore.backtrack_points /\n"
+      "                               explore.dpor_pruned (default on;\n"
+      "                               results are bit-identical either\n"
+      "                               way; bad value exits 1)\n"
       "  --progress=FILE              journal completed batches to FILE\n"
       "                               so a killed sweep can resume\n"
       "  --resume=FILE                resume a sweep from FILE (missing\n"
@@ -308,6 +322,14 @@ int main(int argc, char** argv) {
       if (v == "on") ecfg.checkpoint = true;
       else if (v == "off") ecfg.checkpoint = false;
       else bad_value("--explore-checkpoint", v, "on or off");
+    } else if (take(argv[i], "--explore-state-hash", &v)) {
+      if (v == "on") ecfg.state_hash = true;
+      else if (v == "off") ecfg.state_hash = false;
+      else bad_value("--explore-state-hash", v, "on or off");
+    } else if (take(argv[i], "--explore-dpor", &v)) {
+      if (v == "on") ecfg.dpor = true;
+      else if (v == "off") ecfg.dpor = false;
+      else bad_value("--explore-dpor", v, "on or off");
     } else if (take(argv[i], "--explore-seed-budget", &v)) {
       ecfg.seed_budget = static_cast<int>(
           parse_int("--explore-seed-budget", v, 0, 100000000));
