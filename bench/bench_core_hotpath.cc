@@ -192,8 +192,8 @@ int main(int argc, char** argv) {
   std::string json = "{\n";
   json += "  \"bench\": \"core_hotpath\",\n";
   json +=
-      "  \"optimization\": \"event-queue inline-storage heap + "
-      "placement scratch vectors\",\n";
+      "  \"optimization\": \"event-queue inline-storage heap "
+      "(placement now always uses the scratch-vector path)\",\n";
   json += "  \"workloads\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& r = reports[i];

@@ -1,0 +1,37 @@
+// Benchmark shim: the pre-optimization data structures, on demand.
+//
+// The multi-tenant scale work replaced several structures on the
+// staging and path-walk hot paths: the std::map<Ino, ...> inode table
+// became a dense vector (O(1) inode() instead of an O(log n) red-black
+// walk per path component), directory lookups moved from the ordered
+// EntryMap to a hashed name index, semaphore wait lists dropped
+// std::deque (whose eagerly-allocated 512-byte chunk was a per-inode
+// heap hit), and Vfs::reset() started recycling inode allocations
+// through an arena instead of re-mallocing the world every round.
+// bench_scale_tenancy's before/after throughput comparison needs the
+// BEFORE costs reproducible on demand, so this flag routes those paths
+// through the old representations. Semantics are byte-identical either
+// way — the bench CHECKs that both legs simulate the exact same events
+// and outcomes before reporting a speedup.
+//
+// This is a process-global, benchmark-only knob: set it before
+// constructing (or reset()ing) a world, never while worlds are live,
+// and never from concurrent workers. Production and test code leave it
+// off.
+#pragma once
+
+namespace tocttou {
+
+namespace detail {
+extern bool g_legacy_structures;  // defined in common/legacy.cc
+}  // namespace detail
+
+inline bool legacy_structures_enabled() {
+  return detail::g_legacy_structures;
+}
+
+/// Enables/disables the legacy-structure shim for worlds constructed or
+/// reset() after the call.
+void set_legacy_structures(bool on);
+
+}  // namespace tocttou

@@ -17,6 +17,7 @@
 #include "tocttou/detect/detector.h"
 #include "tocttou/metrics/metrics.h"
 #include "tocttou/metrics/profile.h"
+#include "tocttou/programs/background.h"
 #include "tocttou/programs/testbeds.h"
 #include "tocttou/sched/linux_sched.h"
 #include "tocttou/sim/faults.h"
@@ -55,6 +56,14 @@ struct ScenarioConfig {
 
   /// Background kernel-thread load (Section 5's interference source).
   bool background_load = true;
+
+  /// Multi-tenant background workload (DESIGN.md §11): deterministic
+  /// user-space tenants — web-server churn, cron bursts, build-job
+  /// fan-out, log writers — spawned after the victim so victim/attacker
+  /// pids are untouched when the spec is empty. Folded into
+  /// scenario_fingerprint() ONLY when non-empty, so every existing
+  /// schedule token and golden stays valid.
+  programs::BackgroundSpec background;
 
   /// Use the defended victim variant (fchown/fchmod on the fd instead of
   /// chown/chmod on the path) — the Section 8 remedy. Only meaningful
@@ -312,6 +321,8 @@ std::pair<Duration, Duration> victim_think_range(const ScenarioConfig& cfg);
 /// those vary across rounds of the SAME scenario (a schedule token pins
 /// seed and think itself; a watchdog budget that never trips is
 /// unobservable, and tokens from budgeted runs must replay unbudgeted).
+/// The multi-tenant `background` spec is folded in ONLY when non-empty,
+/// so tokens minted before the field existed keep their fingerprints.
 std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg);
 
 /// The DConvention the paper uses for each victim.

@@ -11,7 +11,10 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
+#include "tocttou/common/legacy.h"
 #include "tocttou/fs/types.h"
 #include "tocttou/sim/semaphore.h"
 
@@ -33,7 +36,9 @@ class Inode {
         mode_(o.mode_), size_bytes_(o.size_bytes_), nlink_(o.nlink_),
         open_refs_(o.open_refs_), symlink_target_(o.symlink_target_),
         entries_(o.entries_), sem_(o.sem_, m),
-        rename_in_progress_(o.rename_in_progress_) {}
+        rename_in_progress_(o.rename_in_progress_) {
+    rebuild_index();  // the index views must point into OUR entry keys
+  }
 
   Inode(const Inode&) = delete;
   Inode& operator=(const Inode&) = delete;
@@ -52,10 +57,25 @@ class Inode {
   const std::string& symlink_target() const { return symlink_target_; }
 
   /// Directory entries (name -> inode). Only valid for directories.
-  /// The transparent comparator lets the path walker look names up by
-  /// std::string_view without minting a temporary std::string.
+  /// The ordered map is the source of truth (audit and hash_state need
+  /// deterministic name-order iteration); `index_` shadows it with a
+  /// hashed name -> ino index so lookup costs O(1) instead of O(log n)
+  /// string comparisons in a wide directory.
   using EntryMap = std::map<std::string, Ino, std::less<>>;
   const EntryMap& entries() const { return entries_; }
+
+  /// O(1) child lookup through the hashed index (kNoIno when absent).
+  /// Under the bench-only legacy shim (common/legacy.h) this reverts to
+  /// the ordered map's O(log n) string-compare walk; same answer either
+  /// way.
+  Ino lookup(std::string_view name) const {
+    if (legacy_structures_enabled()) {
+      const auto it = entries_.find(name);
+      return it == entries_.end() ? kNoIno : it->second;
+    }
+    const auto it = index_.find(name);
+    return it == index_.end() ? kNoIno : it->second;
+  }
 
   sim::Semaphore& sem() { return sem_; }
   const sim::Semaphore& sem() const { return sem_; }
@@ -116,6 +136,25 @@ class Inode {
  private:
   friend class Vfs;
 
+  /// Entry mutators keeping `index_` in lockstep. The index keys are
+  /// string_views into the EntryMap's keys — node-stable, so only the
+  /// erased name's view ever dangles, and it is dropped from the index
+  /// BEFORE the map node goes away.
+  void add_entry(const std::string& name, Ino target) {
+    const auto [it, inserted] = entries_.emplace(name, target);
+    if (inserted) index_.emplace(std::string_view(it->first), target);
+  }
+  void remove_entry(EntryMap::iterator it) {
+    index_.erase(std::string_view(it->first));
+    entries_.erase(it);
+  }
+  void rebuild_index() {
+    index_.clear();
+    for (const auto& [name, target] : entries_) {
+      index_.emplace(std::string_view(name), target);
+    }
+  }
+
   Ino ino_;
   FileType type_;
   sim::Uid uid_;
@@ -126,6 +165,7 @@ class Inode {
   int open_refs_ = 0;
   std::string symlink_target_;
   EntryMap entries_;
+  std::unordered_map<std::string_view, Ino> index_;
   sim::Semaphore sem_;
   bool rename_in_progress_ = false;
 };

@@ -231,19 +231,48 @@ class Vfs {
  private:
   void init_root();
 
+  /// Per-process descriptor table. `touched` distinguishes a pid that
+  /// once had a table (even if every fd closed since) from one that
+  /// never did — the distinction the old std::map-of-maps representation
+  /// encoded by the table's existence, and which the canonical state
+  /// digest must keep making. Slot index == fd; a slot with ino ==
+  /// kNoIno is free. reset() keeps the slot vectors' capacity, so a
+  /// RoundContext re-runs rounds without reallocating any fd table.
+  struct FdTable {
+    bool touched = false;
+    int open_count = 0;
+    std::vector<OpenFile> slots;
+  };
+
+  FdTable* table_of(sim::Pid pid);
+  const FdTable* table_of(sim::Pid pid) const;
+
   Ino next_ino_ = 1;
   SyscallCosts costs_;
-  std::map<Ino, std::unique_ptr<Inode>> inodes_;
+  /// Inode table, index == ino - 1. Inos are dense (allocated 1, 2, ...)
+  /// and never erased within a round (tombstones are modeled behaviour),
+  /// so a vector replaces the old std::map with O(1) inode() lookup.
+  std::vector<std::unique_ptr<Inode>> inodes_;
   Ino root_ = kNoIno;
-  std::map<sim::Pid, std::map<int, OpenFile>> fd_tables_;
+  std::vector<FdTable> fd_tables_;  // index = pid - 1
+  std::size_t touched_tables_ = 0;  // fd_tables_ entries with touched set
   sim::FaultInjector* faults_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
   /// Recycled Inode allocations (see reset()). alloc_inode() reinits one
   /// in place instead of hitting the heap; bounded so a pathological
-  /// round cannot pin memory forever.
+  /// round cannot pin memory forever. The cap accommodates the
+  /// multi-tenant scale model's O(10^5)-inode rounds.
   std::vector<std::unique_ptr<Inode>> arena_;
   std::uint64_t arena_reuses_ = 0;
-  static constexpr std::size_t kMaxArena = 64;
+  static constexpr std::size_t kMaxArena = 131072;
+  /// Bench-only legacy shim (common/legacy.h), captured at
+  /// construct/reset:
+  /// when set, inode()/inode_mut() resolve through this shadow
+  /// std::map (the pre-optimization representation's O(log n) walk) and
+  /// alloc_inode() bypasses the arena. The dense vector stays the owner
+  /// either way, so every other code path is untouched.
+  bool legacy_ = false;
+  std::map<Ino, Inode*> legacy_index_;
 };
 
 }  // namespace tocttou::fs

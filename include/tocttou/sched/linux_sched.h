@@ -12,8 +12,23 @@
 //    tasks wait for the time-slice boundary).
 //  * Time slices: fixed quantum; on expiry the task yields only if
 //    someone of equal or higher priority is queued on that CPU.
+//
+// Two run-queue implementations back the identical policy (the policy
+// layer is proven byte-identical across them by the differential ctest
+// and the golden campaign outputs):
+//  * `bitmap` (the default): a 512-level priority bitmap per CPU with an
+//    intrusive pid-linked FIFO per level. enqueue/pick/take/remove are
+//    O(1) (pick is O(words) over 8 bitmap words), so a run queue holding
+//    thousands of tenant processes costs the same per event as one
+//    holding three. Links are stored as Pids, which are stable across
+//    checkpoint clones — only the cached Process* needs remapping.
+//  * `legacy_map`: the original std::map<int, std::deque<Process*>>
+//    structure, retained as the differential baseline and as the
+//    "before" leg of bench_scale_tenancy.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <vector>
@@ -36,7 +51,19 @@ struct LinuxSchedParams {
 
 class LinuxLikeScheduler final : public sim::Scheduler {
  public:
+  /// Which run-queue structure backs the policy (see file comment).
+  enum class RunQueueImpl { bitmap, legacy_map };
+
+  /// Default structure for schedulers constructed without an explicit
+  /// impl (read once at construction, like EventQueue::set_default_impl;
+  /// benches flip it to time the before/after legs).
+  static void set_default_impl(RunQueueImpl impl);
+  static RunQueueImpl default_impl();
+
   explicit LinuxLikeScheduler(LinuxSchedParams params = {});
+  LinuxLikeScheduler(LinuxSchedParams params, RunQueueImpl impl);
+
+  RunQueueImpl impl() const { return impl_; }
 
   void init(int n_cpus) override;
   sim::CpuId place(const sim::Process& p,
@@ -65,18 +92,7 @@ class LinuxLikeScheduler final : public sim::Scheduler {
 
   std::unique_ptr<sim::Scheduler> clone(sim::CloneMap& m) const override;
 
-  void hash_state(StateHasher& h) const override {
-    h.u64(queues_.size());
-    for (const RunQueue& q : queues_) {
-      h.u64(q.size);
-      h.u64(q.by_prio.size());
-      for (const auto& [prio, fifo] : q.by_prio) {
-        h.i64(prio);
-        h.u64(fifo.size());
-        for (const sim::Process* p : fifo) h.u64(p->pid());
-      }
-    }
-  }
+  void hash_state(StateHasher& h) const override;
 
   /// Rebind copy for checkpoint clones: copies the queues, remapping each
   /// queued Process* through `m`. Public so wrappers that embed this
@@ -84,6 +100,7 @@ class LinuxLikeScheduler final : public sim::Scheduler {
   LinuxLikeScheduler(const LinuxLikeScheduler& o, sim::CloneMap& m);
 
  private:
+  // --- legacy_map structure (the original implementation) ---
   struct RunQueue {
     // priority -> FIFO of runnable tasks (greater priority first).
     std::map<int, std::deque<sim::Process*>, std::greater<>> by_prio;
@@ -93,8 +110,49 @@ class LinuxLikeScheduler final : public sim::Scheduler {
   RunQueue& rq(sim::CpuId cpu);
   const RunQueue& rq(sim::CpuId cpu) const;
 
+  // --- bitmap structure ---
+  // Priorities are mapped to levels [0, kLevels) with level = prio +
+  // kPrioBias; level 0 is the LOWEST priority. The per-CPU bitmap has a
+  // set bit for every level whose FIFO is non-empty.
+  static constexpr int kPrioBias = 256;
+  static constexpr int kLevels = 512;
+  static constexpr int kWords = kLevels / 64;
+
+  /// Per-process queue node, indexed by pid-1. A process is on at most
+  /// one run queue (the kernel dequeues before any state change), so the
+  /// FIFO links can live in the node. Links are Pids — clone-stable —
+  /// and `proc` caches the Process* while queued (remapped on clone).
+  struct Node {
+    sim::Process* proc = nullptr;
+    sim::Pid prev = sim::kNoPid;
+    sim::Pid next = sim::kNoPid;
+    sim::CpuId cpu = sim::kNoCpu;  // kNoCpu = not queued
+    int level = 0;
+  };
+
+  struct BitmapQueue {
+    std::array<std::uint64_t, kWords> words{};
+    std::array<sim::Pid, kLevels> head{};
+    std::array<sim::Pid, kLevels> tail{};
+    std::size_t size = 0;
+  };
+
+  BitmapQueue& bq(sim::CpuId cpu);
+  const BitmapQueue& bq(sim::CpuId cpu) const;
+  Node& node(sim::Pid pid);
+  static int level_of(const sim::Process& p);
+  void bq_link(BitmapQueue& q, sim::Process& p, bool front);
+  void bq_unlink(BitmapQueue& q, Node& n);
+  /// Highest set level with a non-empty FIFO, or -1.
+  static int highest_level(const BitmapQueue& q);
+
+  std::size_t depth_of(sim::CpuId cpu) const;
+
   LinuxSchedParams params_;
-  std::vector<RunQueue> queues_;
+  RunQueueImpl impl_;
+  std::vector<RunQueue> queues_;     // legacy_map
+  std::vector<BitmapQueue> bqueues_; // bitmap
+  std::vector<Node> nodes_;          // bitmap, index = pid - 1
 };
 
 }  // namespace tocttou::sched

@@ -169,8 +169,6 @@ class Kernel {
   void charge(Process& p, Duration ran);
   void trace_segment(const Process& p, trace::Category cat,
                      const std::string& label, SimTime begin, SimTime end);
-  std::vector<CpuId> idle_allowed_cpus(const Process& p) const;
-  std::vector<CpuId> allowed_cpus(const Process& p) const;
   void fill_allowed_cpus(const Process& p, std::vector<CpuId>* out) const;
   void fill_idle_allowed_cpus(const Process& p, std::vector<CpuId>* out) const;
 
@@ -181,10 +179,6 @@ class Kernel {
   FaultInjector* faults_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
   detect::SyncLog* sync_ = nullptr;
-  /// Mirrors EventQueue::Impl::legacy (read once at construction): the
-  /// bench's before/after toggle also reverts the placement hot path to
-  /// its original allocate-per-call form so "before" is faithful.
-  bool legacy_hotpath_ = false;
   // Scratch for make_ready placement; avoids two vector allocations per
   // wakeup on the hot path. Safe because placement fully consumes the
   // lists before anything re-entrant runs.

@@ -7,9 +7,11 @@
 // one to every inode); all state transitions are performed by the Kernel.
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <string>
+#include <vector>
 
+#include "tocttou/common/legacy.h"
 #include "tocttou/common/state_hash.h"
 #include "tocttou/sim/ids.h"
 
@@ -17,6 +19,47 @@ namespace tocttou::sim {
 
 class CloneMap;
 class Kernel;
+
+/// FIFO of waiting pids. A plain vector with a consumed-prefix offset:
+/// an idle queue owns NO heap allocation (unlike std::deque, whose
+/// eagerly-allocated map block dominates the per-inode footprint once a
+/// round stages 10^5 inodes, each embedding a Semaphore). The offset
+/// resets whenever the queue drains, which every waiter queue does —
+/// wakeups always drain the FIFO — so the buffer never creeps.
+class PidQueue {
+ public:
+  /// Under the bench-only legacy shim (common/legacy.h) an empty queue
+  /// eagerly grabs a 512-byte buffer, reproducing the std::deque it
+  /// replaced (libstdc++ deques allocate one 512-byte chunk on default
+  /// construction — a heap hit per inode once a round stages 10^5 of
+  /// them). No observable state changes either way.
+  PidQueue() {
+    if (legacy_structures_enabled()) buf_.reserve(512 / sizeof(Pid));
+  }
+
+  bool empty() const { return head_ == buf_.size(); }
+  std::size_t size() const { return buf_.size() - head_; }
+  Pid front() const { return buf_[head_]; }
+  void push_back(Pid p) { buf_.push_back(p); }
+  void pop_front() {
+    ++head_;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    }
+  }
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  const Pid* begin() const { return buf_.data() + head_; }
+  const Pid* end() const { return buf_.data() + buf_.size(); }
+
+ private:
+  std::vector<Pid> buf_;
+  std::size_t head_ = 0;
+};
 
 class Semaphore {
  public:
@@ -51,7 +94,7 @@ class Semaphore {
   friend class Kernel;
   std::string name_;
   Pid owner_ = kNoPid;
-  std::deque<Pid> waiters_;
+  PidQueue waiters_;
 };
 
 /// A one-shot user-level event flag (futex-like), used by multithreaded
@@ -84,7 +127,7 @@ class EventFlag {
   friend class Kernel;
   std::string name_;
   bool set_ = false;
-  std::deque<Pid> waiters_;
+  PidQueue waiters_;
 };
 
 }  // namespace tocttou::sim

@@ -1,0 +1,11 @@
+#include "tocttou/common/legacy.h"
+
+namespace tocttou {
+
+namespace detail {
+bool g_legacy_structures = false;
+}  // namespace detail
+
+void set_legacy_structures(bool on) { detail::g_legacy_structures = on; }
+
+}  // namespace tocttou

@@ -157,6 +157,10 @@ std::uint32_t scenario_fingerprint(const ScenarioConfig& cfg) {
   f.i64(cfg.attacker_gid);
   f.i64(cfg.round_limit.ns());
   f.str(cfg.faults.describe());
+  // Multi-tenant spec: folded in only when non-empty, so fingerprints
+  // (and thus every schedule token) minted before the field existed —
+  // or with tenants off — are unchanged.
+  if (!cfg.background.empty()) f.str("bg:" + cfg.background.describe());
   return f.h;
 }
 
@@ -193,6 +197,7 @@ RoundRun::RoundRun(const ScenarioConfig& cfg, RoundContext* ctx)
   vfs.create_file(cfg.watched_path, cfg.attacker_uid, cfg.attacker_gid, 0644,
                   cfg.file_bytes);
   vfs.create_file(cfg.dummy_path, cfg.attacker_uid, cfg.attacker_gid, 0644, 0);
+  programs::stage_background_tree(vfs, cfg.background);
 
   // --- fault injector (its own Rng stream; kernel noise untouched) ---
   std::optional<sim::FaultInjector>& injector = injector_;
@@ -358,6 +363,12 @@ RoundRun::RoundRun(const ScenarioConfig& cfg, RoundContext* ctx)
   victim_pid_ = kernel.spawn(std::move(vic), vopts);
   res.victim_pid = victim_pid_;
   if (injector) injector->set_role(victim_pid_, sim::FaultRole::victim);
+
+  // --- multi-tenant background load: spawned after the victim so
+  // victim/attacker pids (and thus journals, traces, and tokens) match
+  // the tenant-free scenario exactly when the spec is empty. Tenants
+  // loop forever; the round still ends when the victim exits. ---
+  programs::spawn_background_tenants(kernel, vfs, cfg.background);
 
   // --- extra programs (test hook): spawned last so victim/attacker pids
   // match the plain scenario exactly ---
@@ -606,7 +617,7 @@ namespace {
 constexpr int kBlockRounds = 8;
 
 CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
-                        bool measure_ld) {
+                        bool measure_ld, RoundContext* ctx) {
   CampaignStats stats;
   for (int i = begin; i < end; ++i) {
     ScenarioConfig round_cfg = cfg;
@@ -615,7 +626,7 @@ CampaignStats run_block(const ScenarioConfig& cfg, int begin, int end,
     round_cfg.record_events = false;
     RoundResult r;
     try {
-      r = run_round(round_cfg);
+      r = run_round(round_cfg, ctx);
     } catch (const std::exception&) {
       // A round that blows an internal invariant is an anomaly to
       // report, not a reason to lose the rest of the campaign. Record a
@@ -703,12 +714,18 @@ CampaignStats run_campaign(const ScenarioConfig& cfg, int rounds,
   std::vector<CampaignStats> blocks(static_cast<std::size_t>(n_blocks));
   std::atomic<int> next_block{0};
   const auto work = [&] {
+    // One reusable context per worker: rounds recycle the Vfs/Kernel
+    // arenas instead of re-allocating the world. run_round in a reused
+    // context is byte-identical to a fresh one (round_context ctest), so
+    // the campaign's determinism contract is untouched.
+    RoundContext ctx;
     for (int b = next_block.fetch_add(1, std::memory_order_relaxed);
          b < n_blocks;
          b = next_block.fetch_add(1, std::memory_order_relaxed)) {
       const int begin = b * kBlockRounds;
-      blocks[static_cast<std::size_t>(b)] = run_block(
-          *run_cfg, begin, std::min(rounds, begin + kBlockRounds), measure_ld);
+      blocks[static_cast<std::size_t>(b)] =
+          run_block(*run_cfg, begin, std::min(rounds, begin + kBlockRounds),
+                    measure_ld, &ctx);
     }
   };
   if (workers == 1) {

@@ -2,6 +2,7 @@
 
 #include <new>
 
+#include "tocttou/common/legacy.h"
 #include "tocttou/common/strings.h"
 #include "tocttou/sim/clone.h"
 
@@ -19,21 +20,28 @@ const char* to_string(FileType t) {
   return "?";
 }
 
-Vfs::Vfs(SyscallCosts costs) : costs_(costs) { init_root(); }
+Vfs::Vfs(SyscallCosts costs)
+    : costs_(costs), legacy_(legacy_structures_enabled()) {
+  init_root();
+}
 
 Vfs::Vfs(const Vfs& o, sim::CloneMap& m)
     : next_ino_(o.next_ino_),
       costs_(o.costs_),
       root_(o.root_),
       fd_tables_(o.fd_tables_),
+      touched_tables_(o.touched_tables_),
       faults_(m.remap(o.faults_)),
       metrics_(m.remap(o.metrics_)),
-      arena_reuses_(o.arena_reuses_) {
+      arena_reuses_(o.arena_reuses_),
+      legacy_(o.legacy_) {
   m.add_range(&o, this, sizeof(Vfs));
-  for (const auto& [ino, node] : o.inodes_) {
+  inodes_.reserve(o.inodes_.size());
+  for (const auto& node : o.inodes_) {
     auto copy = std::make_unique<Inode>(*node, m);
     m.add_range(node.get(), copy.get(), sizeof(Inode));
-    inodes_.emplace(ino, std::move(copy));
+    if (legacy_) legacy_index_.emplace(copy->ino(), copy.get());
+    inodes_.push_back(std::move(copy));
   }
 }
 
@@ -47,15 +55,26 @@ void Vfs::init_root() {
 }
 
 void Vfs::reset(SyscallCosts costs) {
+  legacy_ = legacy_structures_enabled();
+  legacy_index_.clear();
   // Recycle the round's inode allocations into the arena before wiping
-  // the table; alloc_inode() reinits them in place next round.
-  for (auto& [ino, node] : inodes_) {
-    if (arena_.size() >= kMaxArena) break;
+  // the table; alloc_inode() reinits them in place next round. The
+  // legacy shim frees instead: the old structures re-malloced the world
+  // every round, and the bench's before-leg must pay that.
+  for (auto& node : inodes_) {
+    if (legacy_ || arena_.size() >= kMaxArena) break;
     arena_.push_back(std::move(node));
   }
   costs_ = costs;
   inodes_.clear();
-  fd_tables_.clear();
+  // The fd tables are arena-backed too: wipe contents, keep both the
+  // outer table vector and every inner slot vector's capacity.
+  for (FdTable& t : fd_tables_) {
+    t.touched = false;
+    t.open_count = 0;
+    t.slots.clear();
+  }
+  touched_tables_ = 0;
   next_ino_ = 1;
   faults_ = nullptr;
   metrics_ = nullptr;
@@ -68,7 +87,7 @@ Inode& Vfs::alloc_inode(FileType type, sim::Uid uid, sim::Gid gid,
   std::unique_ptr<Inode> node;
   std::string sem_name =
       strfmt("i_sem:%llu", static_cast<unsigned long long>(ino));
-  if (!arena_.empty()) {
+  if (!arena_.empty() && !legacy_) {
     // Reinit a recycled allocation in place: destroy the stale inode,
     // then construct the new one into the same storage. The unique_ptr
     // is released around the destructor call so a throwing constructor
@@ -85,27 +104,36 @@ Inode& Vfs::alloc_inode(FileType type, sim::Uid uid, sim::Gid gid,
                                    std::move(sem_name));
   }
   Inode& ref = *node;
-  inodes_.emplace(ino, std::move(node));
+  TOCTTOU_CHECK(ino == inodes_.size() + 1, "non-dense inode allocation");
+  if (legacy_) legacy_index_.emplace(ino, node.get());
+  inodes_.push_back(std::move(node));
   return ref;
 }
 
 const Inode& Vfs::inode(Ino ino) const {
-  auto it = inodes_.find(ino);
-  TOCTTOU_CHECK(it != inodes_.end(), "unknown inode");
-  return *it->second;
+  if (legacy_) {
+    const auto it = legacy_index_.find(ino);
+    TOCTTOU_CHECK(it != legacy_index_.end(), "unknown inode");
+    return *it->second;
+  }
+  TOCTTOU_CHECK(ino != kNoIno && ino <= inodes_.size(), "unknown inode");
+  return *inodes_[ino - 1];
 }
 
 Inode& Vfs::inode_mut(Ino ino) {
-  auto it = inodes_.find(ino);
-  TOCTTOU_CHECK(it != inodes_.end(), "unknown inode");
-  return *it->second;
+  if (legacy_) {
+    const auto it = legacy_index_.find(ino);
+    TOCTTOU_CHECK(it != legacy_index_.end(), "unknown inode");
+    return *it->second;
+  }
+  TOCTTOU_CHECK(ino != kNoIno && ino <= inodes_.size(), "unknown inode");
+  return *inodes_[ino - 1];
 }
 
 Ino Vfs::lookup_in(Ino parent, std::string_view name) const {
   const Inode& dir = inode(parent);
   if (!dir.is_dir()) return kNoIno;
-  auto it = dir.entries().find(name);
-  return it == dir.entries().end() ? kNoIno : it->second;
+  return dir.lookup(name);
 }
 
 std::size_t Vfs::component_count(const std::string& path) {
@@ -258,8 +286,8 @@ Ino Vfs::create_symlink(const std::string& path, const std::string& target,
 void Vfs::link_entry(Ino dir, const std::string& name, Ino target) {
   Inode& d = inode_mut(dir);
   TOCTTOU_CHECK(d.is_dir(), "link_entry target is not a directory");
-  TOCTTOU_CHECK(!d.entries_.contains(name), "link_entry: name exists");
-  d.entries_[name] = target;
+  TOCTTOU_CHECK(d.lookup(name) == kNoIno, "link_entry: name exists");
+  d.add_entry(name, target);
   ++inode_mut(target).nlink_;
 }
 
@@ -270,7 +298,7 @@ void Vfs::unlink_entry(Ino dir, const std::string& name) {
   Inode& t = inode_mut(it->second);
   --t.nlink_;
   TOCTTOU_CHECK(t.nlink_ >= 0, "negative nlink");
-  d.entries_.erase(it);
+  d.remove_entry(it);
   // Inodes are never physically erased within a round: orphan inodes
   // (nlink 0 with open fds) are a modeled behaviour, and keeping
   // tombstones keeps Ino references held by in-flight ops valid.
@@ -303,58 +331,88 @@ bool Vfs::may_exec(const Inode& n, const Creds& c) {
   return (n.mode() & 0001) != 0;
 }
 
+Vfs::FdTable* Vfs::table_of(sim::Pid pid) {
+  if (pid == sim::kNoPid || fd_tables_.size() < pid) return nullptr;
+  FdTable& t = fd_tables_[pid - 1];
+  return t.touched ? &t : nullptr;
+}
+
+const Vfs::FdTable* Vfs::table_of(sim::Pid pid) const {
+  if (pid == sim::kNoPid || fd_tables_.size() < pid) return nullptr;
+  const FdTable& t = fd_tables_[pid - 1];
+  return t.touched ? &t : nullptr;
+}
+
 int Vfs::fd_alloc(sim::Pid pid, Ino ino, OpenFlags flags) {
-  auto& table = fd_tables_[pid];
-  // POSIX: the lowest free descriptor. 0..2 are notionally stdio; the
-  // table is ordered, so the first gap at or above 3 is the answer.
-  int fd = 3;
-  for (auto it = table.lower_bound(3); it != table.end() && it->first == fd;
-       ++it) {
-    ++fd;
+  TOCTTOU_CHECK(pid != sim::kNoPid, "fd_alloc for the null pid");
+  if (fd_tables_.size() < pid) fd_tables_.resize(pid);
+  FdTable& t = fd_tables_[pid - 1];
+  if (!t.touched) {
+    t.touched = true;
+    ++touched_tables_;
   }
-  table[fd] = OpenFile{ino, flags};
+  // POSIX: the lowest free descriptor. 0..2 are notionally stdio; slot
+  // index == fd, so scan for the first free slot at or above 3.
+  if (t.slots.size() < 3) t.slots.resize(3);
+  std::size_t fd = 3;
+  while (fd < t.slots.size() && t.slots[fd].ino != kNoIno) ++fd;
+  if (fd == t.slots.size()) t.slots.emplace_back();
+  t.slots[fd] = OpenFile{ino, flags};
+  ++t.open_count;
   ++inode_mut(ino).open_refs_;
-  return fd;
+  return static_cast<int>(fd);
 }
 
 Result<OpenFile> Vfs::fd_get(sim::Pid pid, int fd) const {
-  auto t = fd_tables_.find(pid);
-  if (t == fd_tables_.end()) return Errno::ebadf;
-  auto it = t->second.find(fd);
-  if (it == t->second.end()) return Errno::ebadf;
-  return it->second;
+  const FdTable* t = table_of(pid);
+  if (t == nullptr) return Errno::ebadf;
+  if (fd < 0 || static_cast<std::size_t>(fd) >= t->slots.size() ||
+      t->slots[static_cast<std::size_t>(fd)].ino == kNoIno) {
+    return Errno::ebadf;
+  }
+  return t->slots[static_cast<std::size_t>(fd)];
 }
 
 Errno Vfs::fd_close(sim::Pid pid, int fd) {
-  auto t = fd_tables_.find(pid);
-  if (t == fd_tables_.end()) return Errno::ebadf;
-  auto it = t->second.find(fd);
-  if (it == t->second.end()) return Errno::ebadf;
-  release_ref(it->second.ino);
-  t->second.erase(it);
+  FdTable* t = table_of(pid);
+  if (t == nullptr) return Errno::ebadf;
+  if (fd < 0 || static_cast<std::size_t>(fd) >= t->slots.size() ||
+      t->slots[static_cast<std::size_t>(fd)].ino == kNoIno) {
+    return Errno::ebadf;
+  }
+  OpenFile& slot = t->slots[static_cast<std::size_t>(fd)];
+  release_ref(slot.ino);
+  slot = OpenFile{};
+  --t->open_count;
   return Errno::ok;
 }
 
 std::size_t Vfs::open_fd_count(sim::Pid pid) const {
-  auto t = fd_tables_.find(pid);
-  return t == fd_tables_.end() ? 0 : t->second.size();
+  const FdTable* t = table_of(pid);
+  return t == nullptr ? 0 : static_cast<std::size_t>(t->open_count);
 }
 
 void Vfs::hash_state(StateHasher& h) const {
   h.u64(next_ino_);
   h.u64(root_);
   h.u64(inodes_.size());
-  for (const auto& [ino, node] : inodes_) node->hash_state(h);
+  for (const auto& node : inodes_) node->hash_state(h);
   // fd tables: the domain (which pids have tables, which fds are open,
   // what they point at) is sim state. Two trees that are equal but whose
   // open-fd tables differ MUST hash differently — a later write/fchown
-  // through the surviving fd diverges.
-  h.u64(fd_tables_.size());
-  for (const auto& [pid, table] : fd_tables_) {
-    h.u64(pid);
-    h.u64(table.size());
-    for (const auto& [fd, of] : table) {
-      h.i64(fd);
+  // through the surviving fd diverges. The digest reproduces the old
+  // map-of-maps byte stream exactly: touched tables in pid order, open
+  // slots in fd order.
+  h.u64(touched_tables_);
+  for (std::size_t i = 0; i < fd_tables_.size(); ++i) {
+    const FdTable& t = fd_tables_[i];
+    if (!t.touched) continue;
+    h.u64(i + 1);  // pid
+    h.u64(static_cast<std::uint64_t>(t.open_count));
+    for (std::size_t fd = 0; fd < t.slots.size(); ++fd) {
+      const OpenFile& of = t.slots[fd];
+      if (of.ino == kNoIno) continue;
+      h.i64(static_cast<std::int64_t>(fd));
       h.u64(of.ino);
       h.boolean(of.flags.write);
       h.boolean(of.flags.create);
@@ -370,15 +428,22 @@ std::vector<std::string> Vfs::audit() const {
     violations.push_back(std::move(msg));
   };
 
-  // Reference counts observed by walking every structure.
-  std::map<Ino, int> entry_refs;   // directory entries naming each inode
-  std::map<Ino, int> fd_refs;      // fd-table entries referencing each inode
+  // Reference counts observed by walking every structure. Inos are dense,
+  // so flat arrays sized once up front replace the old std::map counters
+  // — a 10^5-inode round audits without a single mid-walk allocation.
+  const auto known = [this](Ino ino) {
+    return ino != kNoIno && ino <= inodes_.size();
+  };
+  std::vector<int> entry_refs(inodes_.size() + 1, 0);
+  std::vector<int> fd_refs(inodes_.size() + 1, 0);
   entry_refs[root_] = 1;  // the root is self-anchored (nlink 1, no entry)
 
-  for (const auto& [ino, node] : inodes_) {
-    if (!node->is_dir()) continue;
-    for (const auto& [name, target] : node->entries()) {
-      if (!inodes_.contains(target)) {
+  for (std::size_t i = 0; i < inodes_.size(); ++i) {
+    const Ino ino = i + 1;
+    const Inode& node = *inodes_[i];
+    if (!node.is_dir()) continue;
+    for (const auto& [name, target] : node.entries()) {
+      if (!known(target)) {
         report(strfmt("dangling entry: dir %llu '%s' -> unknown inode %llu",
                       static_cast<unsigned long long>(ino), name.c_str(),
                       static_cast<unsigned long long>(target)));
@@ -387,11 +452,15 @@ std::vector<std::string> Vfs::audit() const {
       ++entry_refs[target];
     }
   }
-  for (const auto& [pid, table] : fd_tables_) {
-    for (const auto& [fd, file] : table) {
-      if (!inodes_.contains(file.ino)) {
+  for (std::size_t i = 0; i < fd_tables_.size(); ++i) {
+    const FdTable& t = fd_tables_[i];
+    if (!t.touched) continue;
+    for (std::size_t fd = 0; fd < t.slots.size(); ++fd) {
+      const OpenFile& file = t.slots[fd];
+      if (file.ino == kNoIno) continue;
+      if (!known(file.ino)) {
         report(strfmt("dangling fd: pid %d fd %d -> unknown inode %llu",
-                      static_cast<int>(pid), fd,
+                      static_cast<int>(i + 1), static_cast<int>(fd),
                       static_cast<unsigned long long>(file.ino)));
         continue;
       }
@@ -399,30 +468,32 @@ std::vector<std::string> Vfs::audit() const {
     }
   }
 
-  for (const auto& [ino, node] : inodes_) {
-    const int expect_nlink = entry_refs.contains(ino) ? entry_refs[ino] : 0;
-    if (node->nlink() != expect_nlink) {
+  for (std::size_t i = 0; i < inodes_.size(); ++i) {
+    const Ino ino = i + 1;
+    const Inode& node = *inodes_[i];
+    const int expect_nlink = entry_refs[ino];
+    if (node.nlink() != expect_nlink) {
       report(strfmt("nlink mismatch: inode %llu has nlink %d but %d "
                     "directory entr%s reference it",
-                    static_cast<unsigned long long>(ino), node->nlink(),
+                    static_cast<unsigned long long>(ino), node.nlink(),
                     expect_nlink, expect_nlink == 1 ? "y" : "ies"));
     }
-    const int expect_refs = fd_refs.contains(ino) ? fd_refs[ino] : 0;
-    if (node->open_refs() != expect_refs) {
+    const int expect_refs = fd_refs[ino];
+    if (node.open_refs() != expect_refs) {
       report(strfmt("open_refs mismatch: inode %llu has open_refs %d but "
                     "%d fd-table entr%s reference it",
-                    static_cast<unsigned long long>(ino), node->open_refs(),
+                    static_cast<unsigned long long>(ino), node.open_refs(),
                     expect_refs, expect_refs == 1 ? "y" : "ies"));
     }
-    if (node->nlink() < 0) {
+    if (node.nlink() < 0) {
       report(strfmt("negative nlink on inode %llu",
                     static_cast<unsigned long long>(ino)));
     }
-    if (node->open_refs() < 0) {
+    if (node.open_refs() < 0) {
       report(strfmt("negative open_refs on inode %llu",
                     static_cast<unsigned long long>(ino)));
     }
-    if (node->is_symlink() && node->symlink_target().empty()) {
+    if (node.is_symlink() && node.symlink_target().empty()) {
       report(strfmt("symlink inode %llu has an empty target",
                     static_cast<unsigned long long>(ino)));
     }

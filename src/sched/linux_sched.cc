@@ -1,6 +1,7 @@
 #include "tocttou/sched/linux_sched.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "tocttou/common/error.h"
 #include "tocttou/sim/clone.h"
@@ -8,27 +9,60 @@
 namespace tocttou::sched {
 
 using sim::CpuId;
+using sim::Pid;
 using sim::Process;
 
+namespace {
+LinuxLikeScheduler::RunQueueImpl g_default_impl =
+    LinuxLikeScheduler::RunQueueImpl::bitmap;
+}  // namespace
+
+void LinuxLikeScheduler::set_default_impl(RunQueueImpl impl) {
+  g_default_impl = impl;
+}
+
+LinuxLikeScheduler::RunQueueImpl LinuxLikeScheduler::default_impl() {
+  return g_default_impl;
+}
+
 LinuxLikeScheduler::LinuxLikeScheduler(LinuxSchedParams params)
-    : params_(params) {}
+    : LinuxLikeScheduler(params, g_default_impl) {}
+
+LinuxLikeScheduler::LinuxLikeScheduler(LinuxSchedParams params,
+                                       RunQueueImpl impl)
+    : params_(params), impl_(impl) {}
 
 void LinuxLikeScheduler::init(int n_cpus) {
-  queues_.assign(static_cast<std::size_t>(n_cpus), RunQueue{});
+  if (impl_ == RunQueueImpl::legacy_map) {
+    queues_.assign(static_cast<std::size_t>(n_cpus), RunQueue{});
+  } else {
+    bqueues_.assign(static_cast<std::size_t>(n_cpus), BitmapQueue{});
+    nodes_.clear();
+  }
 }
 
 LinuxLikeScheduler::LinuxLikeScheduler(const LinuxLikeScheduler& o,
                                        sim::CloneMap& m)
-    : params_(o.params_) {
-  queues_.reserve(o.queues_.size());
-  for (const RunQueue& src : o.queues_) {
-    RunQueue q;
-    q.size = src.size;
-    for (const auto& [prio, fifo] : src.by_prio) {
-      auto& dst = q.by_prio[prio];
-      for (Process* p : fifo) dst.push_back(m.remap(p));
+    : params_(o.params_), impl_(o.impl_) {
+  if (impl_ == RunQueueImpl::legacy_map) {
+    queues_.reserve(o.queues_.size());
+    for (const RunQueue& src : o.queues_) {
+      RunQueue q;
+      q.size = src.size;
+      for (const auto& [prio, fifo] : src.by_prio) {
+        auto& dst = q.by_prio[prio];
+        for (Process* p : fifo) dst.push_back(m.remap(p));
+      }
+      queues_.push_back(std::move(q));
     }
-    queues_.push_back(std::move(q));
+    return;
+  }
+  bqueues_ = o.bqueues_;
+  nodes_ = o.nodes_;
+  // Links are Pids — stable across the clone (the process table is copied
+  // index-for-index); only the cached Process* of queued nodes remaps.
+  for (Node& n : nodes_) {
+    if (n.cpu != sim::kNoCpu) n.proc = m.remap(n.proc);
   }
 }
 
@@ -36,6 +70,10 @@ std::unique_ptr<sim::Scheduler> LinuxLikeScheduler::clone(
     sim::CloneMap& m) const {
   return std::unique_ptr<sim::Scheduler>(new LinuxLikeScheduler(*this, m));
 }
+
+// ---------------------------------------------------------------------------
+// legacy_map structure helpers
+// ---------------------------------------------------------------------------
 
 LinuxLikeScheduler::RunQueue& LinuxLikeScheduler::rq(CpuId cpu) {
   TOCTTOU_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < queues_.size(),
@@ -48,6 +86,102 @@ const LinuxLikeScheduler::RunQueue& LinuxLikeScheduler::rq(CpuId cpu) const {
                 "bad cpu id in scheduler");
   return queues_[static_cast<std::size_t>(cpu)];
 }
+
+// ---------------------------------------------------------------------------
+// bitmap structure helpers
+// ---------------------------------------------------------------------------
+
+LinuxLikeScheduler::BitmapQueue& LinuxLikeScheduler::bq(CpuId cpu) {
+  TOCTTOU_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < bqueues_.size(),
+                "bad cpu id in scheduler");
+  return bqueues_[static_cast<std::size_t>(cpu)];
+}
+
+const LinuxLikeScheduler::BitmapQueue& LinuxLikeScheduler::bq(
+    CpuId cpu) const {
+  TOCTTOU_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < bqueues_.size(),
+                "bad cpu id in scheduler");
+  return bqueues_[static_cast<std::size_t>(cpu)];
+}
+
+LinuxLikeScheduler::Node& LinuxLikeScheduler::node(Pid pid) {
+  TOCTTOU_CHECK(pid != sim::kNoPid, "node lookup for pid 0");
+  if (nodes_.size() < pid) nodes_.resize(pid);
+  return nodes_[pid - 1];
+}
+
+int LinuxLikeScheduler::level_of(const Process& p) {
+  const int level = p.priority() + kPrioBias;
+  TOCTTOU_CHECK(level >= 0 && level < kLevels,
+                "process priority outside the bitmap range");
+  return level;
+}
+
+void LinuxLikeScheduler::bq_link(BitmapQueue& q, Process& p, bool front) {
+  const Pid pid = p.pid();
+  Node& n = node(pid);
+  TOCTTOU_CHECK(n.cpu == sim::kNoCpu, "process enqueued twice");
+  const int level = level_of(p);
+  n.proc = &p;
+  n.level = level;
+  const auto li = static_cast<std::size_t>(level);
+  if (q.head[li] == sim::kNoPid) {
+    n.prev = n.next = sim::kNoPid;
+    q.head[li] = q.tail[li] = pid;
+    q.words[static_cast<std::size_t>(level / 64)] |= 1ull << (level % 64);
+  } else if (front) {
+    n.prev = sim::kNoPid;
+    n.next = q.head[li];
+    nodes_[q.head[li] - 1].prev = pid;
+    q.head[li] = pid;
+  } else {
+    n.next = sim::kNoPid;
+    n.prev = q.tail[li];
+    nodes_[q.tail[li] - 1].next = pid;
+    q.tail[li] = pid;
+  }
+  ++q.size;
+}
+
+void LinuxLikeScheduler::bq_unlink(BitmapQueue& q, Node& n) {
+  const auto li = static_cast<std::size_t>(n.level);
+  const Pid pid = n.proc->pid();
+  if (n.prev != sim::kNoPid) {
+    nodes_[n.prev - 1].next = n.next;
+  } else {
+    TOCTTOU_CHECK(q.head[li] == pid, "run-queue link corruption");
+    q.head[li] = n.next;
+  }
+  if (n.next != sim::kNoPid) {
+    nodes_[n.next - 1].prev = n.prev;
+  } else {
+    TOCTTOU_CHECK(q.tail[li] == pid, "run-queue link corruption");
+    q.tail[li] = n.prev;
+  }
+  if (q.head[li] == sim::kNoPid) {
+    q.words[li / 64] &= ~(1ull << (n.level % 64));
+  }
+  n.proc = nullptr;
+  n.prev = n.next = sim::kNoPid;
+  n.cpu = sim::kNoCpu;
+  --q.size;
+}
+
+int LinuxLikeScheduler::highest_level(const BitmapQueue& q) {
+  for (int w = kWords - 1; w >= 0; --w) {
+    const std::uint64_t word = q.words[static_cast<std::size_t>(w)];
+    if (word != 0) return w * 64 + 63 - std::countl_zero(word);
+  }
+  return -1;
+}
+
+std::size_t LinuxLikeScheduler::depth_of(CpuId cpu) const {
+  return impl_ == RunQueueImpl::legacy_map ? rq(cpu).size : bq(cpu).size;
+}
+
+// ---------------------------------------------------------------------------
+// policy
+// ---------------------------------------------------------------------------
 
 CpuId LinuxLikeScheduler::place(const Process& p,
                                 const std::vector<CpuId>& idle_cpus,
@@ -67,40 +201,58 @@ CpuId LinuxLikeScheduler::place(const Process& p,
     return p.last_cpu();
   }
   CpuId best = allowed_cpus.front();
-  std::size_t best_depth = rq(best).size;
+  std::size_t best_depth = depth_of(best);
   for (CpuId c : allowed_cpus) {
-    if (rq(c).size < best_depth) {
+    if (depth_of(c) < best_depth) {
       best = c;
-      best_depth = rq(c).size;
+      best_depth = depth_of(c);
     }
   }
   return best;
 }
 
 void LinuxLikeScheduler::enqueue(Process& p, CpuId cpu, bool front) {
-  auto& q = rq(cpu);
-  auto& fifo = q.by_prio[p.priority()];
-  if (front) {
-    fifo.push_front(&p);
-  } else {
-    fifo.push_back(&p);
+  if (impl_ == RunQueueImpl::legacy_map) {
+    auto& q = rq(cpu);
+    auto& fifo = q.by_prio[p.priority()];
+    if (front) {
+      fifo.push_front(&p);
+    } else {
+      fifo.push_back(&p);
+    }
+    ++q.size;
+    return;
   }
-  ++q.size;
+  BitmapQueue& q = bq(cpu);
+  bq_link(q, p, front);
+  node(p.pid()).cpu = cpu;
 }
 
 Process* LinuxLikeScheduler::pick_next(CpuId cpu) {
-  auto& q = rq(cpu);
-  while (!q.by_prio.empty()) {
-    auto it = q.by_prio.begin();
-    auto& fifo = it->second;
-    if (fifo.empty()) {
-      q.by_prio.erase(it);
-      continue;
+  if (impl_ == RunQueueImpl::legacy_map) {
+    auto& q = rq(cpu);
+    while (!q.by_prio.empty()) {
+      auto it = q.by_prio.begin();
+      auto& fifo = it->second;
+      if (fifo.empty()) {
+        q.by_prio.erase(it);
+        continue;
+      }
+      Process* p = fifo.front();
+      fifo.pop_front();
+      --q.size;
+      if (fifo.empty()) q.by_prio.erase(it);
+      if (p->state() == sim::ProcState::ready) return p;
+      // Stale entry (e.g. removed process); skip it.
     }
-    Process* p = fifo.front();
-    fifo.pop_front();
-    --q.size;
-    if (fifo.empty()) q.by_prio.erase(it);
+    return nullptr;
+  }
+  BitmapQueue& q = bq(cpu);
+  int level;
+  while ((level = highest_level(q)) >= 0) {
+    Node& n = nodes_[q.head[static_cast<std::size_t>(level)] - 1];
+    Process* p = n.proc;
+    bq_unlink(q, n);
     if (p->state() == sim::ProcState::ready) return p;
     // Stale entry (e.g. removed process); skip it.
   }
@@ -111,26 +263,52 @@ Process* LinuxLikeScheduler::steal(CpuId thief) {
   // Pull from the most loaded queue; take the TAIL of its lowest
   // priority level (the task that would otherwise wait longest), if its
   // affinity allows the thief CPU.
+  const std::size_t n_cpus =
+      impl_ == RunQueueImpl::legacy_map ? queues_.size() : bqueues_.size();
   CpuId victim_cpu = sim::kNoCpu;
   std::size_t best = 0;
-  for (std::size_t c = 0; c < queues_.size(); ++c) {
+  for (std::size_t c = 0; c < n_cpus; ++c) {
     if (static_cast<CpuId>(c) == thief) continue;
-    if (queues_[c].size > best) {
-      best = queues_[c].size;
+    const std::size_t depth = depth_of(static_cast<CpuId>(c));
+    if (depth > best) {
+      best = depth;
       victim_cpu = static_cast<CpuId>(c);
     }
   }
   if (victim_cpu == sim::kNoCpu) return nullptr;
-  auto& q = rq(victim_cpu);
-  for (auto it = q.by_prio.rbegin(); it != q.by_prio.rend(); ++it) {
-    auto& fifo = it->second;
-    for (auto pit = fifo.rbegin(); pit != fifo.rend(); ++pit) {
-      Process* p = *pit;
-      if (p->state() == sim::ProcState::ready &&
-          (p->affinity_mask() & (1ull << thief))) {
-        fifo.erase(std::next(pit).base());
-        --q.size;
-        return p;
+  if (impl_ == RunQueueImpl::legacy_map) {
+    auto& q = rq(victim_cpu);
+    for (auto it = q.by_prio.rbegin(); it != q.by_prio.rend(); ++it) {
+      auto& fifo = it->second;
+      for (auto pit = fifo.rbegin(); pit != fifo.rend(); ++pit) {
+        Process* p = *pit;
+        if (p->state() == sim::ProcState::ready &&
+            (p->affinity_mask() & (1ull << thief))) {
+          fifo.erase(std::next(pit).base());
+          --q.size;
+          return p;
+        }
+      }
+    }
+    return nullptr;
+  }
+  BitmapQueue& q = bq(victim_cpu);
+  for (int w = 0; w < kWords; ++w) {
+    std::uint64_t word = q.words[static_cast<std::size_t>(w)];
+    while (word != 0) {
+      const int level = w * 64 + std::countr_zero(word);
+      word &= word - 1;  // clear the lowest set bit
+      for (Pid pid = q.tail[static_cast<std::size_t>(level)];
+           pid != sim::kNoPid;) {
+        Node& n = nodes_[pid - 1];
+        const Pid prev = n.prev;
+        Process* p = n.proc;
+        if (p->state() == sim::ProcState::ready &&
+            (p->affinity_mask() & (1ull << thief))) {
+          bq_unlink(q, n);
+          return p;
+        }
+        pid = prev;
       }
     }
   }
@@ -139,40 +317,71 @@ Process* LinuxLikeScheduler::steal(CpuId thief) {
 
 std::vector<Process*> LinuxLikeScheduler::pick_candidates(CpuId cpu) const {
   std::vector<Process*> out;
-  const auto& q = rq(cpu);
-  for (const auto& [prio, fifo] : q.by_prio) {
-    for (Process* p : fifo) {
-      if (p->state() == sim::ProcState::ready) out.push_back(p);
+  if (impl_ == RunQueueImpl::legacy_map) {
+    const auto& q = rq(cpu);
+    for (const auto& [prio, fifo] : q.by_prio) {
+      for (Process* p : fifo) {
+        if (p->state() == sim::ProcState::ready) out.push_back(p);
+      }
+      if (!out.empty()) return out;  // highest level with a ready task
     }
-    if (!out.empty()) return out;  // highest level with a ready task
+    return out;
+  }
+  const BitmapQueue& q = bq(cpu);
+  for (int w = kWords - 1; w >= 0; --w) {
+    std::uint64_t word = q.words[static_cast<std::size_t>(w)];
+    while (word != 0) {
+      const int level = w * 64 + 63 - std::countl_zero(word);
+      word &= ~(1ull << (level % 64));
+      for (Pid pid = q.head[static_cast<std::size_t>(level)];
+           pid != sim::kNoPid; pid = nodes_[pid - 1].next) {
+        Process* p = nodes_[pid - 1].proc;
+        if (p->state() == sim::ProcState::ready) out.push_back(p);
+      }
+      if (!out.empty()) return out;  // highest level with a ready task
+    }
   }
   return out;
 }
 
 bool LinuxLikeScheduler::take(Process& p, CpuId cpu) {
-  auto& q = rq(cpu);
-  const auto it = q.by_prio.find(p.priority());
-  if (it == q.by_prio.end()) return false;
-  auto& fifo = it->second;
-  const auto pit = std::find(fifo.begin(), fifo.end(), &p);
-  if (pit == fifo.end()) return false;
-  fifo.erase(pit);
-  --q.size;
-  if (fifo.empty()) q.by_prio.erase(it);
+  if (impl_ == RunQueueImpl::legacy_map) {
+    auto& q = rq(cpu);
+    const auto it = q.by_prio.find(p.priority());
+    if (it == q.by_prio.end()) return false;
+    auto& fifo = it->second;
+    const auto pit = std::find(fifo.begin(), fifo.end(), &p);
+    if (pit == fifo.end()) return false;
+    fifo.erase(pit);
+    --q.size;
+    if (fifo.empty()) q.by_prio.erase(it);
+    return true;
+  }
+  if (p.pid() == sim::kNoPid || nodes_.size() < p.pid()) return false;
+  Node& n = nodes_[p.pid() - 1];
+  if (n.cpu != cpu) return false;
+  bq_unlink(bq(cpu), n);
   return true;
 }
 
 void LinuxLikeScheduler::remove(const Process& p) {
-  for (auto& q : queues_) {
-    for (auto& [prio, fifo] : q.by_prio) {
-      auto it = std::find(fifo.begin(), fifo.end(), &p);
-      if (it != fifo.end()) {
-        fifo.erase(it);
-        --q.size;
-        return;
+  if (impl_ == RunQueueImpl::legacy_map) {
+    for (auto& q : queues_) {
+      for (auto& [prio, fifo] : q.by_prio) {
+        auto it = std::find(fifo.begin(), fifo.end(), &p);
+        if (it != fifo.end()) {
+          fifo.erase(it);
+          --q.size;
+          return;
+        }
       }
     }
+    return;
   }
+  if (p.pid() == sim::kNoPid || nodes_.size() < p.pid()) return;
+  Node& n = nodes_[p.pid() - 1];
+  if (n.cpu == sim::kNoCpu) return;
+  bq_unlink(bq(n.cpu), n);
 }
 
 bool LinuxLikeScheduler::should_preempt(const Process& woken,
@@ -187,11 +396,32 @@ bool LinuxLikeScheduler::should_preempt(const Process& woken,
 
 bool LinuxLikeScheduler::should_yield_on_expiry(const Process& running,
                                                 CpuId cpu) const {
-  const auto& q = rq(cpu);
-  for (const auto& [prio, fifo] : q.by_prio) {
-    if (prio < running.priority()) break;  // map is sorted descending
-    for (const Process* p : fifo) {
-      if (p->state() == sim::ProcState::ready) return true;
+  if (impl_ == RunQueueImpl::legacy_map) {
+    const auto& q = rq(cpu);
+    for (const auto& [prio, fifo] : q.by_prio) {
+      if (prio < running.priority()) break;  // map is sorted descending
+      for (const Process* p : fifo) {
+        if (p->state() == sim::ProcState::ready) return true;
+      }
+    }
+    return false;
+  }
+  const BitmapQueue& q = bq(cpu);
+  const int floor = running.priority() + kPrioBias;
+  for (int w = kWords - 1; w >= floor / 64; --w) {
+    std::uint64_t word = q.words[static_cast<std::size_t>(w)];
+    if (w == floor / 64 && floor % 64 != 0) {
+      word &= ~0ull << (floor % 64);
+    }
+    while (word != 0) {
+      const int level = w * 64 + 63 - std::countl_zero(word);
+      word &= ~(1ull << (level % 64));
+      for (Pid pid = q.head[static_cast<std::size_t>(level)];
+           pid != sim::kNoPid; pid = nodes_[pid - 1].next) {
+        if (nodes_[pid - 1].proc->state() == sim::ProcState::ready) {
+          return true;
+        }
+      }
     }
   }
   return false;
@@ -203,7 +433,54 @@ Duration LinuxLikeScheduler::fresh_slice(const Process& p) const {
 }
 
 std::size_t LinuxLikeScheduler::queue_depth(CpuId cpu) const {
-  return rq(cpu).size;
+  return depth_of(cpu);
+}
+
+void LinuxLikeScheduler::hash_state(StateHasher& h) const {
+  if (impl_ == RunQueueImpl::legacy_map) {
+    h.u64(queues_.size());
+    for (const RunQueue& q : queues_) {
+      h.u64(q.size);
+      h.u64(q.by_prio.size());
+      for (const auto& [prio, fifo] : q.by_prio) {
+        h.i64(prio);
+        h.u64(fifo.size());
+        for (const sim::Process* p : fifo) h.u64(p->pid());
+      }
+    }
+    return;
+  }
+  // Same logical content as the legacy digest: per CPU, the levels that
+  // hold entries, in descending priority, each with its FIFO of pids.
+  // (The bitmap never retains a drained level, so level count == set-bit
+  // count.)
+  h.u64(bqueues_.size());
+  for (const BitmapQueue& q : bqueues_) {
+    h.u64(q.size);
+    std::uint64_t levels = 0;
+    for (const std::uint64_t w : q.words) {
+      levels += static_cast<std::uint64_t>(std::popcount(w));
+    }
+    h.u64(levels);
+    for (int w = kWords - 1; w >= 0; --w) {
+      std::uint64_t word = q.words[static_cast<std::size_t>(w)];
+      while (word != 0) {
+        const int level = w * 64 + 63 - std::countl_zero(word);
+        word &= ~(1ull << (level % 64));
+        h.i64(level - kPrioBias);
+        std::uint64_t len = 0;
+        for (Pid pid = q.head[static_cast<std::size_t>(level)];
+             pid != sim::kNoPid; pid = nodes_[pid - 1].next) {
+          ++len;
+        }
+        h.u64(len);
+        for (Pid pid = q.head[static_cast<std::size_t>(level)];
+             pid != sim::kNoPid; pid = nodes_[pid - 1].next) {
+          h.u64(pid);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace tocttou::sched

@@ -66,7 +66,6 @@ Kernel::Kernel(MachineSpec spec, std::unique_ptr<Scheduler> sched,
   TOCTTOU_CHECK(sched_ != nullptr, "kernel needs a scheduler");
   cpus_.resize(static_cast<std::size_t>(spec_.n_cpus));
   sched_->init(spec_.n_cpus);
-  legacy_hotpath_ = (queue_.impl() == EventQueue::Impl::legacy);
   allowed_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
   idle_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
 }
@@ -87,7 +86,6 @@ void Kernel::reset(MachineSpec spec, std::unique_ptr<Scheduler> sched,
   cpus_.assign(static_cast<std::size_t>(spec_.n_cpus), CpuState{});
   background_started_ = false;
   sched_->init(spec_.n_cpus);
-  legacy_hotpath_ = (queue_.impl() == EventQueue::Impl::legacy);
   allowed_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
   idle_scratch_.reserve(static_cast<std::size_t>(spec_.n_cpus));
 }
@@ -101,7 +99,6 @@ Kernel::Kernel(const Kernel& o, CloneMap& m)
       faults_(m.remap(o.faults_)),
       metrics_(m.remap(o.metrics_)),
       sync_(m.remap(o.sync_)),
-      legacy_hotpath_(o.legacy_hotpath_),
       allowed_scratch_(o.allowed_scratch_),
       idle_scratch_(o.idle_scratch_),
       queue_(o.queue_),
@@ -308,18 +305,6 @@ void Kernel::start_background_load() {
 // Ready / dispatch
 // ---------------------------------------------------------------------------
 
-std::vector<CpuId> Kernel::allowed_cpus(const Process& p) const {
-  std::vector<CpuId> out;
-  fill_allowed_cpus(p, &out);
-  return out;
-}
-
-std::vector<CpuId> Kernel::idle_allowed_cpus(const Process& p) const {
-  std::vector<CpuId> out;
-  fill_idle_allowed_cpus(p, &out);
-  return out;
-}
-
 void Kernel::fill_allowed_cpus(const Process& p,
                                std::vector<CpuId>* out) const {
   out->clear();
@@ -341,18 +326,11 @@ void Kernel::fill_idle_allowed_cpus(const Process& p,
 
 void Kernel::make_ready(Process& p, bool just_woken) {
   TOCTTOU_CHECK(p.state_ == ProcState::ready, "make_ready on non-ready proc");
-  CpuId cpu;
-  if (legacy_hotpath_) {
-    const auto allowed = allowed_cpus(p);
-    TOCTTOU_CHECK(!allowed.empty(), "process affinity excludes every CPU");
-    cpu = sched_->place(p, idle_allowed_cpus(p), allowed);
-  } else {
-    fill_allowed_cpus(p, &allowed_scratch_);
-    TOCTTOU_CHECK(!allowed_scratch_.empty(),
-                  "process affinity excludes every CPU");
-    fill_idle_allowed_cpus(p, &idle_scratch_);
-    cpu = sched_->place(p, idle_scratch_, allowed_scratch_);
-  }
+  fill_allowed_cpus(p, &allowed_scratch_);
+  TOCTTOU_CHECK(!allowed_scratch_.empty(),
+                "process affinity excludes every CPU");
+  fill_idle_allowed_cpus(p, &idle_scratch_);
+  const CpuId cpu = sched_->place(p, idle_scratch_, allowed_scratch_);
   sched_->enqueue(p, cpu, /*front=*/false);
   if (metrics_ != nullptr) {
     const auto depth =

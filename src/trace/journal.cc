@@ -10,6 +10,10 @@ std::string SyscallJournal::to_csv() const {
   std::string out =
       "enter_us,exit_us,pid,name,result,path,path2,st_uid,st_gid,st_ino,"
       "applied_ino\n";
+  // ~96 bytes covers a typical row; one up-front reservation keeps a
+  // large-machine journal from reallocating (and re-copying) the string
+  // O(log n) times mid-export.
+  out.reserve(out.size() + records_.size() * 96);
   auto opt = [](const auto& v) {
     return v ? std::to_string(static_cast<unsigned long long>(*v))
              : std::string();

@@ -113,6 +113,9 @@ void TraceLog::clear() {
 
 std::string TraceLog::to_csv() const {
   std::string out = "begin_us,end_us,pid,name,cpu,category,label,detail\n";
+  // ~80 bytes covers a typical row; reserve once so a 10^5-event trace
+  // does not reallocate the output string mid-export.
+  out.reserve(out.size() + events_.size() * 80);
   for (const auto& ev : events_) {
     // Free-text fields (name, label, detail) go through RFC 4180
     // escaping; a label like `rename("a,b")` must stay one field.

@@ -72,6 +72,15 @@ void on_stop_signal(int) { g_stop = 1; }
       "                               wakeup-drop, kill)\n"
       "  --defended                   victim uses fchown/fchmod (Sec. 8)\n"
       "  --no-background              disable kernel-thread load\n"
+      "  --background=SPEC            multi-tenant background workload:\n"
+      "                               k=v list with keys web, cron, build,\n"
+      "                               log (tenant counts), intensity (work\n"
+      "                               multiplier), docroot (shared files),\n"
+      "                               inodes (pre-staged tree size), or\n"
+      "                               procs=N for a mixed fleet — e.g.\n"
+      "                               procs=256,intensity=2,inodes=100000.\n"
+      "                               Deterministic: byte-identical at any\n"
+      "                               --jobs\n"
       "  --measure-ld                 record journals; report L and D\n"
       "  --explore=exhaustive|pct     enumerate the schedule space instead\n"
       "                               of sampling it (noise/background off)\n"
@@ -300,6 +309,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "tocttou: bad --faults spec: %s\n", err.c_str());
         std::exit(1);
       }
+    } else if (take(argv[i], "--background", &v)) {
+      std::string err;
+      if (!programs::BackgroundSpec::parse(v, &cfg.background, &err)) {
+        std::fprintf(stderr, "tocttou: bad --background spec: %s\n",
+                     err.c_str());
+        std::exit(1);
+      }
     } else if (take(argv[i], "--explore", &v)) {
       do_explore = true;
       if (v == "exhaustive") ecfg.mode = explore::ExploreMode::exhaustive;
@@ -399,6 +415,11 @@ int main(int argc, char** argv) {
               cfg.defended_victim ? " [defended]" : "");
   if (!cfg.faults.empty()) {
     std::printf("faults: %s\n", cfg.faults.describe().c_str());
+  }
+  if (!cfg.background.empty()) {
+    std::printf("background: %s (%d tenant processes)\n",
+                cfg.background.describe().c_str(),
+                cfg.background.total_processes());
   }
 
   if (do_explore) {
